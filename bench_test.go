@@ -1,0 +1,155 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§7). Each benchmark runs the corresponding experiment
+// harness; the first iteration logs the full report so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the paper's result tables alongside the cost of producing
+// them. Micro-benchmarks of the substrates (matmul, quantization,
+// packing, pipeline engine) live in their packages.
+package sti_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sti"
+	"sti/internal/device"
+	"sti/internal/experiments"
+	"sti/internal/importance"
+	"sti/internal/model"
+	"sti/internal/pipeline"
+	"sti/internal/planner"
+)
+
+// reportOnce ensures each experiment's full report is printed exactly
+// once per `go test -bench` invocation. Printing to stdout (rather
+// than b.Log) keeps the regenerated tables complete in the benchmark
+// output — the testing framework truncates repeated BENCH logs.
+var reportOnce sync.Map
+
+// benchExperiment runs one experiment under the benchmark loop and
+// prints its full report the first time it runs.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, seen := reportOnce.LoadOrStore(id, true); !seen {
+			fmt.Printf("\n===== %s: %s =====\n%s\n", r.ID, r.Title, r.Output)
+		}
+	}
+}
+
+// §2.2 motivation numbers (IO/compute skew, cold-start delays).
+func BenchmarkMotivation_IOSkew(b *testing.B) { benchExperiment(b, "motiv") }
+
+// Figure 1: execution-method comparison with timelines.
+func BenchmarkFigure1_ExecutionMethods(b *testing.B) { benchExperiment(b, "fig1") }
+
+// Figure 5: shard-importance heatmaps for SST-2 vs RTE.
+func BenchmarkFigure5_ImportanceMaps(b *testing.B) { benchExperiment(b, "fig5") }
+
+// Figure 6: the AIB mini example (plans A/B valid, C invalid).
+func BenchmarkFigure6_AIBExample(b *testing.B) { benchExperiment(b, "fig6") }
+
+// Figure 7: accuracy/memory tradeoff at T=200ms.
+func BenchmarkFigure7_AccuracyMemory(b *testing.B) { benchExperiment(b, "fig7") }
+
+// Figure 8: submodel comparison between Ours and StdPL-6bit.
+func BenchmarkFigure8_SubmodelComparison(b *testing.B) { benchExperiment(b, "fig8") }
+
+// Table 5: the full accuracy grid (2 platforms × 4 tasks × 3 targets ×
+// 8 methods).
+func BenchmarkTable5_Accuracy(b *testing.B) { benchExperiment(b, "table5") }
+
+// Table 6: submodel sizes selected per method and target.
+func BenchmarkTable6_SubmodelSizes(b *testing.B) { benchExperiment(b, "table6") }
+
+// Table 7: importance-guided vs random IO budget allocation.
+func BenchmarkTable7_ImportanceAllocation(b *testing.B) { benchExperiment(b, "table7") }
+
+// §7.2 storage overhead of the N×M×K shard versions.
+func BenchmarkStorageOverhead(b *testing.B) { benchExperiment(b, "storage") }
+
+// §7.4 sensitivity sweeps.
+func BenchmarkSensitivity_TargetLatency(b *testing.B) { benchExperiment(b, "sens-t") }
+func BenchmarkSensitivity_PreloadBuffer(b *testing.B) { benchExperiment(b, "sens-s") }
+
+// Ablations of DESIGN.md's called-out choices (IO granularity,
+// deeper-tie rule, two-pass allocation, eviction order).
+func BenchmarkAblation_DesignChoices(b *testing.B) { benchExperiment(b, "ablate") }
+
+// BenchmarkPlanner measures one full two-stage planning run at paper
+// scale — §5.3 argues enumeration is constant-complexity and cheap
+// enough to run on every T or |S| change.
+func BenchmarkPlanner(b *testing.B) {
+	cfg := model.BERTBase()
+	imp := importance.Synthetic("QQP", cfg.Layers, cfg.Heads)
+	sizer := planner.AnalyticSizer{Params: cfg.ShardParams()}
+	req := planner.NewRequest(device.Odroid(), cfg, imp, sizer, 200*time.Millisecond, 1<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := req.Plan(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineSimulation measures the discrete-event schedule
+// computation used by every experiment cell.
+func BenchmarkPipelineSimulation(b *testing.B) {
+	cfg := model.BERTBase()
+	imp := importance.Synthetic("SST-2", cfg.Layers, cfg.Heads)
+	sizer := planner.AnalyticSizer{Params: cfg.ShardParams()}
+	req := planner.NewRequest(device.Jetson(), cfg, imp, sizer, 400*time.Millisecond, 5<<20)
+	p, err := req.Plan()
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := pipeline.PlanJobs(p, sizer)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pipeline.Simulate(device.Jetson(), jobs)
+	}
+}
+
+// BenchmarkEngineExecute measures a real pipelined inference (store
+// reads + decompression + forward pass) on a tiny model.
+func BenchmarkEngineExecute(b *testing.B) {
+	dir := b.TempDir()
+	w := sti.NewRandomModel(sti.TinyConfig(), 77)
+	if _, err := sti.Preprocess(dir, w, nil); err != nil {
+		b.Fatal(err)
+	}
+	sys, err := sti.Load(dir, sti.Odroid(), 1<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := sys.Plan(200*time.Millisecond, 64<<10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Warm(p); err != nil {
+		b.Fatal(err)
+	}
+	tokens := []int{1, 9, 8, 7, 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sys.Infer(p, tokens, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// §7.2 energy overhead and the §2.1-2.2 lifetime simulation.
+func BenchmarkEnergyOverhead(b *testing.B)     { benchExperiment(b, "energy") }
+func BenchmarkLifetimeSimulation(b *testing.B) { benchExperiment(b, "lifetime") }
+
+// Extension sweeps: input sequence length and DVFS operating point.
+func BenchmarkSensitivity_SeqLen(b *testing.B) { benchExperiment(b, "sens-l") }
+func BenchmarkSensitivity_DVFS(b *testing.B)   { benchExperiment(b, "sens-f") }

@@ -1,0 +1,41 @@
+// Command sti-experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	sti-experiments             # run everything
+//	sti-experiments -run fig7   # run one experiment
+//	sti-experiments -list       # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sti/internal/experiments"
+)
+
+func main() {
+	runID := flag.String("run", "", "experiment id to run (default: all)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	ids := experiments.IDs()
+	if *runID != "" {
+		ids = []string{*runID}
+	}
+	for _, id := range ids {
+		r, err := experiments.Run(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sti-experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("===== %s: %s =====\n%s\n", r.ID, r.Title, r.Output)
+	}
+}

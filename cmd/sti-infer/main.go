@@ -1,0 +1,60 @@
+// Command sti-infer runs pipelined inference against a preprocessed
+// store: it plans for the target latency, warms the preload buffer and
+// classifies the given text.
+//
+//	sti-preprocess -out /tmp/store -task SST-2 -train
+//	sti-infer -store /tmp/store -text "wonderful gripping story"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"sti"
+	"sti/internal/tokenizer"
+)
+
+func main() {
+	storeDir := flag.String("store", "", "preprocessed store directory (required)")
+	text := flag.String("text", "", "input text to classify (required)")
+	textB := flag.String("textb", "", "second sentence for pair tasks")
+	target := flag.Duration("target", 200*time.Millisecond, "target latency T")
+	preload := flag.Int64("preload", 64<<10, "preload buffer bytes")
+	flag.Parse()
+	if *storeDir == "" || *text == "" {
+		log.Fatal("sti-infer: -store and -text are required")
+	}
+
+	sys, err := sti.Load(*storeDir, sti.Odroid(), *preload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := sys.Plan(*target, *preload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Warm(plan); err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := sys.Store.Man.Config
+	tok := tokenizer.New(cfg.Vocab, cfg.MaxSeq)
+	tokens, mask := tok.Encode(*text, *textB)
+	logits, stats, err := sys.Infer(plan, tokens, mask)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	best, bestV := 0, logits[0]
+	for i, v := range logits {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	fmt.Printf("plan: %s\n", plan)
+	fmt.Printf("class %d (logits %v)\n", best, logits)
+	fmt.Printf("read %d KB, %d cache hits, wall %v\n",
+		stats.BytesRead>>10, stats.CacheHits, stats.Total.Round(time.Microsecond))
+}

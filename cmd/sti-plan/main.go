@@ -1,0 +1,109 @@
+// Command sti-plan runs STI's two-stage planner (§5) against a
+// preprocessed store or the paper-scale BERT-base geometry, and prints
+// the chosen submodel, per-shard bitwidths and the simulated pipeline
+// schedule.
+//
+//	sti-plan -device odroid -target 200ms -preload 1MB           # paper scale
+//	sti-plan -store /tmp/store -device jetson -target 150ms      # real store
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"sti"
+	"sti/internal/acc"
+	"sti/internal/device"
+	"sti/internal/pipeline"
+	"sti/internal/planner"
+)
+
+func parseBytes(s string) int64 {
+	s = strings.ToUpper(strings.TrimSpace(s))
+	mul := int64(1)
+	switch {
+	case strings.HasSuffix(s, "MB"):
+		mul, s = 1<<20, strings.TrimSuffix(s, "MB")
+	case strings.HasSuffix(s, "KB"):
+		mul, s = 1<<10, strings.TrimSuffix(s, "KB")
+	}
+	var v float64
+	if _, err := fmt.Sscanf(s, "%g", &v); err != nil {
+		log.Fatalf("sti-plan: bad size %q", s)
+	}
+	return int64(v * float64(mul))
+}
+
+func deviceByName(name string) *device.Profile {
+	switch strings.ToLower(name) {
+	case "odroid", "cpu":
+		return device.Odroid()
+	case "jetson", "gpu":
+		return device.Jetson()
+	}
+	log.Fatalf("sti-plan: unknown device %q (odroid|jetson)", name)
+	return nil
+}
+
+func main() {
+	storeDir := flag.String("store", "", "preprocessed store (default: paper-scale analytic geometry)")
+	devName := flag.String("device", "odroid", "device profile: odroid or jetson")
+	target := flag.Duration("target", 200*time.Millisecond, "target latency T")
+	preload := flag.String("preload", "1MB", "preload buffer size |S|")
+	task := flag.String("task", "SST-2", "task importance profile: SST-2, RTE, QNLI, QQP")
+	flag.Parse()
+
+	dev := deviceByName(*devName)
+	budget := parseBytes(*preload)
+
+	var req planner.Request
+	var sizer planner.Sizer
+	if *storeDir != "" {
+		sys, err := sti.Load(*storeDir, dev, budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := sys.Store.Man.Config
+		sys.Imp = acc.TaskByName(*task, cfg.Layers, cfg.Heads).Imp
+		req = sys.Request(*target, budget)
+		sizer = pipeline.ManifestSizer{Man: sys.Store.Man}
+	} else {
+		cfg := sti.BERTBaseConfig()
+		t := acc.TaskByName(*task, cfg.Layers, cfg.Heads)
+		if t == nil {
+			log.Fatalf("sti-plan: unknown task %q", *task)
+		}
+		sizer = planner.AnalyticSizer{Params: cfg.ShardParams()}
+		req = planner.NewRequest(dev, cfg, t.Imp, sizer, *target, budget)
+	}
+
+	p, err := req.Plan()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s\n", p)
+	fmt.Printf("per-layer compute %v, initial stall %v\n\n", p.TCompLayer, p.InitialStall)
+	for l := 0; l < p.Depth; l++ {
+		fmt.Printf("L%02d:", l)
+		for j := range p.Bits[l] {
+			mark := " "
+			if p.Preloaded[l][j] {
+				mark = "*"
+			}
+			fmt.Printf(" s%d@%d%s", p.Slices[l][j], p.Bits[l][j], mark)
+		}
+		fmt.Printf("  (%d KB streamed)\n", p.LayerStreamBytes(l, sizer)>>10)
+	}
+
+	tl := pipeline.Simulate(dev, pipeline.PlanJobs(p, sizer))
+	fmt.Printf("\nsimulated schedule (total %v, compute util %.0f%%, IO util %.0f%%):\n",
+		tl.Total().Round(time.Millisecond), 100*tl.ComputeUtilization(), 100*tl.IOUtilization())
+	fmt.Print(tl.Gantt().Render(64))
+	if t := acc.TaskByName(*task, 12, 12); t != nil && *storeDir == "" {
+		fmt.Printf("\nestimated %s accuracy: %.1f%% (gold %.1f%%)\n",
+			t.Name, t.AccuracySubmodel(p.Slices, p.Bits), t.Gold)
+	}
+}

@@ -1,0 +1,53 @@
+// Command sti-preprocess performs STI's one-time per-model
+// preprocessing (§3.2): optionally fine-tune a tiny model on a
+// synthetic GLUE task, then shard and quantize it into an on-disk
+// store of N×M×K fidelity versions.
+//
+//	sti-preprocess -out /tmp/store -task SST-2 -train
+//	sti-preprocess -out /tmp/store -seed 42          # random weights
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"sti"
+)
+
+func main() {
+	out := flag.String("out", "", "output store directory (required)")
+	task := flag.String("task", "SST-2", "GLUE task: SST-2, RTE, QNLI, QQP")
+	doTrain := flag.Bool("train", false, "fine-tune the model before preprocessing")
+	epochs := flag.Int("epochs", 6, "training epochs with -train")
+	seed := flag.Int64("seed", 42, "weight initialization seed")
+	flag.Parse()
+	if *out == "" {
+		log.Fatal("sti-preprocess: -out is required")
+	}
+
+	cfg := sti.TinyConfig()
+	w := sti.NewRandomModel(cfg, *seed)
+	if *doTrain {
+		opts := sti.DefaultTrainOptions()
+		opts.Epochs = *epochs
+		opts.Seed = *seed
+		opts.Logf = func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+		_, acc, err := sti.TrainModel(w, *task, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trained %s model: dev accuracy %.1f%%\n", *task, acc)
+	}
+
+	man, err := sti.Preprocess(*out, w, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, f := man.TotalBytes()
+	fmt.Printf("wrote store to %s\n", *out)
+	fmt.Printf("  geometry: %d layers x %d heads (%d weights/shard)\n",
+		man.Config.Layers, man.Config.Heads, man.Config.ShardParams())
+	fmt.Printf("  fidelity versions: %v + full\n", man.Bitwidths)
+	fmt.Printf("  quantized bytes: %d, full-fidelity bytes: %d\n", q, f)
+}

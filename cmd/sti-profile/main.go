@@ -1,0 +1,110 @@
+// Command sti-profile performs STI's offline profiling (§5.2) against
+// a preprocessed store: it measures the local host's IO and compute
+// delays (the install-time hardware capability profile) and, when a
+// task is given, profiles shard importance of the stored model on a
+// synthetic dev set and saves it into the store.
+//
+//	sti-profile -store /tmp/store
+//	sti-profile -store /tmp/store -task SST-2 -save
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"sti"
+	"sti/internal/profiler"
+	"sti/internal/store"
+)
+
+func main() {
+	storeDir := flag.String("store", "", "preprocessed store directory (required)")
+	task := flag.String("task", "", "profile shard importance for this task (SST-2, RTE, QNLI, QQP)")
+	save := flag.Bool("save", false, "persist the importance profile into the store")
+	seqLen := flag.Int("seq", 0, "profiling sequence length (default: model MaxSeq)")
+	flag.Parse()
+	if *storeDir == "" {
+		log.Fatal("sti-profile: -store is required")
+	}
+
+	st, err := store.Open(*storeDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := st.Man.Config
+	if *seqLen == 0 {
+		*seqLen = cfg.MaxSeq
+	}
+
+	dev, err := profiler.MeasureDevice(st, *seqLen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hardware capability (measured on this host):\n")
+	fmt.Printf("  flash bandwidth: %.1f MB/s, per-IO overhead: %v\n", dev.Bandwidth/1e6, dev.IOOverhead)
+	for _, m := range []int{1, cfg.Heads / 2, cfg.Heads} {
+		if m < 1 {
+			continue
+		}
+		fmt.Printf("  Tcomp(l=%d, m=%d): %v\n", *seqLen, m, dev.TComp(*seqLen, m, 1.0))
+	}
+	for _, bits := range append(st.Man.Bitwidths, 32) {
+		size, err := st.Man.ShardSize(0, 0, bits)
+		if err == nil {
+			fmt.Printf("  Tio(%d-bit shard): %v\n", bits, dev.TIO(size))
+		}
+	}
+
+	if *task == "" {
+		return
+	}
+	// Importance profiling needs the full-fidelity weights: rebuild them
+	// from the store.
+	w, err := rebuildWeights(st)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := sti.GenerateDataset(*task, cfg, 0, 128, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nprofiling %s shard importance (%d evaluations)...\n", *task, cfg.Layers*cfg.Heads)
+	tbl := profiler.ProfileImportance(w, ds, 2, 32)
+	fmt.Println(tbl.Heatmap())
+	if *save {
+		if err := store.SaveImportance(*storeDir, tbl); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("saved importance profile into the store")
+	}
+}
+
+// rebuildWeights reconstructs full model weights from the store's
+// resident parameters and full-fidelity shards.
+func rebuildWeights(st *store.Store) (*sti.Model, error) {
+	w, err := st.LoadResident()
+	if err != nil {
+		return nil, err
+	}
+	cfg := st.Man.Config
+	full := sti.NewRandomModel(cfg, 0) // allocate layer matrices
+	full.Emb, full.Pooler, full.PoolerB, full.Cls, full.ClsB = w.Emb, w.Pooler, w.PoolerB, w.Cls, w.ClsB
+	for l := 0; l < cfg.Layers; l++ {
+		misc := w.Layers[l]
+		dst := full.Layers[l]
+		dst.QB, dst.KB, dst.VB, dst.OB = misc.QB, misc.KB, misc.VB, misc.OB
+		dst.FFN1B, dst.FFN2B = misc.FFN1B, misc.FFN2B
+		dst.LN1G, dst.LN1B, dst.LN2G, dst.LN2B = misc.LN1G, misc.LN1B, misc.LN2G, misc.LN2B
+		for s := 0; s < cfg.Heads; s++ {
+			payload, err := st.ReadShard(l, s, 32)
+			if err != nil {
+				return nil, err
+			}
+			if err := sti.InstallShard(full, l, s, payload.Weights()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return full, nil
+}

@@ -1,0 +1,76 @@
+// Backtoback: the paper's §3.3 multi-turn scenario. A user engagement
+// comprises a few back-to-back model executions; between turns the app
+// enlarges the preload buffer so STI caches already-loaded shards
+// (evicting from the top layers), and subsequent executions reload
+// less and replan the freed IO bandwidth into higher-fidelity shards.
+//
+//	go run ./examples/backtoback
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"sti"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "sti-backtoback-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	w := sti.NewRandomModel(sti.TinyConfig(), 11)
+	if _, err := sti.Preprocess(dir, w, nil); err != nil {
+		log.Fatal(err)
+	}
+
+	// Engagement with a generous cache budget for caching across turns.
+	sys, err := sti.Load(dir, sti.Odroid(), 512<<10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	target := 200 * time.Millisecond
+	plan, err := sys.Plan(target, 64<<10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Warm(plan); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("engagement plan: %s\n\n", plan)
+
+	queries := [][]int{
+		{1, 10, 20, 30, 2},
+		{1, 11, 21, 31, 2},
+		{1, 12, 22, 32, 2},
+	}
+	for turn, q := range queries {
+		logits, stats, err := sys.Infer(plan, q, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("turn %d: logits %v\n", turn+1, logits)
+		fmt.Printf("        read %3d KB from flash, %2d shards served from buffer (%d KB cached)\n",
+			stats.BytesRead>>10, stats.CacheHits, sys.Engine.CacheBytes()>>10)
+
+		// Between turns: cache loaded shards bottom-up (§5.5 eviction)
+		// so the next execution skips their IO.
+		if err := sys.Retain(plan); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// After the engagement the app shrinks the buffer back: replan with
+	// a small budget; the engine keeps only what fits.
+	fmt.Println("\nengagement over; buffer can be released or kept per OS pressure")
+	small, err := sys.Plan(target, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cold-start plan without preload buffer: %s (stall %v)\n",
+		small, small.InitialStall.Round(time.Microsecond))
+}

@@ -1,0 +1,54 @@
+// Edgeplanner: a paper-scale planning explorer. Sweeps target latency
+// and preload buffer size on both evaluation platforms for a BERT-base
+// geometry, showing which submodel the two-stage planner assembles,
+// which bitwidths it selects, and the simulated pipeline schedule —
+// the same machinery behind Tables 5–7.
+//
+//	go run ./examples/edgeplanner
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"sti"
+	"sti/internal/acc"
+	"sti/internal/device"
+	"sti/internal/pipeline"
+	"sti/internal/planner"
+)
+
+func main() {
+	cfg := sti.BERTBaseConfig()
+	task := acc.TaskByName("QNLI", cfg.Layers, cfg.Heads)
+	sizer := planner.AnalyticSizer{Params: cfg.ShardParams()}
+
+	for _, dev := range device.Platforms() {
+		fmt.Printf("=== %s ===\n", dev.Name)
+		for _, target := range []time.Duration{150, 200, 400} {
+			for _, preload := range []int64{0, 1 << 20, 5 << 20} {
+				req := planner.NewRequest(dev, cfg, task.Imp, sizer, target*time.Millisecond, preload)
+				p, err := req.Plan()
+				if err != nil {
+					log.Fatal(err)
+				}
+				tl := pipeline.Simulate(dev, pipeline.PlanJobs(p, sizer))
+				fmt.Printf("T=%3dms |S|=%4dKB -> %2dx%-2d acc=%.1f latency=%v stall=%v util(C/IO)=%.0f%%/%.0f%%\n",
+					target, preload>>10, p.Depth, p.Width,
+					task.AccuracySubmodel(p.Slices, p.Bits),
+					tl.Total().Round(time.Millisecond),
+					p.InitialStall.Round(time.Millisecond),
+					100*tl.ComputeUtilization(), 100*tl.IOUtilization())
+			}
+		}
+		// One detailed schedule.
+		req := planner.NewRequest(dev, cfg, task.Imp, sizer, 200*time.Millisecond, 1<<20)
+		p, err := req.Plan()
+		if err != nil {
+			log.Fatal(err)
+		}
+		tl := pipeline.Simulate(dev, pipeline.PlanJobs(p, sizer))
+		fmt.Printf("\npipeline schedule at T=200ms, |S|=1MB:\n%s\n", tl.Gantt().Render(64))
+	}
+}

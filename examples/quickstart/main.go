@@ -1,0 +1,67 @@
+// Quickstart: shard a model onto "flash", plan a pipeline for a target
+// latency, and run one inference through the IO/compute pipeline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"sti"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "sti-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// 1. A model. Real deployments train one (see examples/sentiment);
+	// the quickstart uses deterministic random weights.
+	cfg := sti.TinyConfig()
+	w := sti.NewRandomModel(cfg, 42)
+	fmt.Printf("model: %d layers x %d heads, %d weights per shard\n",
+		cfg.Layers, cfg.Heads, cfg.ShardParams())
+
+	// 2. Preprocess: vertical sharding + Gaussian outlier-aware
+	// quantization into K fidelity versions on disk (§4).
+	man, err := sti.Preprocess(dir, w, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, f := man.TotalBytes()
+	fmt.Printf("store: quantized versions %d KB + full fidelity %d KB on flash\n", q>>10, f>>10)
+
+	// 3. Load on a device and plan for a target latency with a small
+	// preload buffer (§5).
+	sys, err := sti.Load(dir, sti.Odroid(), 1<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := sys.Plan(200*time.Millisecond, 64<<10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan: %s\n", plan)
+	for l := 0; l < plan.Depth; l++ {
+		fmt.Printf("  layer %d: slices %v bits %v preloaded %v\n",
+			l, plan.Slices[l], plan.Bits[l], plan.Preloaded[l])
+	}
+
+	// 4. Warm the preload buffer and run the pipeline.
+	if err := sys.Warm(plan); err != nil {
+		log.Fatal(err)
+	}
+	tokens := []int{1, 17, 23, 42, 99, 2} // [CLS] w w w w [SEP]
+	logits, stats, err := sys.Infer(plan, tokens, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("logits: %v\n", logits)
+	fmt.Printf("stats: read %d KB, %d cache hits, stall %v, total %v\n",
+		stats.BytesRead>>10, stats.CacheHits, stats.Stall.Round(time.Microsecond), stats.Total.Round(time.Microsecond))
+}

@@ -1,0 +1,81 @@
+// Sentiment: the paper's motivating scenario — a note-taking app
+// classifying the sentiment of dictated notes on device. Trains a tiny
+// SST-2-style model with width-elastic fine-tuning, profiles shard
+// importance on the dev set, preprocesses it to flash, and serves
+// interactive queries under a range of target latencies.
+//
+//	go run ./examples/sentiment
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"sti"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "sti-sentiment-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Train a tiny sentiment model (the cloud-side step the paper
+	// assumes; here it takes seconds).
+	w := sti.NewRandomModel(sti.TinyConfig(), 7)
+	opts := sti.DefaultTrainOptions()
+	opts.Logf = func(format string, args ...any) { fmt.Printf("  "+format+"\n", args...) }
+	fmt.Println("fine-tuning tiny SST-2 model (width-elastic):")
+	ds, acc, err := sti.TrainModel(w, "SST-2", opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dev accuracy (full width): %.1f%%, majority baseline %.1f%%\n\n", acc, ds.MajorityBaseline())
+
+	// Preprocess to flash and profile shard importance (§5.2).
+	if _, err := sti.Preprocess(dir, w, nil); err != nil {
+		log.Fatal(err)
+	}
+	sys, err := sti.Load(dir, sti.Odroid(), 1<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("profiling shard importance on the dev set...")
+	sys.Imp = sti.ProfileImportance(w, ds, 2, 32)
+	fmt.Println(sys.Imp.Heatmap())
+
+	// Serve dictated notes under different target latencies.
+	notes := []string{
+		"wonderful heartfelt story with brilliant acting",
+		"tedious bland plot and lifeless cast",
+		"the film was gripping fresh and fun",
+		"dreadful script dull scene and hollow acting",
+	}
+	for _, target := range []time.Duration{150, 200, 400} {
+		plan, err := sys.Plan(target*time.Millisecond, 64<<10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.Warm(plan); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("T=%vms -> submodel %dx%d, preload %d KB\n",
+			target, plan.Depth, plan.Width, plan.PreloadUsed>>10)
+		for _, note := range notes {
+			tokens, mask := ds.Tok.Encode(note, "")
+			logits, stats, err := sys.Infer(plan, tokens, mask)
+			if err != nil {
+				log.Fatal(err)
+			}
+			label := "negative"
+			if logits[1] > logits[0] {
+				label = "positive"
+			}
+			fmt.Printf("  %-50q -> %-8s (read %3dKB, %d hits)\n",
+				note, label, stats.BytesRead>>10, stats.CacheHits)
+		}
+	}
+}

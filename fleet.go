@@ -1,0 +1,126 @@
+package sti
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Fleet manages several expected models at once — the paper's
+// multi-model setting (§2.1: co-running apps invoke separate fine-tuned
+// instances per task; §3.2: "For each expected model, STI plans a
+// separate execution pipeline with separate preload model shards").
+//
+// The fleet owns one total preload-memory budget and splits it across
+// models in proportion to their expected engagement weights, replanning
+// each model's pipeline whenever the budget or membership changes —
+// exactly the replanning rule of §3.2 (only T or |S| changes require
+// replanning).
+type Fleet struct {
+	budget  int64
+	entries map[string]*FleetEntry
+}
+
+// FleetEntry is one managed model with its planning inputs and current
+// plan.
+type FleetEntry struct {
+	System *System
+	Target time.Duration
+	Weight float64 // expected engagement share (relative)
+
+	Budget int64 // preload bytes granted by the last Replan
+	Plan   *Plan
+}
+
+// NewFleet creates a fleet with a total preload budget in bytes.
+func NewFleet(totalPreloadBudget int64) *Fleet {
+	return &Fleet{budget: totalPreloadBudget, entries: make(map[string]*FleetEntry)}
+}
+
+// Add registers a model under a name. Weight must be positive; call
+// Replan afterwards to allocate budgets and build plans.
+func (f *Fleet) Add(name string, sys *System, target time.Duration, weight float64) error {
+	if _, ok := f.entries[name]; ok {
+		return fmt.Errorf("sti: fleet already has model %q", name)
+	}
+	if weight <= 0 {
+		return fmt.Errorf("sti: non-positive weight %v for %q", weight, name)
+	}
+	f.entries[name] = &FleetEntry{System: sys, Target: target, Weight: weight}
+	return nil
+}
+
+// Remove drops a model; its budget is redistributed at the next Replan.
+func (f *Fleet) Remove(name string) {
+	delete(f.entries, name)
+}
+
+// Entry returns the managed entry for a model name.
+func (f *Fleet) Entry(name string) (*FleetEntry, bool) {
+	e, ok := f.entries[name]
+	return e, ok
+}
+
+// Names lists managed models in a stable order.
+func (f *Fleet) Names() []string {
+	names := make([]string, 0, len(f.entries))
+	for n := range f.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SetBudget changes the fleet-wide preload budget (e.g. on OS memory
+// pressure) and replans every pipeline.
+func (f *Fleet) SetBudget(budget int64) error {
+	f.budget = budget
+	return f.Replan()
+}
+
+// Replan splits the budget across models proportionally to their
+// weights, plans each model's pipeline, resizes each engine's buffer,
+// and warms it.
+func (f *Fleet) Replan() error {
+	var totalWeight float64
+	for _, e := range f.entries {
+		totalWeight += e.Weight
+	}
+	for _, name := range f.Names() {
+		e := f.entries[name]
+		e.Budget = int64(float64(f.budget) * e.Weight / totalWeight)
+		plan, err := e.System.Plan(e.Target, e.Budget)
+		if err != nil {
+			return fmt.Errorf("sti: replanning %q: %w", name, err)
+		}
+		e.Plan = plan
+		e.System.Engine.SetCacheBudget(e.Budget)
+		if err := e.System.Warm(plan); err != nil {
+			return fmt.Errorf("sti: warming %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Infer runs one pipelined inference on the named model using its
+// current plan.
+func (f *Fleet) Infer(name string, tokens []int, mask []bool) ([]float32, *ExecStats, error) {
+	e, ok := f.entries[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("sti: fleet has no model %q", name)
+	}
+	if e.Plan == nil {
+		return nil, nil, fmt.Errorf("sti: model %q not planned; call Replan", name)
+	}
+	return e.System.Infer(e.Plan, tokens, mask)
+}
+
+// PreloadBytes reports the total preload memory currently held across
+// all managed engines.
+func (f *Fleet) PreloadBytes() int64 {
+	var total int64
+	for _, e := range f.entries {
+		total += e.System.Engine.CacheBytes()
+	}
+	return total
+}

@@ -1,0 +1,119 @@
+package sti_test
+
+import (
+	"testing"
+	"time"
+
+	"sti"
+)
+
+func fleetSystem(t *testing.T, seed int64) *sti.System {
+	t.Helper()
+	dir := t.TempDir()
+	w := sti.NewRandomModel(sti.TinyConfig(), seed)
+	if _, err := sti.Preprocess(dir, w, []int{2, 4, 6}); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := sti.Load(dir, sti.Odroid(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestFleetSplitsBudgetByWeight(t *testing.T) {
+	f := sti.NewFleet(300 << 10)
+	if err := f.Add("sentiment", fleetSystem(t, 1), 200*time.Millisecond, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Add("nextword", fleetSystem(t, 2), 150*time.Millisecond, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Replan(); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := f.Entry("sentiment")
+	b, _ := f.Entry("nextword")
+	if a.Budget != 200<<10 || b.Budget != 100<<10 {
+		t.Fatalf("budget split %d/%d, want 2:1 of 300KB", a.Budget, b.Budget)
+	}
+	if a.Plan == nil || b.Plan == nil {
+		t.Fatal("models not planned")
+	}
+	if a.Plan.PreloadUsed > a.Budget || b.Plan.PreloadUsed > b.Budget {
+		t.Fatal("plans exceed granted budgets")
+	}
+}
+
+func TestFleetInferBothModels(t *testing.T) {
+	f := sti.NewFleet(200 << 10)
+	if err := f.Add("m1", fleetSystem(t, 3), 200*time.Millisecond, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Add("m2", fleetSystem(t, 4), 200*time.Millisecond, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Replan(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range f.Names() {
+		logits, stats, err := f.Infer(name, []int{1, 5, 6, 2}, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(logits) != sti.TinyConfig().Classes || stats == nil {
+			t.Fatalf("%s: bad inference result", name)
+		}
+	}
+	if _, _, err := f.Infer("absent", []int{1}, nil); err == nil {
+		t.Fatal("unknown model must error")
+	}
+}
+
+func TestFleetMemoryPressureShrink(t *testing.T) {
+	f := sti.NewFleet(400 << 10)
+	if err := f.Add("m", fleetSystem(t, 5), 200*time.Millisecond, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Replan(); err != nil {
+		t.Fatal(err)
+	}
+	before := f.PreloadBytes()
+	if before == 0 {
+		t.Fatal("nothing warmed at the large budget")
+	}
+	// OS pressure: shrink well below current holdings; held bytes must
+	// drop under the new budget.
+	newBudget := before / 2
+	if err := f.SetBudget(newBudget); err != nil {
+		t.Fatal(err)
+	}
+	if f.PreloadBytes() > newBudget {
+		t.Fatalf("fleet holds %d bytes over the reduced budget %d", f.PreloadBytes(), newBudget)
+	}
+	// Inference still works with the smaller plan.
+	if _, _, err := f.Infer("m", []int{1, 2, 3}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFleetValidation(t *testing.T) {
+	f := sti.NewFleet(1 << 20)
+	sys := fleetSystem(t, 6)
+	if err := f.Add("dup", sys, time.Second, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Add("dup", sys, time.Second, 1); err == nil {
+		t.Fatal("duplicate name must error")
+	}
+	if err := f.Add("bad", sys, time.Second, 0); err == nil {
+		t.Fatal("zero weight must error")
+	}
+	if _, _, err := f.Infer("dup", []int{1}, nil); err == nil {
+		t.Fatal("inference before Replan must error")
+	}
+	f.Remove("dup")
+	if _, ok := f.Entry("dup"); ok {
+		t.Fatal("Remove did not remove")
+	}
+}

@@ -1,0 +1,276 @@
+package acc
+
+import (
+	"math"
+	"testing"
+
+	"sti/internal/importance"
+)
+
+func fullBits(layers, slices, b int) [][]int {
+	m := make([][]int, layers)
+	for l := range m {
+		m[l] = make([]int, slices)
+		for s := range m[l] {
+			m[l][s] = b
+		}
+	}
+	return m
+}
+
+// submodel5x3 returns a 5×3 submodel bit matrix at the given bitwidth,
+// using each layer's top-3 important slices (as the planner would).
+func submodel5x3(t *Task, b int) [][]int {
+	m := fullBits(t.Layers, t.Slices, 0)
+	for l := 0; l < 5; l++ {
+		for _, s := range t.Imp.TopSlices(l, 3) {
+			m[l][s] = b
+		}
+	}
+	return m
+}
+
+func TestFullModelReachesGold(t *testing.T) {
+	for _, task := range Tasks(12, 12) {
+		got := task.AccuracyWithBits(fullBits(12, 12, 32))
+		if math.Abs(got-task.Gold) > 1e-9 {
+			t.Errorf("%s: full model = %.2f, gold %.2f", task.Name, got, task.Gold)
+		}
+	}
+}
+
+func TestEmptyModelAtFloor(t *testing.T) {
+	for _, task := range Tasks(12, 12) {
+		got := task.AccuracyWithBits(fullBits(12, 12, 0))
+		if math.Abs(got-task.Floor) > 1e-9 {
+			t.Errorf("%s: empty model = %.2f, floor %.2f", task.Name, got, task.Floor)
+		}
+	}
+}
+
+func TestAccuracyMonotoneInBits(t *testing.T) {
+	for _, task := range Tasks(12, 12) {
+		prev := 0.0
+		for _, b := range []int{2, 3, 4, 5, 6, 32} {
+			got := task.AccuracyWithBits(fullBits(12, 12, b))
+			if got <= prev {
+				t.Fatalf("%s: accuracy not increasing at %d bits: %.3f <= %.3f", task.Name, b, got, prev)
+			}
+			prev = got
+		}
+	}
+}
+
+func TestAccuracyMonotoneInDepthAndWidth(t *testing.T) {
+	task := TaskByName("SST-2", 12, 12)
+	accFor := func(n, m int) float64 {
+		bits := fullBits(12, 12, 0)
+		for l := 0; l < n; l++ {
+			for _, s := range task.Imp.TopSlices(l, m) {
+				bits[l][s] = 6
+			}
+		}
+		return task.AccuracyWithBits(bits)
+	}
+	for n := 1; n < 12; n++ {
+		if accFor(n+1, 6) <= accFor(n, 6) {
+			t.Fatalf("accuracy not increasing in depth at n=%d", n)
+		}
+	}
+	for m := 1; m < 12; m++ {
+		if accFor(6, m+1) <= accFor(6, m) {
+			t.Fatalf("accuracy not increasing in width at m=%d", m)
+		}
+	}
+}
+
+func TestDepthDiminishingReturns(t *testing.T) {
+	// §7.4: accuracy sees diminishing returns as depth grows.
+	task := TaskByName("SST-2", 12, 12)
+	accFor := func(n int) float64 {
+		bits := fullBits(12, 12, 0)
+		for l := 0; l < n; l++ {
+			for s := 0; s < 12; s++ {
+				bits[l][s] = 32
+			}
+		}
+		return task.AccuracyWithBits(bits)
+	}
+	gainEarly := accFor(4) - accFor(2)
+	gainLate := accFor(12) - accFor(10)
+	if gainLate >= gainEarly {
+		t.Fatalf("no diminishing returns: early gain %.2f, late gain %.2f", gainEarly, gainLate)
+	}
+}
+
+func TestTaskSensitivityOrdering(t *testing.T) {
+	// QNLI and QQP must lose much more at 2 bits than SST-2 (Table 7:
+	// QNLI/QQP sit near floor for a 2-bit 5×3 submodel).
+	loss := func(name string) float64 {
+		task := TaskByName(name, 12, 12)
+		full := task.AccuracyWithBits(fullBits(12, 12, 32))
+		low := task.AccuracyWithBits(fullBits(12, 12, 2))
+		return (full - low) / (task.Gold - task.Floor)
+	}
+	if loss("QNLI") <= loss("SST-2") || loss("QQP") <= loss("SST-2") {
+		t.Fatalf("sensitivity ordering wrong: SST-2 %.3f QNLI %.3f QQP %.3f",
+			loss("SST-2"), loss("QNLI"), loss("QQP"))
+	}
+}
+
+func TestProfilingRecoversImportanceRanking(t *testing.T) {
+	// Running the paper's profiling procedure against the surface must
+	// produce a ranking strongly correlated with the true contribution
+	// weights — the planner's core assumption.
+	task := TaskByName("RTE", 12, 12)
+	profiled := importance.Profile(task, 12, 12, 2, 32)
+	rank := profiled.Ranked()
+	// The top profiled shard must be among the truly heaviest shards.
+	top := rank[0]
+	var heavier int
+	for l := 0; l < 12; l++ {
+		for s := 0; s < 12; s++ {
+			if task.weights[l][s] > task.weights[top.Layer][top.Slice] {
+				heavier++
+			}
+		}
+	}
+	if heavier > 3 {
+		t.Fatalf("top profiled shard is only rank %d by true weight", heavier+1)
+	}
+}
+
+func TestRTEBottomHeavy(t *testing.T) {
+	// Figure 5b: RTE importance concentrates on layers 0–5.
+	task := TaskByName("RTE", 12, 12)
+	var bottom, top float64
+	for l := 0; l < 6; l++ {
+		for s := 0; s < 12; s++ {
+			bottom += task.weights[l][s]
+			top += task.weights[l+6][s]
+		}
+	}
+	if bottom < 2*top {
+		t.Fatalf("RTE weights not bottom-heavy: bottom %.3f vs top %.3f", bottom, top)
+	}
+}
+
+func TestCalibrationAnchors(t *testing.T) {
+	// Loose anchors against Table 7's "Ours" row trend: a 5×3 submodel
+	// of 2-bit shards sits well below gold; SST-2 retains most of its
+	// range while QNLI/QQP sit near their floors.
+	for _, c := range []struct {
+		name   string
+		lo, hi float64 // acceptable accuracy band for 5×3 @ 2 bits
+	}{
+		{"SST-2", 70, 85},
+		{"RTE", 47, 54},
+		{"QNLI", 50, 58},
+		{"QQP", 31, 50},
+	} {
+		task := TaskByName(c.name, 12, 12)
+		got := task.AccuracyWithBits(submodel5x3(task, 2))
+		t.Logf("%s 5x3@2bit = %.1f (paper Table 7 base around %v)", c.name, got, c)
+		if got < c.lo || got > c.hi {
+			t.Errorf("%s: 5×3@2bit = %.1f outside [%v, %v]", c.name, got, c.lo, c.hi)
+		}
+	}
+}
+
+func TestCalibrationLogSurface(t *testing.T) {
+	// Informational: print the surface at a few operating points so
+	// EXPERIMENTS.md numbers can be cross-checked.
+	for _, task := range Tasks(12, 12) {
+		t.Logf("%-6s floor=%.1f gold=%.1f  12x12@2=%.1f  12x12@6=%.1f  5x3@2=%.1f  5x3@6=%.1f  2x12@32=%.1f  6x4@32=%.1f",
+			task.Name, task.Floor, task.Gold,
+			task.AccuracyWithBits(fullBits(12, 12, 2)),
+			task.AccuracyWithBits(fullBits(12, 12, 6)),
+			task.AccuracyWithBits(submodel5x3(task, 2)),
+			task.AccuracyWithBits(submodel5x3(task, 6)),
+			accNM(task, 2, 12, 32),
+			accNM(task, 6, 4, 32))
+	}
+}
+
+func accNM(task *Task, n, m, b int) float64 {
+	bits := fullBits(task.Layers, task.Slices, 0)
+	for l := 0; l < n; l++ {
+		for _, s := range task.Imp.TopSlices(l, m) {
+			bits[l][s] = b
+		}
+	}
+	return task.AccuracyWithBits(bits)
+}
+
+func TestAccuracySubmodelMatchesExpanded(t *testing.T) {
+	task := TaskByName("QQP", 12, 12)
+	slices := [][]int{{0, 3, 7}, {1, 2, 11}}
+	bits := [][]int{{2, 6, 32}, {4, 4, 4}}
+	got := task.AccuracySubmodel(slices, bits)
+	full := fullBits(12, 12, 0)
+	full[0][0], full[0][3], full[0][7] = 2, 6, 32
+	full[1][1], full[1][2], full[1][11] = 4, 4, 4
+	want := task.AccuracyWithBits(full)
+	if got != want {
+		t.Fatalf("AccuracySubmodel %.4f != expanded %.4f", got, want)
+	}
+}
+
+func TestFidelityUnknownBitsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TaskByName("SST-2", 12, 12).Fidelity(7)
+}
+
+func TestCapacityValidation(t *testing.T) {
+	task := TaskByName("SST-2", 12, 12)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong layer count")
+		}
+	}()
+	task.Capacity(make([][]int, 3))
+}
+
+func TestCapacityRowValidation(t *testing.T) {
+	task := TaskByName("SST-2", 12, 12)
+	bits := fullBits(12, 12, 2)
+	bits[4] = bits[4][:5]
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong slice count")
+		}
+	}()
+	task.Capacity(bits)
+}
+
+func TestTaskByNameUnknown(t *testing.T) {
+	if TaskByName("MNLI", 12, 12) != nil {
+		t.Fatal("unknown task must be nil")
+	}
+}
+
+func TestFidelityMonotoneAndClamped(t *testing.T) {
+	for _, task := range Tasks(12, 12) {
+		prev := -1.0
+		for _, b := range []int{0, 1, 2, 3, 4, 5, 6, 8, 32} {
+			f := task.Fidelity(b)
+			if f < 0 || f > 1 {
+				t.Fatalf("%s: fidelity(%d) = %v outside [0,1]", task.Name, b, f)
+			}
+			if f < prev {
+				t.Fatalf("%s: fidelity not monotone at %d bits", task.Name, b)
+			}
+			prev = f
+		}
+		if task.Fidelity(32) != 1 {
+			t.Fatalf("%s: full fidelity must be 1", task.Name)
+		}
+		if task.Fidelity(0) != 0 {
+			t.Fatalf("%s: unexecuted shard must contribute 0", task.Name)
+		}
+	}
+}

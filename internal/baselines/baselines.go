@@ -1,0 +1,263 @@
+// Package baselines implements the paper's comparison systems
+// (Table 4) over the same device/pipeline/accuracy substrates STI uses:
+//
+//   - Load&Exec: load the whole submodel (32-bit), then execute —
+//     no pipelining, no quantization, no preload.
+//   - StdPL-X: the standard layerwise load/execute pipeline with one
+//     uniform bitwidth X for every parameter.
+//   - PreloadModel-X: the whole model already in memory at bitwidth X —
+//     no IO at all, memory cost of the full N×M model.
+//   - Ours / Ours-0MB: STI's two-stage planner with and without the
+//     preload buffer.
+//
+// Every method picks its best submodel with the compute-planning
+// algorithm of §5.3 under its own feasibility rule (total delay for
+// Load&Exec, pipeline delay for StdPL, compute delay for PreloadModel
+// and STI), as the paper describes for each baseline.
+package baselines
+
+import (
+	"fmt"
+	"time"
+
+	"sti/internal/acc"
+	"sti/internal/device"
+	"sti/internal/model"
+	"sti/internal/pipeline"
+	"sti/internal/planner"
+	"sti/internal/shard"
+)
+
+// Outcome is one (method, platform, task, T) evaluation row.
+type Outcome struct {
+	Method string
+	Depth  int
+	Width  int
+
+	Latency     time.Duration // simulated end-to-end inference delay
+	MemoryBytes int64         // resident parameter memory the method holds
+	Accuracy    float64       // percent, from the task surface
+
+	Timeline *pipeline.Timeline
+	Plan     *planner.Plan // non-nil for STI variants
+}
+
+func (o Outcome) String() string {
+	return fmt.Sprintf("%-16s %2dx%-2d acc=%5.1f lat=%7v mem=%s",
+		o.Method, o.Depth, o.Width, o.Accuracy, o.Latency.Round(time.Millisecond), FormatBytes(o.MemoryBytes))
+}
+
+// FormatBytes renders a byte count in a compact human unit.
+func FormatBytes(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// Setup bundles what every method needs.
+type Setup struct {
+	Device *device.Profile
+	Cfg    model.Config
+	Task   *acc.Task
+	Sizer  planner.Sizer
+	Target time.Duration
+	SeqLen int
+}
+
+// NewSetup builds a paper-scale setup for one (platform, task, target).
+func NewSetup(dev *device.Profile, task *acc.Task, target time.Duration) Setup {
+	cfg := model.BERTBase()
+	return Setup{
+		Device: dev, Cfg: cfg, Task: task,
+		Sizer:  planner.AnalyticSizer{Params: cfg.ShardParams()},
+		Target: target, SeqLen: 128,
+	}
+}
+
+// accuracyUniform scores an n×m submodel with one bitwidth everywhere,
+// using each layer's most important slices (generous to baselines).
+func (s Setup) accuracyUniform(n, m, bits int) float64 {
+	slices := make([][]int, n)
+	bb := make([][]int, n)
+	for l := 0; l < n; l++ {
+		slices[l] = s.Task.Imp.TopSlices(l, m)
+		bb[l] = make([]int, len(slices[l]))
+		for j := range bb[l] {
+			bb[l][j] = bits
+		}
+	}
+	return s.Task.AccuracySubmodel(slices, bb)
+}
+
+// layerBytes returns the IO size of one m-wide layer at uniform bits.
+func (s Setup) layerBytes(m, bits int) int {
+	return m * s.Sizer.ShardSize(0, 0, bits)
+}
+
+func (s Setup) tcomp(m int) time.Duration {
+	return s.Device.TComp(s.SeqLen, m, s.Device.PeakFreq())
+}
+
+// searchSubmodel enumerates (n, m) like §5.3 but with an arbitrary
+// feasibility latency: largest shard count wins, near-ties prefer
+// deeper.
+func (s Setup) searchSubmodel(latency func(n, m int) time.Duration) (int, int) {
+	type cand struct{ n, m int }
+	var cands []cand
+	for m := 1; m <= s.Cfg.Heads; m++ {
+		// Depth is monotone in latency; binary search the largest n.
+		lo, hi := 0, s.Cfg.Layers
+		for lo < hi {
+			mid := (lo + hi + 1) / 2
+			if latency(mid, m) <= s.Target {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		if lo >= 1 {
+			cands = append(cands, cand{lo, m})
+		}
+	}
+	if len(cands) == 0 {
+		return 1, 1
+	}
+	best := 0
+	for _, c := range cands {
+		if c.n*c.m > best {
+			best = c.n * c.m
+		}
+	}
+	sel := cand{}
+	for _, c := range cands {
+		if float64(c.n*c.m) < float64(best)*0.93 {
+			continue
+		}
+		if sel.n == 0 || c.n > sel.n || (c.n == sel.n && c.m > sel.m) {
+			sel = c
+		}
+	}
+	return sel.n, sel.m
+}
+
+// LoadExec evaluates the load-before-execute baseline.
+func LoadExec(s Setup) Outcome {
+	latency := func(n, m int) time.Duration {
+		io := time.Duration(n) * s.Device.TIO(s.layerBytes(m, shard.FullBits))
+		return io + time.Duration(n)*s.tcomp(m)
+	}
+	n, m := s.searchSubmodel(latency)
+	jobs := make([]pipeline.LayerJob, n)
+	for l := range jobs {
+		jobs[l] = pipeline.LayerJob{IOBytes: s.layerBytes(m, shard.FullBits), Compute: s.tcomp(m)}
+	}
+	tl := pipeline.SimulateSequential(s.Device, jobs)
+	return Outcome{
+		Method: "Load&Exec", Depth: n, Width: m,
+		Latency: tl.Total(), Timeline: tl,
+		// Holds the whole loaded submodel plus nothing else.
+		MemoryBytes: int64(n) * int64(s.layerBytes(m, shard.FullBits)),
+		Accuracy:    s.accuracyUniform(n, m, shard.FullBits),
+	}
+}
+
+// StdPL evaluates the standard layerwise pipeline with uniform
+// bitwidth (32 = "full").
+func StdPL(s Setup, bits int) Outcome {
+	latency := func(n, m int) time.Duration {
+		jobs := make([]pipeline.LayerJob, n)
+		for l := range jobs {
+			jobs[l] = pipeline.LayerJob{IOBytes: s.layerBytes(m, bits), Compute: s.tcomp(m)}
+		}
+		return pipeline.Simulate(s.Device, jobs).Total()
+	}
+	n, m := s.searchSubmodel(latency)
+	jobs := make([]pipeline.LayerJob, n)
+	for l := range jobs {
+		jobs[l] = pipeline.LayerJob{IOBytes: s.layerBytes(m, bits), Compute: s.tcomp(m)}
+	}
+	tl := pipeline.Simulate(s.Device, jobs)
+	name := fmt.Sprintf("StdPL-%dbit", bits)
+	if bits == shard.FullBits {
+		name = "StdPL-full"
+	}
+	return Outcome{
+		Method: name, Depth: n, Width: m,
+		Latency: tl.Total(), Timeline: tl,
+		// Working set: the layer being computed plus the one in flight.
+		MemoryBytes: 2 * int64(s.layerBytes(m, bits)),
+		Accuracy:    s.accuracyUniform(n, m, bits),
+	}
+}
+
+// PreloadModel evaluates the hold-whole-model-in-memory baseline at a
+// uniform bitwidth.
+func PreloadModel(s Setup, bits int) Outcome {
+	latency := func(n, m int) time.Duration { return time.Duration(n) * s.tcomp(m) }
+	n, m := s.searchSubmodel(latency)
+	jobs := make([]pipeline.LayerJob, n)
+	for l := range jobs {
+		jobs[l] = pipeline.LayerJob{IOBytes: 0, Compute: s.tcomp(m)}
+	}
+	tl := pipeline.Simulate(s.Device, jobs)
+	name := fmt.Sprintf("Preload-%dbit", bits)
+	if bits == shard.FullBits {
+		name = "Preload-full"
+	}
+	return Outcome{
+		Method: name, Depth: n, Width: m,
+		Latency: tl.Total(), Timeline: tl,
+		// The whole N×M model is resident in memory at this bitwidth.
+		MemoryBytes: int64(s.Cfg.Layers) * int64(s.layerBytes(s.Cfg.Heads, bits)),
+		Accuracy:    s.accuracyUniform(n, m, bits),
+	}
+}
+
+// STI evaluates our system with the given preload buffer budget.
+func STI(s Setup, preloadBudget int64) (Outcome, error) {
+	req := planner.NewRequest(s.Device, s.Cfg, s.Task.Imp, s.Sizer, s.Target, preloadBudget)
+	req.SeqLen = s.SeqLen
+	p, err := req.Plan()
+	if err != nil {
+		return Outcome{}, err
+	}
+	tl := pipeline.Simulate(s.Device, pipeline.PlanJobs(p, s.Sizer))
+	name := "Ours"
+	if preloadBudget == 0 {
+		name = "Ours-0MB"
+	}
+	return Outcome{
+		Method: name, Depth: p.Depth, Width: p.Width,
+		Latency: tl.Total(), Timeline: tl, Plan: p,
+		MemoryBytes: p.PreloadUsed,
+		Accuracy:    s.Task.AccuracySubmodel(p.Slices, p.Bits),
+	}, nil
+}
+
+// All runs every method of Table 4 for one setup; preloadBudget applies
+// to the "Ours" row.
+func All(s Setup, preloadBudget int64) ([]Outcome, error) {
+	ours, err := STI(s, preloadBudget)
+	if err != nil {
+		return nil, err
+	}
+	ours0, err := STI(s, 0)
+	if err != nil {
+		return nil, err
+	}
+	return []Outcome{
+		LoadExec(s),
+		StdPL(s, shard.FullBits),
+		StdPL(s, 2),
+		StdPL(s, 6),
+		PreloadModel(s, shard.FullBits),
+		PreloadModel(s, 6),
+		ours0,
+		ours,
+	}, nil
+}

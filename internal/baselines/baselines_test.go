@@ -1,0 +1,230 @@
+package baselines
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sti/internal/acc"
+	"sti/internal/device"
+)
+
+func setup(t *testing.T, devName, task string, target time.Duration) Setup {
+	t.Helper()
+	var dev *device.Profile
+	for _, d := range device.Platforms() {
+		if strings.Contains(d.Name, devName) {
+			dev = d
+		}
+	}
+	if dev == nil {
+		t.Fatalf("no device %q", devName)
+	}
+	ts := acc.TaskByName(task, 12, 12)
+	if ts == nil {
+		t.Fatalf("no task %q", task)
+	}
+	return NewSetup(dev, ts, target)
+}
+
+func TestAllMethodsMeetOrExplainLatency(t *testing.T) {
+	for _, devName := range []string{"Odroid", "Jetson"} {
+		for _, target := range []time.Duration{150, 200, 400} {
+			s := setup(t, devName, "SST-2", target*time.Millisecond)
+			outs, err := All(s, 1<<20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(outs) != 8 {
+				t.Fatalf("want 8 methods, got %d", len(outs))
+			}
+			for _, o := range outs {
+				// Everyone except cold-start STI must fit the target;
+				// STI may exceed only by its compulsory stall.
+				slack := time.Duration(0)
+				if o.Plan != nil {
+					slack = o.Plan.InitialStall + time.Millisecond
+				}
+				if o.Depth > 1 && o.Latency > s.Target+slack {
+					t.Errorf("%s %s T=%v: latency %v exceeds target", devName, o.Method, target, o.Latency)
+				}
+			}
+		}
+	}
+}
+
+func TestSTIBeatsPipelineBaselines(t *testing.T) {
+	// Headline result (§7.2, Table 5 caption: "ours are the best or the
+	// closest to the best"): per cell, STI must be within striking
+	// distance of every pipeline baseline; averaged over all cells it
+	// must be strictly better than each of them.
+	sums := map[string]float64{}
+	cells := 0
+	for _, devName := range []string{"Odroid", "Jetson"} {
+		for _, task := range []string{"SST-2", "RTE", "QNLI", "QQP"} {
+			for _, target := range []time.Duration{150, 200, 400} {
+				s := setup(t, devName, task, target*time.Millisecond)
+				preload := int64(1 << 20)
+				if devName == "Jetson" {
+					preload = 5 << 20
+				}
+				outs, err := All(s, preload)
+				if err != nil {
+					t.Fatal(err)
+				}
+				byName := map[string]Outcome{}
+				for _, o := range outs {
+					byName[o.Method] = o
+					sums[o.Method] += o.Accuracy
+				}
+				cells++
+				ours := byName["Ours"]
+				for _, base := range []string{"Load&Exec", "StdPL-full", "StdPL-2bit", "StdPL-6bit"} {
+					if ours.Accuracy < byName[base].Accuracy-2.5 {
+						t.Errorf("%s/%s T=%v: Ours %.1f not closest-to-best vs %s %.1f",
+							devName, task, target, ours.Accuracy, base, byName[base].Accuracy)
+					}
+				}
+			}
+		}
+	}
+	oursAvg := sums["Ours"] / float64(cells)
+	for _, base := range []string{"Load&Exec", "StdPL-full", "StdPL-2bit", "StdPL-6bit"} {
+		gain := oursAvg - sums[base]/float64(cells)
+		t.Logf("average gain of Ours over %s: %+.2f pp", base, gain)
+		if gain <= 1.0 {
+			t.Errorf("Ours must beat %s on average (paper: +3.15 to +21.05 pp), got %+.2f", base, gain)
+		}
+	}
+}
+
+func TestSTIMatchesPreloadModelWithTinyMemory(t *testing.T) {
+	// §7.2: versus holding the whole model, STI loses ≲1pp accuracy
+	// while using 1–2 orders of magnitude less memory.
+	for _, devName := range []string{"Odroid", "Jetson"} {
+		s := setup(t, devName, "SST-2", 200*time.Millisecond)
+		preload := int64(1 << 20)
+		if devName == "Jetson" {
+			preload = 5 << 20
+		}
+		outs, err := All(s, preload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byName := map[string]Outcome{}
+		for _, o := range outs {
+			byName[o.Method] = o
+		}
+		ours, pre := byName["Ours"], byName["Preload-full"]
+		if ours.Accuracy < pre.Accuracy-2.0 {
+			t.Errorf("%s: Ours %.1f much below Preload-full %.1f", devName, ours.Accuracy, pre.Accuracy)
+		}
+		if ours.MemoryBytes*20 > pre.MemoryBytes {
+			t.Errorf("%s: memory reduction only %.0f×, paper reports 1-2 orders of magnitude",
+				devName, float64(pre.MemoryBytes)/float64(ours.MemoryBytes))
+		}
+	}
+}
+
+func TestLoadExecBarelyUsableAtLowLatency(t *testing.T) {
+	// §7.2: Load&Exec and StdPL-full are "barely usable" under
+	// T ≤ 200 ms — they fit almost no submodel.
+	s := setup(t, "Odroid", "SST-2", 200*time.Millisecond)
+	le := LoadExec(s)
+	if le.Depth*le.Width > 8 {
+		t.Fatalf("Load&Exec fit %dx%d; IO should leave room for almost nothing", le.Depth, le.Width)
+	}
+	ours, err := STI(s, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ours.Depth*ours.Width < 3*le.Depth*le.Width {
+		t.Fatalf("STI FLOPs advantage too small: %d vs %d shards",
+			ours.Depth*ours.Width, le.Depth*le.Width)
+	}
+}
+
+func TestPreloadModelMemoryScale(t *testing.T) {
+	s := setup(t, "Odroid", "QQP", 200*time.Millisecond)
+	full := PreloadModel(s, 32)
+	// 12×12×2.36 MB ≈ 340 MB.
+	if full.MemoryBytes < 330e6 || full.MemoryBytes > 360e6 {
+		t.Fatalf("Preload-full memory %s, want ≈340MB", FormatBytes(full.MemoryBytes))
+	}
+	six := PreloadModel(s, 6)
+	if six.MemoryBytes >= full.MemoryBytes/4 {
+		t.Fatalf("6-bit model not ≈5× smaller: %s vs %s",
+			FormatBytes(six.MemoryBytes), FormatBytes(full.MemoryBytes))
+	}
+	// No IO: latency equals pure compute.
+	if full.Timeline.IOBusy() != 0 {
+		t.Fatal("PreloadModel must not do IO")
+	}
+}
+
+func TestStdPLQuantizationHelps(t *testing.T) {
+	// Lower bitwidth shrinks IO, so StdPL-2bit must fit at least as
+	// many shards as StdPL-full.
+	s := setup(t, "Odroid", "SST-2", 200*time.Millisecond)
+	full := StdPL(s, 32)
+	two := StdPL(s, 2)
+	if two.Depth*two.Width < full.Depth*full.Width {
+		t.Fatalf("StdPL-2bit %d shards < StdPL-full %d", two.Depth*two.Width, full.Depth*full.Width)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	s := setup(t, "Odroid", "SST-2", 200*time.Millisecond)
+	o := LoadExec(s)
+	if !strings.Contains(o.String(), "Load&Exec") {
+		t.Fatalf("Outcome.String = %q", o.String())
+	}
+	if FormatBytes(512) != "512B" || FormatBytes(2048) != "2.0KB" || FormatBytes(3<<20) != "3.0MB" {
+		t.Fatal("FormatBytes broken")
+	}
+}
+
+func TestOursPreloadBeatsOursCold(t *testing.T) {
+	// Table 5: Ours ≥ Ours-0MB in every cell (the preload buffer only
+	// adds bonus IO).
+	for _, devName := range []string{"Odroid", "Jetson"} {
+		for _, task := range []string{"SST-2", "RTE", "QNLI", "QQP"} {
+			for _, target := range []time.Duration{150, 200, 400} {
+				s := setup(t, devName, task, target*time.Millisecond)
+				ours, err := STI(s, 1<<20)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cold, err := STI(s, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ours.Accuracy < cold.Accuracy-1e-9 {
+					t.Errorf("%s/%s T=%v: Ours %.1f below Ours-0MB %.1f",
+						devName, task, target, ours.Accuracy, cold.Accuracy)
+				}
+			}
+		}
+	}
+}
+
+func TestSTIAlwaysRunsLargestSubmodel(t *testing.T) {
+	// Table 6: STI's submodel FLOPs must match PreloadModel's (both are
+	// compute-bound) and exceed every IO-bound baseline's.
+	for _, devName := range []string{"Odroid", "Jetson"} {
+		for _, target := range []time.Duration{150, 200, 400} {
+			s := setup(t, devName, "SST-2", target*time.Millisecond)
+			ours, err := STI(s, 1<<20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oursShards := ours.Depth * ours.Width
+			for _, o := range []Outcome{LoadExec(s), StdPL(s, 32), StdPL(s, 2), StdPL(s, 6)} {
+				if o.Depth*o.Width > oursShards {
+					t.Errorf("%s T=%v: %s runs %dx%d > Ours %dx%d",
+						devName, target, o.Method, o.Depth, o.Width, ours.Depth, ours.Width)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Package bitpack packs and unpacks streams of k-bit unsigned integers
+// (k = 1..8) into byte slices. It is the storage codec beneath
+// internal/quant: a quantized shard stores each weight as a k-bit index
+// into its centroid dictionary, so packing density directly determines
+// shard IO time in the pipeline.
+//
+// Values are packed little-endian within a growing bit cursor: value i
+// occupies bits [i*k, (i+1)*k) of the output, where bit b of the stream
+// lives at byte b/8, bit position b%8. The format is self-contained given
+// (k, count).
+package bitpack
+
+import "fmt"
+
+// PackedLen returns the number of bytes needed to store count values of
+// width bits each.
+func PackedLen(count, bits int) int {
+	return (count*bits + 7) / 8
+}
+
+// Pack encodes values as a bit-packed byte slice using the given width.
+// Every value must fit in width bits; Pack panics otherwise, since an
+// out-of-range index indicates a quantizer bug rather than bad input
+// data.
+func Pack(values []uint8, bits int) []byte {
+	if bits < 1 || bits > 8 {
+		panic(fmt.Sprintf("bitpack: unsupported width %d", bits))
+	}
+	limit := uint8(1)<<bits - 1
+	if bits == 8 {
+		limit = 0xFF
+	}
+	out := make([]byte, PackedLen(len(values), bits))
+	bitPos := 0
+	for _, v := range values {
+		if v > limit {
+			panic(fmt.Sprintf("bitpack: value %d exceeds %d bits", v, bits))
+		}
+		byteIdx := bitPos >> 3
+		shift := bitPos & 7
+		out[byteIdx] |= v << shift
+		if spill := shift + bits - 8; spill > 0 {
+			out[byteIdx+1] |= v >> (bits - spill)
+		}
+		bitPos += bits
+	}
+	return out
+}
+
+// Unpack decodes count values of the given width from packed. It is the
+// inverse of Pack. Unpack panics if packed is too short, which indicates
+// a corrupted shard file.
+func Unpack(packed []byte, count, bits int) []uint8 {
+	if bits < 1 || bits > 8 {
+		panic(fmt.Sprintf("bitpack: unsupported width %d", bits))
+	}
+	if need := PackedLen(count, bits); len(packed) < need {
+		panic(fmt.Sprintf("bitpack: need %d bytes for %d×%d-bit, have %d", need, count, bits, len(packed)))
+	}
+	mask := uint16(1)<<bits - 1
+	out := make([]uint8, count)
+	bitPos := 0
+	for i := 0; i < count; i++ {
+		byteIdx := bitPos >> 3
+		shift := bitPos & 7
+		v := uint16(packed[byteIdx]) >> shift
+		if shift+bits > 8 {
+			v |= uint16(packed[byteIdx+1]) << (8 - shift)
+		}
+		out[i] = uint8(v & mask)
+		bitPos += bits
+	}
+	return out
+}
+
+// UnpackInto decodes count values into dst (which must have length ≥
+// count) and returns dst[:count]. It lets the pipeline's decompression
+// stage reuse a scratch buffer instead of allocating per layer.
+func UnpackInto(dst []uint8, packed []byte, count, bits int) []uint8 {
+	if len(dst) < count {
+		panic("bitpack: UnpackInto dst too short")
+	}
+	if bits < 1 || bits > 8 {
+		panic(fmt.Sprintf("bitpack: unsupported width %d", bits))
+	}
+	if need := PackedLen(count, bits); len(packed) < need {
+		panic("bitpack: packed too short")
+	}
+	mask := uint16(1)<<bits - 1
+	bitPos := 0
+	for i := 0; i < count; i++ {
+		byteIdx := bitPos >> 3
+		shift := bitPos & 7
+		v := uint16(packed[byteIdx]) >> shift
+		if shift+bits > 8 {
+			v |= uint16(packed[byteIdx+1]) << (8 - shift)
+		}
+		dst[i] = uint8(v & mask)
+		bitPos += bits
+	}
+	return dst[:count]
+}

@@ -1,0 +1,131 @@
+package bitpack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackedLen(t *testing.T) {
+	cases := []struct{ count, bits, want int }{
+		{0, 2, 0}, {1, 2, 1}, {4, 2, 1}, {5, 2, 2},
+		{8, 3, 3}, {3, 6, 3}, {589824, 2, 147456},
+	}
+	for _, c := range cases {
+		if got := PackedLen(c.count, c.bits); got != c.want {
+			t.Errorf("PackedLen(%d,%d) = %d, want %d", c.count, c.bits, got, c.want)
+		}
+	}
+}
+
+func TestRoundTripAllWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for bits := 1; bits <= 8; bits++ {
+		max := 1 << bits
+		values := make([]uint8, 1000)
+		for i := range values {
+			values[i] = uint8(rng.Intn(max))
+		}
+		packed := Pack(values, bits)
+		if len(packed) != PackedLen(len(values), bits) {
+			t.Fatalf("bits=%d: packed length %d", bits, len(packed))
+		}
+		got := Unpack(packed, len(values), bits)
+		for i := range values {
+			if got[i] != values[i] {
+				t.Fatalf("bits=%d: value %d: got %d want %d", bits, i, got[i], values[i])
+			}
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bits := 1 + rng.Intn(8)
+		count := int(n)
+		values := make([]uint8, count)
+		for i := range values {
+			values[i] = uint8(rng.Intn(1 << bits))
+		}
+		got := Unpack(Pack(values, bits), count, bits)
+		for i := range values {
+			if got[i] != values[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnpackInto(t *testing.T) {
+	values := []uint8{3, 1, 0, 2, 3, 3, 0, 1, 2}
+	packed := Pack(values, 2)
+	dst := make([]uint8, 16)
+	got := UnpackInto(dst, packed, len(values), 2)
+	if len(got) != len(values) {
+		t.Fatalf("UnpackInto length %d", len(got))
+	}
+	for i := range values {
+		if got[i] != values[i] {
+			t.Fatalf("UnpackInto[%d] = %d want %d", i, got[i], values[i])
+		}
+	}
+}
+
+func TestPackRejectsOversizedValue(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Pack([]uint8{4}, 2)
+}
+
+func TestPackRejectsBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Pack([]uint8{0}, 9)
+}
+
+func TestUnpackRejectsShortBuffer(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Unpack([]byte{0}, 10, 3)
+}
+
+func TestEmptyInput(t *testing.T) {
+	packed := Pack(nil, 4)
+	if len(packed) != 0 {
+		t.Fatalf("Pack(nil) = %v", packed)
+	}
+	if got := Unpack(packed, 0, 4); len(got) != 0 {
+		t.Fatalf("Unpack empty = %v", got)
+	}
+}
+
+func BenchmarkUnpack2bitShard(b *testing.B) {
+	// One paper-scale shard: 589,824 2-bit indexes.
+	const n = 589824
+	values := make([]uint8, n)
+	rng := rand.New(rand.NewSource(2))
+	for i := range values {
+		values[i] = uint8(rng.Intn(4))
+	}
+	packed := Pack(values, 2)
+	dst := make([]uint8, n)
+	b.SetBytes(int64(len(packed)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		UnpackInto(dst, packed, n, 2)
+	}
+}

@@ -1,0 +1,171 @@
+// Package device models the edge hardware STI runs on: the compute
+// throughput of a mobile CPU/GPU executing transformer layers, and the
+// flash storage bandwidth available for streaming model shards.
+//
+// The paper evaluates on an Odroid-N2+ (hexa-core ARM CPU) and a Jetson
+// Nano (Maxwell GPU), Table 2. We have neither; per the substitution
+// rule we replace the physical boards with analytic delay models
+// calibrated against every measurement the paper publishes (§2.2, §7.1,
+// Table 5 captions):
+//
+//   - DistilBERT layer on the ARM board: 339 ms parameter IO vs 95 ms
+//     compute, whole-model load ≈ 2.1 s for 170 MB of parameters.
+//   - Jetson end-to-end DistilBERT: 3.36 s total, 3.0 s IO ⇒ ≈ 60 ms
+//     compute per layer.
+//   - GPU non-proportionality: a 12-shard layer is only ~0.7% slower
+//     than a 3-shard layer (§7.3) because the GPU pays a fixed cost per
+//     kernel launch regardless of width.
+//
+// STI itself records delays offline and replays them at planning time
+// (§5.2, the delays are data-independent and deterministic), so an
+// analytic replay exercises exactly the same planner and pipeline code
+// paths that measured delays would.
+package device
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Kind distinguishes the compute-unit families the paper evaluates.
+type Kind int
+
+const (
+	CPU Kind = iota
+	GPU
+)
+
+func (k Kind) String() string {
+	if k == GPU {
+		return "GPU"
+	}
+	return "CPU"
+}
+
+// Freq is a DVFS operating point, expressed as a fraction of peak
+// compute throughput in (0, 1].
+type Freq float64
+
+// Profile describes one platform: its compute delay model, flash IO
+// model, and memory budget. All delay model parameters are exported so
+// experiments can build ablated variants.
+type Profile struct {
+	Name string
+	Kind Kind
+
+	// Compute: executing one transformer layer of m shards on an input
+	// of RefSeqLen tokens at peak frequency costs
+	// ComputeFixed + ComputeIncr·m^WidthExp. CPUs scale slightly
+	// superlinearly with width (wider weight matrices fall out of
+	// cache, the effect DynaBERT exploits when narrowing models);
+	// GPUs are dominated by the fixed term (kernel launch + poor
+	// occupancy on single-example inference, §7.3).
+	ComputeFixed time.Duration // per-layer fixed cost
+	ComputeIncr  time.Duration // cost per shard (at m=1)
+	WidthExp     float64       // exponent on m for the incremental term
+
+	// SeqLinear/SeqQuad split layer compute between the parts that scale
+	// linearly with sequence length (all the matmuls against weights)
+	// and quadratically (attention score/value products). They must sum
+	// to 1; at RefSeqLen the model reproduces ComputeFixed+Incr·m.
+	RefSeqLen int
+	SeqLinear float64
+	SeqQuad   float64
+
+	// Decompress is the per-shard dictionary-substitution cost. The
+	// paper measures <1 ms per shard and conservatively charges the
+	// 6-bit cost regardless of actual bitwidth (§5.2); we do the same.
+	Decompress time.Duration
+
+	// IO: streaming from flash at Bandwidth with a fixed per-IO-job
+	// overhead (issue + seek). STI issues one IO job per layer (§3.1).
+	Bandwidth   float64       // bytes per second
+	IOOverhead  time.Duration // per IO job
+	MemoryBytes int64         // total device memory (Table 2: 4 GB)
+
+	// Freqs lists the DVFS operating points available, peak last.
+	Freqs []Freq
+}
+
+// Odroid returns the calibrated Odroid-N2+ CPU profile.
+// Tcomp(12 shards) = 2 + 7.75·12 = 95 ms — the paper's measured
+// DistilBERT layer compute; flash at 83.5 MB/s makes a 28.3 MB layer
+// take 339 ms — the paper's measured layer IO.
+func Odroid() *Profile {
+	return &Profile{
+		Name: "Odroid-N2+", Kind: CPU,
+		ComputeFixed: 500 * time.Microsecond,
+		ComputeIncr:  5330 * time.Microsecond,
+		WidthExp:     1.15,
+		RefSeqLen:    128, SeqLinear: 0.7, SeqQuad: 0.3,
+		Decompress:  300 * time.Microsecond,
+		Bandwidth:   83.5e6,
+		IOOverhead:  2 * time.Millisecond,
+		MemoryBytes: 4 << 30,
+		Freqs:       []Freq{0.5, 0.75, 1.0},
+	}
+}
+
+// Jetson returns the calibrated Jetson Nano GPU profile.
+// Tcomp ≈ 59.5 + 0.035·m ms: 6 layers ≈ 0.36 s (= 3.36 s total − 3.0 s
+// IO), and a 12-shard layer is ~0.5% slower than a 3-shard layer,
+// reproducing the GPU's lack of width proportionality (§7.3).
+func Jetson() *Profile {
+	return &Profile{
+		Name: "Jetson Nano", Kind: GPU,
+		ComputeFixed: 59500 * time.Microsecond,
+		ComputeIncr:  35 * time.Microsecond,
+		WidthExp:     1.0,
+		RefSeqLen:    128, SeqLinear: 0.7, SeqQuad: 0.3,
+		Decompress:  150 * time.Microsecond,
+		Bandwidth:   80e6,
+		IOOverhead:  2 * time.Millisecond,
+		MemoryBytes: 4 << 30,
+		Freqs:       []Freq{0.5, 0.75, 1.0},
+	}
+}
+
+// Platforms returns the two evaluation platforms of Table 2.
+func Platforms() []*Profile { return []*Profile{Odroid(), Jetson()} }
+
+// TComp returns the delay of computing one transformer layer of m
+// shards on an input of seqLen tokens at the given frequency, including
+// the per-shard decompression charge. This mirrors the paper's profiled
+// Tcomp(l, m, freq) (§5.2).
+func (p *Profile) TComp(seqLen, m int, freq Freq) time.Duration {
+	if m <= 0 {
+		return 0
+	}
+	if freq <= 0 || freq > 1 {
+		panic(fmt.Sprintf("device: frequency %v outside (0,1]", freq))
+	}
+	exp := p.WidthExp
+	if exp == 0 {
+		exp = 1
+	}
+	base := p.ComputeFixed + time.Duration(float64(p.ComputeIncr)*math.Pow(float64(m), exp))
+	r := float64(seqLen) / float64(p.RefSeqLen)
+	scaled := float64(base) * (p.SeqLinear*r + p.SeqQuad*r*r)
+	d := time.Duration(scaled/float64(freq)) + time.Duration(m)*p.Decompress
+	return d
+}
+
+// TIO returns the delay of loading one IO job of the given size from
+// flash: bandwidth-limited transfer plus fixed issue overhead.
+func (p *Profile) TIO(sizeBytes int) time.Duration {
+	if sizeBytes <= 0 {
+		return 0
+	}
+	return p.IOOverhead + time.Duration(float64(sizeBytes)/p.Bandwidth*float64(time.Second))
+}
+
+// PeakFreq returns the highest DVFS operating point. The paper plans at
+// peak frequency because the SoC runs at peak during active inference
+// (§5.3).
+func (p *Profile) PeakFreq() Freq {
+	if len(p.Freqs) == 0 {
+		return 1.0
+	}
+	return p.Freqs[len(p.Freqs)-1]
+}

@@ -1,0 +1,180 @@
+package device
+
+import (
+	"testing"
+	"time"
+)
+
+// distilBERTLayerBytes is the parameter size of one BERT/DistilBERT
+// layer: 7.08M float32 weights ≈ 28.3 MB.
+const distilBERTLayerBytes = 7077888 * 4
+
+func TestOdroidCalibrationMatchesPaper(t *testing.T) {
+	p := Odroid()
+	// §2.2: a DistilBERT layer needs 339 ms for parameter load...
+	io := p.TIO(distilBERTLayerBytes)
+	if io < 330*time.Millisecond || io > 350*time.Millisecond {
+		t.Fatalf("layer IO = %v, paper measured 339 ms", io)
+	}
+	// ...and 95 ms to compute (12 heads, l=128, peak freq). Allow the
+	// small decompression charge on top.
+	comp := p.TComp(128, 12, 1.0)
+	if comp < 90*time.Millisecond || comp > 105*time.Millisecond {
+		t.Fatalf("layer compute = %v, paper measured 95 ms", comp)
+	}
+	// §1: loading DistilBERT's 170 MB of parameters takes ≈2.1 s.
+	load := p.TIO(170e6)
+	if load < 1900*time.Millisecond || load > 2200*time.Millisecond {
+		t.Fatalf("whole-model load = %v, paper measured ≈2.1 s", load)
+	}
+}
+
+func TestJetsonCalibrationMatchesPaper(t *testing.T) {
+	p := Jetson()
+	// Table 5 caption: DistilBERT on Jetson: 3.36 s total, IO = 3.0 s,
+	// so compute ≈ 0.36 s over 6 layers ⇒ ≈ 60 ms/layer.
+	comp := p.TComp(128, 12, 1.0)
+	if comp < 55*time.Millisecond || comp > 66*time.Millisecond {
+		t.Fatalf("Jetson layer compute = %v, want ≈60 ms", comp)
+	}
+	// §7.3: executing a layer of 12 shards is only ≈0.7% longer than a
+	// layer of 3 shards (GPU non-proportionality). Compare raw kernel
+	// time without the per-shard decompression charge.
+	noDecomp := *p
+	noDecomp.Decompress = 0
+	w12 := noDecomp.TComp(128, 12, 1.0)
+	w3 := noDecomp.TComp(128, 3, 1.0)
+	ratio := float64(w12)/float64(w3) - 1
+	if ratio <= 0 || ratio > 0.01 {
+		t.Fatalf("GPU width penalty = %.4f, want (0, 0.01]", ratio)
+	}
+}
+
+func TestCPUProportionalGPUNot(t *testing.T) {
+	cpu, gpu := Odroid(), Jetson()
+	cpuRatio := float64(cpu.TComp(128, 12, 1.0)) / float64(cpu.TComp(128, 3, 1.0))
+	gpuRatio := float64(gpu.TComp(128, 12, 1.0)) / float64(gpu.TComp(128, 3, 1.0))
+	if cpuRatio < 3 {
+		t.Fatalf("CPU should scale near-linearly with width, got ratio %.2f", cpuRatio)
+	}
+	if gpuRatio > 1.1 {
+		t.Fatalf("GPU should barely scale with width, got ratio %.2f", gpuRatio)
+	}
+}
+
+func TestTCompScalesWithFrequency(t *testing.T) {
+	p := Odroid()
+	peak := p.TComp(128, 6, 1.0)
+	half := p.TComp(128, 6, 0.5)
+	// Kernel time doubles; decompression (CPU-side memcpy) is charged
+	// flat, so the ratio is slightly under 2.
+	if r := float64(half) / float64(peak); r < 1.8 || r > 2.05 {
+		t.Fatalf("half-frequency ratio %.2f, want ≈2", r)
+	}
+}
+
+func TestTCompScalesWithSequenceLength(t *testing.T) {
+	p := Odroid()
+	short := p.TComp(64, 12, 1.0)
+	ref := p.TComp(128, 12, 1.0)
+	long := p.TComp(256, 12, 1.0)
+	if !(short < ref && ref < long) {
+		t.Fatalf("sequence scaling broken: %v, %v, %v", short, ref, long)
+	}
+	// Quadratic attention term: doubling l more than doubles cost.
+	if float64(long) < 2*float64(ref)*0.95 {
+		t.Fatalf("long sequence %v not ≥ ~2× reference %v", long, ref)
+	}
+}
+
+func TestTCompMonotoneInShards(t *testing.T) {
+	for _, p := range Platforms() {
+		prev := time.Duration(0)
+		for m := 1; m <= 12; m++ {
+			d := p.TComp(128, m, 1.0)
+			if d <= prev {
+				t.Fatalf("%s: TComp not strictly increasing at m=%d", p.Name, m)
+			}
+			prev = d
+		}
+	}
+}
+
+func TestTCompZeroShards(t *testing.T) {
+	if d := Odroid().TComp(128, 0, 1.0); d != 0 {
+		t.Fatalf("zero-shard layer cost %v", d)
+	}
+}
+
+func TestTCompBadFreqPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Odroid().TComp(128, 1, 1.5)
+}
+
+func TestTIO(t *testing.T) {
+	p := Odroid()
+	if p.TIO(0) != 0 {
+		t.Fatal("zero-size IO must cost nothing")
+	}
+	small := p.TIO(1)
+	if small < p.IOOverhead {
+		t.Fatal("IO must include fixed overhead")
+	}
+	// Doubling size roughly doubles transfer time (minus overhead).
+	a := p.TIO(10e6) - p.IOOverhead
+	b := p.TIO(20e6) - p.IOOverhead
+	if r := float64(b) / float64(a); r < 1.99 || r > 2.01 {
+		t.Fatalf("bandwidth not linear: ratio %.3f", r)
+	}
+}
+
+func TestPeakFreq(t *testing.T) {
+	if Odroid().PeakFreq() != 1.0 {
+		t.Fatalf("peak freq %v", Odroid().PeakFreq())
+	}
+	empty := &Profile{}
+	if empty.PeakFreq() != 1.0 {
+		t.Fatal("default peak freq must be 1.0")
+	}
+}
+
+func TestPlatformsTable2(t *testing.T) {
+	ps := Platforms()
+	if len(ps) != 2 {
+		t.Fatalf("want 2 platforms, got %d", len(ps))
+	}
+	if ps[0].Kind != CPU || ps[1].Kind != GPU {
+		t.Fatal("platform kinds do not match Table 2 (CPU benchmarked on Odroid, GPU on Jetson)")
+	}
+	for _, p := range ps {
+		if p.MemoryBytes != 4<<30 {
+			t.Fatalf("%s memory %d, Table 2 says 4 GB", p.Name, p.MemoryBytes)
+		}
+	}
+}
+
+func TestEnergyModelOrdering(t *testing.T) {
+	// §7.2's qualitative claims: with equal latency, more busy time
+	// means more energy; IO adds less than compute.
+	pm := Odroid().Power()
+	total := 200 * time.Millisecond
+	idle := pm.EnergyJ(total, 0, 0)
+	busyIO := pm.EnergyJ(total, 0, total)
+	busyComp := pm.EnergyJ(total, total, 0)
+	both := pm.EnergyJ(total, total, total)
+	if !(idle < busyIO && busyIO < busyComp && busyComp < both) {
+		t.Fatalf("energy ordering broken: %v %v %v %v", idle, busyIO, busyComp, both)
+	}
+	// Compute must dominate IO in incremental power (the paper's
+	// "major energy consumer is active compute").
+	if pm.ComputeW <= pm.IOW {
+		t.Fatal("compute power must exceed IO power")
+	}
+	if Jetson().Power().ComputeW <= 0 {
+		t.Fatal("GPU power model degenerate")
+	}
+}

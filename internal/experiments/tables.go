@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"text/tabwriter"
+
+	"sti/internal/acc"
+	"sti/internal/baselines"
+	"sti/internal/device"
+	"sti/internal/model"
+	"sti/internal/shard"
+)
+
+// Table5 regenerates the full accuracy grid: per platform, per GLUE
+// benchmark, per target latency, one row per method.
+func Table5() (string, error) {
+	var b strings.Builder
+	methods := []string{
+		"Load&Exec", "StdPL-full", "StdPL-2bit", "StdPL-6bit",
+		"Preload-full", "Preload-6bit", "Ours-0MB", "Ours",
+	}
+	sums := map[string]float64{}
+	cells := 0
+	for _, dev := range device.Platforms() {
+		fmt.Fprintf(&b, "== %s (|S| = %s) ==\n", dev.Name, baselines.FormatBytes(preloadFor(dev)))
+		b.WriteString(table(func(w *tabwriter.Writer) {
+			fmt.Fprint(w, "method")
+			for _, task := range paperTasks() {
+				for _, t := range paperTargets {
+					fmt.Fprintf(w, "\t%s@%d", task.Name, t.Milliseconds())
+				}
+			}
+			fmt.Fprintln(w)
+			rows := map[string][]string{}
+			for _, task := range paperTasks() {
+				for _, t := range paperTargets {
+					s := baselines.NewSetup(dev, task, t)
+					outs, err := baselines.All(s, preloadFor(dev))
+					if err != nil {
+						continue
+					}
+					for _, o := range outs {
+						rows[o.Method] = append(rows[o.Method], fmt.Sprintf("%.1f", o.Accuracy))
+						sums[o.Method] += o.Accuracy
+					}
+					cells++
+				}
+			}
+			for _, m := range methods {
+				fmt.Fprintf(w, "%s\t%s\n", m, strings.Join(rows[m], "\t"))
+			}
+		}))
+		// Gold row for reference.
+		var golds []string
+		for _, task := range paperTasks() {
+			golds = append(golds, fmt.Sprintf("%s %.1f", task.Name, task.Gold))
+		}
+		fmt.Fprintf(&b, "gold (DistilBERT): %s\n\n", strings.Join(golds, ", "))
+	}
+	fmt.Fprintf(&b, "average accuracy over all cells:\n")
+	for _, m := range methods {
+		fmt.Fprintf(&b, "  %-13s %.2f\n", m, sums[m]/float64(cells))
+	}
+	fmt.Fprintf(&b, "average gain of Ours: vs Load&Exec %+.2f, StdPL-full %+.2f, StdPL-2bit %+.2f, StdPL-6bit %+.2f\n",
+		(sums["Ours"]-sums["Load&Exec"])/float64(cells),
+		(sums["Ours"]-sums["StdPL-full"])/float64(cells),
+		(sums["Ours"]-sums["StdPL-2bit"])/float64(cells),
+		(sums["Ours"]-sums["StdPL-6bit"])/float64(cells))
+	fmt.Fprintf(&b, "paper (Odroid): +21.05 / +21.05 / +17.13 / +5.83; (Jetson): +18.77 / +18.77 / +6.53 / +3.15\n")
+	return b.String(), nil
+}
+
+// Table6 reports the submodel sizes each method selects per target
+// latency — STI should consistently run the largest (most FLOPs), with
+// CPUs choosing deeper/narrower and GPUs shallower/wider shapes.
+func Table6() (string, error) {
+	var b strings.Builder
+	task := acc.TaskByName("SST-2", 12, 12)
+	for _, dev := range device.Platforms() {
+		fmt.Fprintf(&b, "== %s ==\n", dev.Name)
+		b.WriteString(table(func(w *tabwriter.Writer) {
+			fmt.Fprintln(w, "T\tLoad&Exec\tStdPL-full\tStdPL-6bit\tPreload-6bit\tOurs")
+			for _, t := range paperTargets {
+				s := baselines.NewSetup(dev, task, t)
+				ours, err := baselines.STI(s, preloadFor(dev))
+				if err != nil {
+					return
+				}
+				le := baselines.LoadExec(s)
+				sf := baselines.StdPL(s, shard.FullBits)
+				s6 := baselines.StdPL(s, 6)
+				p6 := baselines.PreloadModel(s, 6)
+				fmt.Fprintf(w, "%v\t%dx%d\t%dx%d\t%dx%d\t%dx%d\t%dx%d\n", t,
+					le.Depth, le.Width, sf.Depth, sf.Width, s6.Depth, s6.Width,
+					p6.Depth, p6.Width, ours.Depth, ours.Width)
+			}
+		}))
+	}
+	b.WriteString("paper: STI runs the largest submodel (≈7x the FLOPs of Load&Exec/StdPL-full,\n")
+	b.WriteString("1.3x StdPL-2/6bit); CPU favours deep/narrow, GPU shallow/wide submodels.\n")
+	return b.String(), nil
+}
+
+// Table7 reproduces the importance-allocation case study: a 5×3
+// submodel of 2-bit shards receives extra IO budget; shards upgraded to
+// 6-bit are picked randomly versus by profiled importance.
+func Table7() (string, error) {
+	var b strings.Builder
+	cfg := model.BERTBase()
+	budgets := []int64{400 << 10, 2 << 20, 4 << 20} // 0.4, 2, 4 MB
+	upgradeCost := int64(shard.EstimateSizeBytes(cfg.ShardParams(), 6) - shard.EstimateSizeBytes(cfg.ShardParams(), 2))
+
+	b.WriteString(table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "benchmark\tbudget\trandom\tours\tgain")
+		for _, task := range paperTasks() {
+			// The paper's case study uses "an intermediate state of
+			// planning": a fixed 5×3 submodel of 2-bit shards (slices
+			// 0-2 of layers 0-4), before any importance-driven slice
+			// selection.
+			slices := make([][]int, 5)
+			baseBits := make([][]int, 5)
+			for l := range slices {
+				slices[l] = []int{0, 1, 2}
+				baseBits[l] = []int{2, 2, 2}
+			}
+			// Shards of the submodel in importance order.
+			type pos struct{ l, j int }
+			var ranked []pos
+			for _, id := range task.Imp.Ranked() {
+				if id.Layer >= 5 {
+					continue
+				}
+				for j, s := range slices[id.Layer] {
+					if s == id.Slice {
+						ranked = append(ranked, pos{id.Layer, j})
+					}
+				}
+			}
+			for _, budget := range budgets {
+				nUp := int(budget / upgradeCost)
+				if nUp > len(ranked) {
+					nUp = len(ranked)
+				}
+				// Ours: upgrade the most important shards.
+				oursBits := cloneBits(baseBits)
+				for _, p := range ranked[:nUp] {
+					oursBits[p.l][p.j] = 6
+				}
+				oursAcc := task.AccuracySubmodel(slices, oursBits)
+				// Random: mean over seeded trials.
+				var randAcc float64
+				const trials = 20
+				rng := rand.New(rand.NewSource(1234))
+				for t := 0; t < trials; t++ {
+					bits := cloneBits(baseBits)
+					perm := rng.Perm(len(ranked))
+					for _, i := range perm[:nUp] {
+						bits[ranked[i].l][ranked[i].j] = 6
+					}
+					randAcc += task.AccuracySubmodel(slices, bits)
+				}
+				randAcc /= trials
+				fmt.Fprintf(w, "%s\t%.1fMB\t%.1f\t%.1f\t%+.1f\n",
+					task.Name, float64(budget)/(1<<20), randAcc, oursAcc, oursAcc-randAcc)
+			}
+		}
+	}))
+	b.WriteString("\npaper (Table 7): ours beats random by up to 23.1pp, 8.19pp on average;\n")
+	b.WriteString("e.g. QQP 0.4/2/4MB: random 39.2/40.2/59.8 vs ours 56.3/63.3/75.5.\n")
+	return b.String(), nil
+}
+
+func cloneBits(bits [][]int) [][]int {
+	out := make([][]int, len(bits))
+	for i := range bits {
+		out[i] = append([]int(nil), bits[i]...)
+	}
+	return out
+}
+
+// Storage reports the on-disk cost of storing five quantized fidelity
+// versions next to the full model (§7.2).
+func Storage() (string, error) {
+	var b strings.Builder
+	cfg := model.BERTBase()
+	shards := cfg.Layers * cfg.Heads
+	var quantTotal int64
+	b.WriteString(table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "bitwidth\tper shard\tper model")
+		for _, bits := range shard.AllBitwidths() {
+			size := int64(shard.EstimateSizeBytes(cfg.ShardParams(), bits))
+			total := size * int64(shards)
+			if bits != shard.FullBits {
+				quantTotal += total
+			}
+			fmt.Fprintf(w, "%d\t%s\t%s\n", bits,
+				baselines.FormatBytes(size), baselines.FormatBytes(total))
+		}
+	}))
+	full := int64(shard.EstimateSizeBytes(cfg.ShardParams(), shard.FullBits)) * int64(shards)
+	fmt.Fprintf(&b, "\nfive quantized versions {2..6}: %s total (paper: 215 MB)\n", baselines.FormatBytes(quantTotal))
+	fmt.Fprintf(&b, "full 32-bit transformer weights: %s (paper: 418 MB incl. embeddings)\n", baselines.FormatBytes(full))
+	fmt.Fprintf(&b, "overhead ratio quantized/full: %.2f\n", float64(quantTotal)/float64(full))
+	return b.String(), nil
+}

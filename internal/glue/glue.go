@@ -1,0 +1,210 @@
+// Package glue generates the synthetic classification tasks standing in
+// for the four GLUE benchmarks of Table 3 (SST-2, RTE, QNLI, QQP). Real
+// GLUE data is not available offline, so each generator plants a
+// learnable linguistic pattern of the same flavour as its namesake:
+//
+//   - SST-2 (single-sentence sentiment): sentences mix positive and
+//     negative lexicon words; the label is the majority polarity.
+//   - RTE (entailment): the hypothesis either reuses the premise's
+//     content words (entailed) or introduces foreign ones.
+//   - QNLI (question answering / NLI): the answer sentence either
+//     contains the question's key entity or a different one.
+//   - QQP (paraphrase): the second question is either a shuffled
+//     synonym-substituted copy of the first or an unrelated question.
+//
+// Models must genuinely learn lexical/positional cues to score above
+// chance, so the real-path experiments measure real accuracy responses
+// to depth, width and quantization fidelity.
+package glue
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"sti/internal/tokenizer"
+)
+
+// Example is one labelled input (TextB empty for single-sentence
+// tasks).
+type Example struct {
+	TextA, TextB string
+	Label        int
+}
+
+// Dataset holds a train/dev split plus the tokenizer that encodes it.
+type Dataset struct {
+	Task  string
+	Train []Example
+	Dev   []Example
+	Tok   *tokenizer.Tokenizer
+}
+
+// Tasks lists the benchmark names of Table 3.
+func Tasks() []string { return []string{"SST-2", "RTE", "QNLI", "QQP"} }
+
+// Generate builds a deterministic dataset for the named task.
+func Generate(task string, trainN, devN int, vocab, maxSeq int, seed int64) (*Dataset, error) {
+	gen, err := generatorFor(task)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ds := &Dataset{Task: task, Tok: tokenizer.New(vocab, maxSeq)}
+	for i := 0; i < trainN; i++ {
+		ds.Train = append(ds.Train, gen(rng))
+	}
+	for i := 0; i < devN; i++ {
+		ds.Dev = append(ds.Dev, gen(rng))
+	}
+	return ds, nil
+}
+
+func generatorFor(task string) (func(*rand.Rand) Example, error) {
+	switch strings.ToUpper(task) {
+	case "SST-2", "SST2":
+		return genSST2, nil
+	case "RTE":
+		return genRTE, nil
+	case "QNLI":
+		return genQNLI, nil
+	case "QQP":
+		return genQQP, nil
+	}
+	return nil, fmt.Errorf("glue: unknown task %q", task)
+}
+
+// Lexicons. Small and closed so tiny models can learn them, with
+// distinct surface forms to avoid hash collisions in the tokenizer.
+
+var positiveWords = []string{
+	"great", "wonderful", "superb", "delightful", "charming", "moving",
+	"brilliant", "gripping", "fresh", "heartfelt", "stunning", "fun",
+}
+
+var negativeWords = []string{
+	"awful", "boring", "tedious", "clumsy", "stale", "lifeless",
+	"dreadful", "messy", "bland", "hollow", "grating", "dull",
+}
+
+var fillerWords = []string{
+	"the", "movie", "film", "plot", "acting", "with", "and", "a",
+	"story", "scene", "its", "this", "was", "feels", "script", "cast",
+}
+
+var entityWords = []string{
+	"everest", "amazon", "berlin", "newton", "jupiter", "nile",
+	"tesla", "kyoto", "sahara", "darwin", "mozart", "cairo",
+}
+
+var contentWords = []string{
+	"river", "mountain", "city", "planet", "composer", "desert",
+	"inventor", "theory", "symphony", "island", "engine", "bridge",
+}
+
+var synonymPairs = [][2]string{
+	{"big", "large"}, {"fast", "quick"}, {"begin", "start"},
+	{"buy", "purchase"}, {"fix", "repair"}, {"learn", "study"},
+}
+
+func pick(rng *rand.Rand, words []string) string { return words[rng.Intn(len(words))] }
+
+func genSST2(rng *rand.Rand) Example {
+	label := rng.Intn(2)
+	major, minor := positiveWords, negativeWords
+	if label == 0 {
+		major, minor = negativeWords, positiveWords
+	}
+	nMajor := 2 + rng.Intn(2)
+	nMinor := rng.Intn(nMajor) // strictly fewer minority words
+	var words []string
+	for i := 0; i < nMajor; i++ {
+		words = append(words, pick(rng, major))
+	}
+	for i := 0; i < nMinor; i++ {
+		words = append(words, pick(rng, minor))
+	}
+	for len(words) < 8 {
+		words = append(words, pick(rng, fillerWords))
+	}
+	rng.Shuffle(len(words), func(i, j int) { words[i], words[j] = words[j], words[i] })
+	return Example{TextA: strings.Join(words, " "), Label: label}
+}
+
+func genRTE(rng *rand.Rand) Example {
+	// Premise: entity + content words.
+	prem := []string{pick(rng, entityWords), "is", "a", pick(rng, contentWords),
+		"near", pick(rng, entityWords)}
+	label := rng.Intn(2)
+	var hyp []string
+	if label == 1 { // entailed: reuse premise content
+		hyp = []string{prem[0], "is", "a", prem[3]}
+	} else { // not entailed: foreign content word
+		other := pick(rng, contentWords)
+		for other == prem[3] {
+			other = pick(rng, contentWords)
+		}
+		hyp = []string{prem[0], "is", "a", other}
+	}
+	return Example{TextA: strings.Join(prem, " "), TextB: strings.Join(hyp, " "), Label: label}
+}
+
+func genQNLI(rng *rand.Rand) Example {
+	entity := pick(rng, entityWords)
+	question := []string{"where", "is", entity, "located"}
+	label := rng.Intn(2)
+	var answer []string
+	if label == 1 { // sentence answers the question: mentions the entity
+		answer = []string{entity, "lies", "in", "the", pick(rng, contentWords)}
+	} else {
+		other := pick(rng, entityWords)
+		for other == entity {
+			other = pick(rng, entityWords)
+		}
+		answer = []string{other, "lies", "in", "the", pick(rng, contentWords)}
+	}
+	return Example{TextA: strings.Join(question, " "), TextB: strings.Join(answer, " "), Label: label}
+}
+
+func genQQP(rng *rand.Rand) Example {
+	pair := synonymPairs[rng.Intn(len(synonymPairs))]
+	topic := pick(rng, contentWords)
+	q1 := []string{"how", "to", pair[0], "a", topic}
+	label := rng.Intn(2)
+	var q2 []string
+	if label == 1 { // paraphrase: synonym substitution + same topic
+		q2 = []string{"how", "can", "i", pair[1], "a", topic}
+	} else {
+		otherTopic := pick(rng, contentWords)
+		for otherTopic == topic {
+			otherTopic = pick(rng, contentWords)
+		}
+		otherPair := synonymPairs[rng.Intn(len(synonymPairs))]
+		q2 = []string{"how", "can", "i", otherPair[1], "a", otherTopic}
+	}
+	return Example{TextA: strings.Join(q1, " "), TextB: strings.Join(q2, " "), Label: label}
+}
+
+// Encode tokenizes one example with the dataset's tokenizer.
+func (d *Dataset) Encode(e Example) ([]int, []bool) {
+	return d.Tok.Encode(e.TextA, e.TextB)
+}
+
+// MajorityBaseline returns the accuracy (percent) of always predicting
+// the dev set's most common label — the task floor.
+func (d *Dataset) MajorityBaseline() float64 {
+	counts := map[int]int{}
+	for _, e := range d.Dev {
+		counts[e.Label]++
+	}
+	best := 0
+	for _, c := range counts {
+		if c > best {
+			best = c
+		}
+	}
+	if len(d.Dev) == 0 {
+		return 0
+	}
+	return 100 * float64(best) / float64(len(d.Dev))
+}

@@ -1,0 +1,147 @@
+package glue
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateAllTasks(t *testing.T) {
+	for _, task := range Tasks() {
+		ds, err := Generate(task, 100, 50, 512, 32, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ds.Train) != 100 || len(ds.Dev) != 50 {
+			t.Fatalf("%s: sizes %d/%d", task, len(ds.Train), len(ds.Dev))
+		}
+		for _, ex := range ds.Train {
+			if ex.Label != 0 && ex.Label != 1 {
+				t.Fatalf("%s: label %d", task, ex.Label)
+			}
+			if ex.TextA == "" {
+				t.Fatalf("%s: empty text", task)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate("SST-2", 20, 5, 512, 32, 9)
+	b, _ := Generate("SST-2", 20, 5, 512, 32, 9)
+	for i := range a.Train {
+		if a.Train[i] != b.Train[i] {
+			t.Fatal("generation not deterministic")
+		}
+	}
+	c, _ := Generate("SST-2", 20, 5, 512, 32, 10)
+	same := true
+	for i := range a.Train {
+		if a.Train[i] != c.Train[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical data")
+	}
+}
+
+func TestLabelsRoughlyBalanced(t *testing.T) {
+	for _, task := range Tasks() {
+		ds, _ := Generate(task, 400, 0, 512, 32, 2)
+		ones := 0
+		for _, ex := range ds.Train {
+			ones += ex.Label
+		}
+		frac := float64(ones) / 400
+		if frac < 0.35 || frac > 0.65 {
+			t.Fatalf("%s: label balance %.2f", task, frac)
+		}
+	}
+}
+
+func TestSST2PatternIsLearnable(t *testing.T) {
+	// The planted rule: positive sentences carry more positive than
+	// negative lexicon words. A trivial lexicon counter must get 100%.
+	ds, _ := Generate("SST-2", 0, 200, 512, 32, 3)
+	pos := map[string]bool{}
+	for _, w := range positiveWords {
+		pos[w] = true
+	}
+	neg := map[string]bool{}
+	for _, w := range negativeWords {
+		neg[w] = true
+	}
+	for _, ex := range ds.Dev {
+		score := 0
+		for _, w := range strings.Fields(ex.TextA) {
+			if pos[w] {
+				score++
+			}
+			if neg[w] {
+				score--
+			}
+		}
+		want := 0
+		if score > 0 {
+			want = 1
+		}
+		if want != ex.Label {
+			t.Fatalf("planted rule violated: %q label %d", ex.TextA, ex.Label)
+		}
+	}
+}
+
+func TestRTEPattern(t *testing.T) {
+	ds, _ := Generate("RTE", 0, 200, 512, 32, 4)
+	for _, ex := range ds.Dev {
+		premWords := map[string]bool{}
+		for _, w := range strings.Fields(ex.TextA) {
+			premWords[w] = true
+		}
+		allIn := true
+		for _, w := range strings.Fields(ex.TextB) {
+			if !premWords[w] {
+				allIn = false
+			}
+		}
+		if allIn != (ex.Label == 1) {
+			t.Fatalf("RTE rule violated: %q / %q label %d", ex.TextA, ex.TextB, ex.Label)
+		}
+	}
+}
+
+func TestQNLIPattern(t *testing.T) {
+	ds, _ := Generate("QNLI", 0, 200, 512, 32, 5)
+	for _, ex := range ds.Dev {
+		entity := strings.Fields(ex.TextA)[2]
+		mentions := strings.Contains(" "+ex.TextB+" ", " "+entity+" ")
+		if mentions != (ex.Label == 1) {
+			t.Fatalf("QNLI rule violated: %q / %q label %d", ex.TextA, ex.TextB, ex.Label)
+		}
+	}
+}
+
+func TestEncodeRoundTrip(t *testing.T) {
+	ds, _ := Generate("QQP", 10, 1, 512, 32, 6)
+	tokens, mask := ds.Encode(ds.Train[0])
+	if len(tokens) != 32 || len(mask) != 32 {
+		t.Fatalf("encoded lengths %d/%d", len(tokens), len(mask))
+	}
+}
+
+func TestMajorityBaseline(t *testing.T) {
+	ds := &Dataset{Dev: []Example{{Label: 1}, {Label: 1}, {Label: 0}}}
+	if mb := ds.MajorityBaseline(); mb < 66 || mb > 67 {
+		t.Fatalf("majority baseline %.1f", mb)
+	}
+	empty := &Dataset{}
+	if empty.MajorityBaseline() != 0 {
+		t.Fatal("empty dev baseline must be 0")
+	}
+}
+
+func TestGenerateUnknownTask(t *testing.T) {
+	if _, err := Generate("MNLI", 1, 1, 512, 32, 1); err == nil {
+		t.Fatal("expected unknown-task error")
+	}
+}

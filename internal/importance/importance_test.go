@@ -1,0 +1,164 @@
+package importance
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRankedOrderAndCompleteness(t *testing.T) {
+	tbl := NewTable(3, 4)
+	for l := 0; l < 3; l++ {
+		for s := 0; s < 4; s++ {
+			tbl.Score[l][s] = float64(l*4 + s)
+		}
+	}
+	rank := tbl.Ranked()
+	if len(rank) != 12 {
+		t.Fatalf("ranked %d shards", len(rank))
+	}
+	if rank[0].Layer != 2 || rank[0].Slice != 3 {
+		t.Fatalf("top shard %v", rank[0])
+	}
+	for i := 1; i < len(rank); i++ {
+		a := tbl.Score[rank[i-1].Layer][rank[i-1].Slice]
+		b := tbl.Score[rank[i].Layer][rank[i].Slice]
+		if b > a {
+			t.Fatalf("ranking not descending at %d", i)
+		}
+	}
+}
+
+func TestRankedTieBreakDeterministic(t *testing.T) {
+	tbl := NewTable(2, 2) // all scores zero → pure tie
+	rank := tbl.Ranked()
+	want := []struct{ l, s int }{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	for i, w := range want {
+		if rank[i].Layer != w.l || rank[i].Slice != w.s {
+			t.Fatalf("tie break order %v", rank)
+		}
+	}
+}
+
+func TestTopSlices(t *testing.T) {
+	tbl := NewTable(1, 5)
+	tbl.Score[0] = []float64{0.1, 0.9, 0.3, 0.8, 0.2}
+	top := tbl.TopSlices(0, 3)
+	if len(top) != 3 || top[0] != 1 || top[1] != 2 || top[2] != 3 {
+		t.Fatalf("TopSlices = %v, want ascending [1 2 3]", top)
+	}
+	// m larger than slices clamps.
+	if got := tbl.TopSlices(0, 99); len(got) != 5 {
+		t.Fatalf("clamped TopSlices = %v", got)
+	}
+}
+
+func TestNormalizedSumsToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		tbl := Synthetic("SST-2", 12, 12)
+		_ = seed
+		var sum float64
+		for _, row := range tbl.Normalized() {
+			for _, v := range row {
+				if v <= 0 {
+					return false
+				}
+				sum += v
+			}
+		}
+		return sum > 0.999 && sum < 1.001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizedRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTable(1, 1).Normalized()
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic("RTE", 12, 12)
+	b := Synthetic("RTE", 12, 12)
+	for l := range a.Score {
+		for s := range a.Score[l] {
+			if a.Score[l][s] != b.Score[l][s] {
+				t.Fatal("Synthetic not deterministic")
+			}
+		}
+	}
+	c := Synthetic("SST-2", 12, 12)
+	if a.Score[0][0] == c.Score[0][0] && a.Score[5][5] == c.Score[5][5] {
+		t.Fatal("different tasks produced identical tables")
+	}
+}
+
+func TestSyntheticShapesMatchFigure5(t *testing.T) {
+	sum := func(tbl *Table, lo, hi int) float64 {
+		var s float64
+		for l := lo; l < hi; l++ {
+			for _, v := range tbl.Score[l] {
+				s += v
+			}
+		}
+		return s
+	}
+	// RTE: concentrated on bottom layers 0–5 (Figure 5b).
+	rte := Synthetic("RTE", 12, 12)
+	if sum(rte, 0, 6) < 2*sum(rte, 6, 12) {
+		t.Fatalf("RTE not bottom-heavy: %v vs %v", sum(rte, 0, 6), sum(rte, 6, 12))
+	}
+	// SST-2: spread more evenly (Figure 5a) — bottom/top ratio below 2.
+	sst := Synthetic("SST-2", 12, 12)
+	if r := sum(sst, 0, 6) / sum(sst, 6, 12); r > 2 || r < 0.5 {
+		t.Fatalf("SST-2 layer ratio %v, want ≈1", r)
+	}
+}
+
+func TestHeatmapRendering(t *testing.T) {
+	tbl := Synthetic("SST-2", 12, 12)
+	hm := tbl.Heatmap()
+	lines := strings.Split(strings.TrimRight(hm, "\n"), "\n")
+	if len(lines) != 12 {
+		t.Fatalf("heatmap has %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "L00 ") || !strings.HasPrefix(lines[11], "L11 ") {
+		t.Fatalf("heatmap labels wrong:\n%s", hm)
+	}
+}
+
+type fakeEval struct{ calls int }
+
+func (f *fakeEval) AccuracyWithBits(bits [][]int) float64 {
+	f.calls++
+	// Accuracy = position of the single high-bit shard, so profiling
+	// recovers an exact ranking.
+	for l, row := range bits {
+		for s, b := range row {
+			if b == 32 {
+				return float64(l*len(row) + s)
+			}
+		}
+	}
+	return -1
+}
+
+func TestProfileProcedure(t *testing.T) {
+	eval := &fakeEval{}
+	tbl := Profile(eval, 3, 4, 2, 32)
+	if eval.calls != 12 {
+		t.Fatalf("profiling ran %d evaluations, want 12", eval.calls)
+	}
+	rank := tbl.Ranked()
+	if rank[0].Layer != 2 || rank[0].Slice != 3 {
+		t.Fatalf("profiled top shard %v", rank[0])
+	}
+	if rank[len(rank)-1].Layer != 0 || rank[len(rank)-1].Slice != 0 {
+		t.Fatalf("profiled bottom shard %v", rank[len(rank)-1])
+	}
+}

@@ -1,0 +1,147 @@
+// Package lifetime simulates a day of bursty user engagements against
+// the mobile OS's memory management — the setting that motivates STI
+// (§1, §2.1–2.2): engagements are impromptu and comprise 1–3 model
+// executions [9]; between engagements the OS's low-memory killer
+// reclaims apps roughly in proportion to their memory footprint [6,30],
+// so a hundreds-of-MB in-memory model "likely benefits no more than 2
+// executions before its large memory is reclaimed".
+//
+// The simulation compares execution methods end to end over the same
+// engagement trace: how often the app survives in the background, what
+// latency the user sees on each turn, and how many bytes stream from
+// flash.
+package lifetime
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Engagement is one user session: a gap since the previous session and
+// a few back-to-back executions.
+type Engagement struct {
+	Gap   time.Duration // background time before this engagement
+	Turns int           // model executions in this engagement (1–3)
+}
+
+// Workload is a day-scale engagement trace.
+type Workload struct {
+	Engagements []Engagement
+}
+
+// GenerateWorkload draws a deterministic bursty trace: exponential
+// inter-engagement gaps (mean meanGap) and 1–3 turns per engagement,
+// matching the usage statistics the paper cites [9, 10].
+func GenerateWorkload(n int, meanGap time.Duration, seed int64) *Workload {
+	rng := rand.New(rand.NewSource(seed))
+	w := &Workload{}
+	for i := 0; i < n; i++ {
+		gap := time.Duration(rng.ExpFloat64() * float64(meanGap))
+		w.Engagements = append(w.Engagements, Engagement{
+			Gap:   gap,
+			Turns: 1 + rng.Intn(3),
+		})
+	}
+	return w
+}
+
+// OSModel is the low-memory-killer abstraction: during a background
+// gap, an app holding memBytes is reclaimed with probability
+// 1 − exp(−gapMinutes·memMB/Kappa). Larger footprints and longer gaps
+// make the app a likelier victim, the qualitative behaviour of
+// Android's lmkd the paper describes.
+type OSModel struct {
+	Kappa float64 // MB·minutes scale; smaller = more aggressive
+}
+
+// DefaultOS returns a killer calibrated so a ~100 MB app backgrounded
+// for tens of minutes is at serious risk (the paper notes app
+// footprints are "often less than 100 MB" and big apps are prime
+// victims).
+func DefaultOS() OSModel { return OSModel{Kappa: 3000} }
+
+// KillProbability returns the chance the app is reclaimed during a gap.
+func (o OSModel) KillProbability(memBytes int64, gap time.Duration) float64 {
+	memMB := float64(memBytes) / (1 << 20)
+	return 1 - math.Exp(-gap.Minutes()*memMB/o.Kappa)
+}
+
+// App describes one execution method's lifetime profile.
+type App struct {
+	Name string
+	// ResidentBytes is the parameter memory held between engagements
+	// (the whole model for hold-in-memory, the preload buffer for STI,
+	// ~0 for load-on-demand).
+	ResidentBytes int64
+	// ColdLatency is the first-turn latency when nothing is resident
+	// (model load or cold pipeline).
+	ColdLatency time.Duration
+	// WarmLatency is the per-turn latency when the resident state
+	// survived (or after the first turn of an engagement).
+	WarmLatency time.Duration
+	// ColdBytes / WarmBytes are flash bytes streamed per cold / warm
+	// execution.
+	ColdBytes, WarmBytes int64
+}
+
+// Stats summarizes one simulated trace.
+type Stats struct {
+	App         string
+	Engagements int
+	Turns       int
+	Kills       int           // background reclaims
+	ColdStarts  int           // executions paying ColdLatency
+	MeanFirst   time.Duration // mean first-turn latency per engagement
+	WorstFirst  time.Duration
+	TotalIO     int64 // bytes streamed over the whole trace
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%-16s kills=%3d coldstarts=%3d meanFirstTurn=%8v worst=%8v totalIO=%dMB",
+		s.App, s.Kills, s.ColdStarts, s.MeanFirst.Round(time.Millisecond),
+		s.WorstFirst.Round(time.Millisecond), s.TotalIO>>20)
+}
+
+// Simulate runs the workload for one app configuration under the OS
+// model. Deterministic for a given seed.
+func Simulate(app App, w *Workload, os OSModel, seed int64) Stats {
+	rng := rand.New(rand.NewSource(seed))
+	stats := Stats{App: app.Name, Engagements: len(w.Engagements)}
+	resident := false // whether the app's model state survived so far
+	var firstSum time.Duration
+	for _, e := range w.Engagements {
+		if resident && rng.Float64() < os.KillProbability(app.ResidentBytes, e.Gap) {
+			resident = false
+			stats.Kills++
+		}
+		for turn := 0; turn < e.Turns; turn++ {
+			stats.Turns++
+			cold := !resident && turn == 0
+			if cold {
+				stats.ColdStarts++
+				if turn == 0 {
+					firstSum += app.ColdLatency
+					if app.ColdLatency > stats.WorstFirst {
+						stats.WorstFirst = app.ColdLatency
+					}
+				}
+				stats.TotalIO += app.ColdBytes
+				resident = app.ResidentBytes > 0
+				continue
+			}
+			if turn == 0 {
+				firstSum += app.WarmLatency
+				if app.WarmLatency > stats.WorstFirst {
+					stats.WorstFirst = app.WarmLatency
+				}
+			}
+			stats.TotalIO += app.WarmBytes
+		}
+	}
+	if stats.Engagements > 0 {
+		stats.MeanFirst = firstSum / time.Duration(stats.Engagements)
+	}
+	return stats
+}

@@ -1,0 +1,122 @@
+package lifetime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGenerateWorkloadDeterministicAndShaped(t *testing.T) {
+	a := GenerateWorkload(100, 30*time.Minute, 1)
+	b := GenerateWorkload(100, 30*time.Minute, 1)
+	if len(a.Engagements) != 100 {
+		t.Fatalf("%d engagements", len(a.Engagements))
+	}
+	var gapSum time.Duration
+	for i, e := range a.Engagements {
+		if e != b.Engagements[i] {
+			t.Fatal("workload not deterministic")
+		}
+		if e.Turns < 1 || e.Turns > 3 {
+			t.Fatalf("turns %d outside 1-3 (paper [9])", e.Turns)
+		}
+		gapSum += e.Gap
+	}
+	mean := gapSum / 100
+	if mean < 15*time.Minute || mean > 60*time.Minute {
+		t.Fatalf("mean gap %v implausible for mean 30m", mean)
+	}
+}
+
+func TestKillProbabilityShape(t *testing.T) {
+	os := DefaultOS()
+	big := os.KillProbability(324<<20, 30*time.Minute)
+	small := os.KillProbability(1<<20, 30*time.Minute)
+	if big < 0.9 {
+		t.Fatalf("a 324MB app backgrounded 30m should very likely die, p=%v", big)
+	}
+	if small > 0.05 {
+		t.Fatalf("a 1MB buffer should survive, p=%v", small)
+	}
+	if os.KillProbability(100<<20, 0) != 0 {
+		t.Fatal("zero gap must never kill")
+	}
+	longer := os.KillProbability(100<<20, time.Hour)
+	shorter := os.KillProbability(100<<20, time.Minute)
+	if longer <= shorter {
+		t.Fatal("kill probability must grow with gap")
+	}
+}
+
+func testApps() (hold, std, sti App) {
+	hold = App{Name: "HoldInMemory", ResidentBytes: 324 << 20,
+		ColdLatency: 2600 * time.Millisecond, WarmLatency: 95 * time.Millisecond,
+		ColdBytes: 324 << 20, WarmBytes: 0}
+	std = App{Name: "StdPipeline", ResidentBytes: 0,
+		ColdLatency: 370 * time.Millisecond, WarmLatency: 370 * time.Millisecond,
+		ColdBytes: 28 << 20, WarmBytes: 28 << 20}
+	sti = App{Name: "STI", ResidentBytes: 1 << 20,
+		ColdLatency: 195 * time.Millisecond, WarmLatency: 185 * time.Millisecond,
+		ColdBytes: 12 << 20, WarmBytes: 11 << 20}
+	return
+}
+
+func TestSimulateReproducesMotivation(t *testing.T) {
+	// §1/§2.2: hold-in-memory rarely survives between engagements (a
+	// lingering model benefits ≲2 executions); STI's MB-scale buffer
+	// survives almost always and keeps first-turn latency at ≈T.
+	w := GenerateWorkload(300, 30*time.Minute, 7)
+	hold, std, sti := testApps()
+	os := DefaultOS()
+	hs := Simulate(hold, w, os, 1)
+	ss := Simulate(std, w, os, 1)
+	ts := Simulate(sti, w, os, 1)
+
+	if hs.Kills < 200 {
+		t.Fatalf("hold-in-memory killed only %d/300 times; should be the usual victim", hs.Kills)
+	}
+	if ts.Kills > 30 {
+		t.Fatalf("STI killed %d times; a 1MB buffer should survive", ts.Kills)
+	}
+	if hs.MeanFirst < 4*ts.MeanFirst {
+		t.Fatalf("hold-in-memory mean first-turn %v should dwarf STI's %v (cold reloads)",
+			hs.MeanFirst, ts.MeanFirst)
+	}
+	if ss.MeanFirst < ts.MeanFirst {
+		t.Fatalf("standard pipeline %v should be slower than STI %v", ss.MeanFirst, ts.MeanFirst)
+	}
+	if ts.WorstFirst > 250*time.Millisecond {
+		t.Fatalf("STI worst first-turn %v exceeds user tolerance", ts.WorstFirst)
+	}
+}
+
+func TestSimulateCountsTurnsAndIO(t *testing.T) {
+	w := &Workload{Engagements: []Engagement{
+		{Gap: 0, Turns: 2},
+		{Gap: time.Hour, Turns: 1},
+	}}
+	_, std, _ := testApps()
+	s := Simulate(std, w, DefaultOS(), 2)
+	if s.Turns != 3 {
+		t.Fatalf("turns %d", s.Turns)
+	}
+	// Stateless pipeline: every execution streams its bytes (cold and
+	// warm volumes are identical for it).
+	if s.TotalIO != 3*std.ColdBytes {
+		t.Fatalf("total IO %d", s.TotalIO)
+	}
+	// The first turn of each engagement is a cold start; later turns of
+	// the same engagement count as back-to-back (warm path).
+	if s.ColdStarts != 2 {
+		t.Fatalf("cold starts %d, want one per engagement", s.ColdStarts)
+	}
+}
+
+func TestSimulateDeterministicPerSeed(t *testing.T) {
+	w := GenerateWorkload(50, 10*time.Minute, 3)
+	hold, _, _ := testApps()
+	a := Simulate(hold, w, DefaultOS(), 9)
+	b := Simulate(hold, w, DefaultOS(), 9)
+	if a != b {
+		t.Fatal("simulation not deterministic")
+	}
+}

@@ -1,0 +1,46 @@
+package model
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+)
+
+// Checkpointing: full-weights save/load, the hand-off format between
+// the trainer (cloud side in the paper's deployment story) and the
+// preprocessor. gob keeps it dependency-free; the shard store remains
+// the on-device format.
+
+// Save writes the complete weights to path.
+func (w *Weights) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(w); err != nil {
+		return fmt.Errorf("model: save: %w", err)
+	}
+	return nil
+}
+
+// LoadWeights reads a checkpoint written by Save and validates its
+// geometry.
+func LoadWeights(path string) (*Weights, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	w := &Weights{}
+	if err := gob.NewDecoder(f).Decode(w); err != nil {
+		return nil, fmt.Errorf("model: load: %w", err)
+	}
+	if err := w.Cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("model: load: %w", err)
+	}
+	if len(w.Layers) != w.Cfg.Layers {
+		return nil, fmt.Errorf("model: load: %d layers for config with %d", len(w.Layers), w.Cfg.Layers)
+	}
+	return w, nil
+}

@@ -1,0 +1,73 @@
+// Package model implements the BERT-style transformer encoder that STI
+// executes, including the elastic structure the paper requires: a model
+// is N layers of M attention heads, each layer vertically partitionable
+// into M independent shards (one attention head plus 1/M of the FFN
+// neurons, Table 1), and any n×m submodel (n ≤ N layers, m ≤ M shards
+// per layer) can run and produce meaningful classifications.
+//
+// The paper uses DynaBERT checkpoints (BERT-base geometry: 12 layers,
+// 12 heads, d=768, dff=3072). This package supports that geometry for
+// size/IO accounting and arbitrary smaller geometries for the real
+// trained models used in tests and examples.
+package model
+
+import "fmt"
+
+// Config describes a transformer encoder geometry.
+type Config struct {
+	Layers  int // N, number of transformer layers
+	Heads   int // M, attention heads per layer == vertical shards per layer
+	Hidden  int // d, hidden state size; must be divisible by Heads
+	FFN     int // dff, feed-forward inner size; must be divisible by Heads
+	Vocab   int // token vocabulary size
+	MaxSeq  int // maximum sequence length (position embeddings)
+	Classes int // classifier output classes
+}
+
+// BERTBase is the paper-scale geometry (Figure 2: 7.08M weights/layer).
+func BERTBase() Config {
+	return Config{Layers: 12, Heads: 12, Hidden: 768, FFN: 3072, Vocab: 30522, MaxSeq: 128, Classes: 2}
+}
+
+// Tiny returns a small geometry suitable for actually training models in
+// tests and examples: same 12×12 elastic structure, much smaller d.
+func Tiny() Config {
+	return Config{Layers: 4, Heads: 4, Hidden: 48, FFN: 96, Vocab: 512, MaxSeq: 32, Classes: 2}
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.Layers <= 0 || c.Heads <= 0 || c.Hidden <= 0 || c.FFN <= 0:
+		return fmt.Errorf("model: non-positive dimension in %+v", c)
+	case c.Hidden%c.Heads != 0:
+		return fmt.Errorf("model: hidden %d not divisible by heads %d", c.Hidden, c.Heads)
+	case c.FFN%c.Heads != 0:
+		return fmt.Errorf("model: ffn %d not divisible by heads %d", c.FFN, c.Heads)
+	case c.Vocab <= 0 || c.MaxSeq <= 0 || c.Classes <= 0:
+		return fmt.Errorf("model: non-positive vocab/maxseq/classes in %+v", c)
+	}
+	return nil
+}
+
+// HeadDim returns d/M, the per-head feature width.
+func (c Config) HeadDim() int { return c.Hidden / c.Heads }
+
+// FFNSlice returns dff/M, the per-shard FFN neuron count.
+func (c Config) FFNSlice() int { return c.FFN / c.Heads }
+
+// ShardParams returns the number of weights in one vertical shard
+// (Table 1): Q,K,V of d×(d/M), O of (d/M)×d, FFN1 of d×(dff/M), FFN2 of
+// (dff/M)×d. For BERT-base this is 589,824.
+func (c Config) ShardParams() int {
+	return 4*c.Hidden*c.HeadDim() + 2*c.Hidden*c.FFNSlice()
+}
+
+// LayerParams returns shard weights per layer, M×ShardParams (7.08M for
+// BERT-base, matching Figure 2's parameter breakdown).
+func (c Config) LayerParams() int { return c.Heads * c.ShardParams() }
+
+// TransformerParams returns total sharded weights across all layers.
+// This excludes embeddings, biases, layernorms and the classifier, which
+// STI keeps resident (§6).
+func (c Config) TransformerParams() int { return c.Layers * c.LayerParams() }

@@ -1,0 +1,100 @@
+package model
+
+import (
+	"testing"
+)
+
+func expectPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestExtractShardBounds(t *testing.T) {
+	w := NewRandom(Tiny(), 1)
+	expectPanic(t, "layer high", func() { w.ExtractShard(99, 0) })
+	expectPanic(t, "slice high", func() { w.ExtractShard(0, 99) })
+	expectPanic(t, "negative", func() { w.ExtractShard(-1, 0) })
+}
+
+func TestEmbedValidation(t *testing.T) {
+	cfg := Tiny()
+	w := NewRandom(cfg, 2)
+	sm, err := NewSubmodel(w, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectPanic(t, "token out of vocab", func() { sm.Embed([]int{cfg.Vocab}) })
+	expectPanic(t, "negative token", func() { sm.Embed([]int{-1}) })
+	long := make([]int, cfg.MaxSeq+1)
+	expectPanic(t, "over MaxSeq", func() { sm.Embed(long) })
+}
+
+func TestNewSubmodelBounds(t *testing.T) {
+	w := NewRandom(Tiny(), 3)
+	for _, c := range [][2]int{{0, 1}, {1, 0}, {99, 1}, {1, 99}} {
+		if _, err := NewSubmodel(w, c[0], c[1]); err == nil {
+			t.Fatalf("NewSubmodel(%d,%d) accepted", c[0], c[1])
+		}
+	}
+}
+
+func TestAssembleSubLayerValidation(t *testing.T) {
+	cfg := Tiny()
+	w := NewRandom(cfg, 4)
+	if _, err := AssembleSubLayer(cfg, w.Layers[0], nil); err == nil {
+		t.Fatal("empty shard list accepted")
+	}
+	tooMany := make([]*ShardWeights, cfg.Heads+1)
+	for i := range tooMany {
+		tooMany[i] = w.ExtractShard(0, 0)
+	}
+	if _, err := AssembleSubLayer(cfg, w.Layers[0], tooMany); err == nil {
+		t.Fatal("over-wide assembly accepted")
+	}
+	bad := w.ExtractShard(0, 0)
+	bad.Slice = 99
+	if _, err := AssembleSubLayer(cfg, w.Layers[0], []*ShardWeights{bad}); err == nil {
+		t.Fatal("out-of-range slice accepted")
+	}
+}
+
+func TestClassifyUsesCLSRow(t *testing.T) {
+	// Classify must read only row 0: changing later rows of the final
+	// activations must not change the logits.
+	cfg := Tiny()
+	w := NewRandom(cfg, 5)
+	sm, err := NewSubmodel(w, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := sm.Embed([]int{1, 2, 3, 4})
+	a := sm.Classify(x)
+	x.Row(2)[0] += 42
+	b := sm.Classify(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Classify depends on non-CLS rows")
+		}
+	}
+}
+
+func TestSubmodelNarrowerThanParentLayers(t *testing.T) {
+	// A 2-layer submodel of a 4-layer model must use layers 0 and 1.
+	cfg := Tiny()
+	w := NewRandom(cfg, 6)
+	sm, err := NewSubmodel(w, 2, cfg.Heads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sm.Layers) != 2 {
+		t.Fatalf("submodel has %d layers", len(sm.Layers))
+	}
+	if !sm.Layers[0].Q.Equal(w.Layers[0].Q) || !sm.Layers[1].Q.Equal(w.Layers[1].Q) {
+		t.Fatal("submodel did not take the bottom layers")
+	}
+}

@@ -1,0 +1,130 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCausalForwardPrefixInvariance(t *testing.T) {
+	// The defining property of causal attention: hidden states at
+	// position i do not depend on tokens after i.
+	cfg := Tiny()
+	w := NewRandom(cfg, 61)
+	sm, err := NewSubmodel(w, 2, cfg.Heads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := []int{5, 9, 13}
+	long := append(append([]int(nil), short...), 21, 34)
+	hShort := sm.CausalForward(short)
+	hLong := sm.CausalForward(long)
+	for i := 0; i < len(short); i++ {
+		a, b := hShort.Row(i), hLong.Row(i)
+		for j := range a {
+			if math.Abs(float64(a[j]-b[j])) > 1e-4 {
+				t.Fatalf("position %d depends on future tokens: %v vs %v", i, a[j], b[j])
+			}
+		}
+	}
+}
+
+func TestBidirectionalAttendsToFuture(t *testing.T) {
+	// Sanity check the contrast: the classification forward pass (no
+	// causal mask) must NOT be prefix-invariant.
+	cfg := Tiny()
+	w := NewRandom(cfg, 62)
+	sm, err := NewSubmodel(w, 2, cfg.Heads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sm.Logits([]int{5, 9, 13, 21}, nil)
+	b := sm.Logits([]int{5, 9, 13, 99}, nil)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("bidirectional logits ignored a changed token")
+	}
+}
+
+func TestNextTokenLogitsShape(t *testing.T) {
+	cfg := Tiny()
+	w := NewRandom(cfg, 63)
+	sm, err := NewSubmodel(w, cfg.Layers, cfg.Heads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logits := sm.NextTokenLogits([]int{1, 2, 3})
+	if len(logits) != cfg.Vocab {
+		t.Fatalf("LM logits length %d, want vocab %d", len(logits), cfg.Vocab)
+	}
+	for _, v := range logits {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatal("non-finite LM logit")
+		}
+	}
+}
+
+func TestGenerateDeterministicAndBounded(t *testing.T) {
+	cfg := Tiny()
+	w := NewRandom(cfg, 64)
+	sm, err := NewSubmodel(w, 2, 2) // narrow submodel must also generate
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sm.Generate([]int{7, 8}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sm.Generate([]int{7, 8}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 8 {
+		t.Fatalf("generated sequence length %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("greedy decoding not deterministic")
+		}
+		if a[i] < 0 || a[i] >= cfg.Vocab {
+			t.Fatalf("generated token %d outside vocab", a[i])
+		}
+	}
+	// Prompt preserved.
+	if a[0] != 7 || a[1] != 8 {
+		t.Fatalf("prompt clobbered: %v", a)
+	}
+}
+
+func TestGenerateStopsAtMaxSeq(t *testing.T) {
+	cfg := Tiny()
+	w := NewRandom(cfg, 65)
+	sm, err := NewSubmodel(w, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prompt := make([]int, cfg.MaxSeq-2)
+	for i := range prompt {
+		prompt[i] = 4
+	}
+	seq, err := sm.Generate(prompt, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != cfg.MaxSeq {
+		t.Fatalf("sequence %d exceeds MaxSeq %d", len(seq), cfg.MaxSeq)
+	}
+}
+
+func TestGenerateEmptyPrompt(t *testing.T) {
+	cfg := Tiny()
+	w := NewRandom(cfg, 66)
+	sm, _ := NewSubmodel(w, 1, 1)
+	if _, err := sm.Generate(nil, 3); err == nil {
+		t.Fatal("expected empty-prompt error")
+	}
+}

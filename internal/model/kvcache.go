@@ -1,0 +1,180 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"sti/internal/tensor"
+)
+
+// Incremental decoding with per-layer key/value caches. Naive
+// generation recomputes the whole prefix per token (O(n²) layer passes
+// over the sequence); a Decoder runs each new token through the
+// submodel once, attending to cached keys/values — the standard
+// GPT-style inference optimization, applied to STI's assembled
+// submodels.
+type Decoder struct {
+	SM     *Submodel
+	layers []*kvLayer
+	length int // tokens consumed so far
+}
+
+type kvLayer struct {
+	k, v *tensor.Matrix // maxseq × (width·headDim), rows [0,length) valid
+}
+
+// NewDecoder prepares empty caches for the submodel.
+func NewDecoder(sm *Submodel) *Decoder {
+	d := &Decoder{SM: sm}
+	cfg := sm.Cfg
+	for _, sl := range sm.Layers {
+		d.layers = append(d.layers, &kvLayer{
+			k: tensor.New(cfg.MaxSeq, sl.Width*cfg.HeadDim()),
+			v: tensor.New(cfg.MaxSeq, sl.Width*cfg.HeadDim()),
+		})
+	}
+	return d
+}
+
+// Len returns the number of tokens consumed.
+func (d *Decoder) Len() int { return d.length }
+
+// Append feeds one token and returns its final hidden state (1×d).
+// The hidden state equals row `length` of CausalForward over the whole
+// prefix, without recomputing the prefix.
+func (d *Decoder) Append(token int) ([]float32, error) {
+	cfg := d.SM.Cfg
+	if d.length >= cfg.MaxSeq {
+		return nil, fmt.Errorf("model: decoder exceeded MaxSeq %d", cfg.MaxSeq)
+	}
+	if token < 0 || token >= cfg.Vocab {
+		return nil, fmt.Errorf("model: token %d outside vocab", token)
+	}
+	pos := d.length
+	// Embedding for this position.
+	x := tensor.New(1, cfg.Hidden)
+	copy(x.Row(0), d.SM.Parent.Emb.Token.Row(token))
+	posEmb := d.SM.Parent.Emb.Position.Row(pos)
+	for j := range x.Row(0) {
+		x.Row(0)[j] += posEmb[j]
+	}
+	tensor.LayerNormRows(x, d.SM.Parent.Emb.LNG, d.SM.Parent.Emb.LNB, nil, nil)
+
+	hd := cfg.HeadDim()
+	for li, sl := range d.SM.Layers {
+		kv := d.layers[li]
+		mw := sl.Width * hd
+
+		q := tensor.New(1, mw)
+		tensor.MatMul(q, x, sl.Q)
+		tensor.AddBias(q, sl.QB)
+		kRow := tensor.New(1, mw)
+		tensor.MatMul(kRow, x, sl.K)
+		tensor.AddBias(kRow, sl.KB)
+		vRow := tensor.New(1, mw)
+		tensor.MatMul(vRow, x, sl.V)
+		tensor.AddBias(vRow, sl.VB)
+		copy(kv.k.Row(pos), kRow.Row(0))
+		copy(kv.v.Row(pos), vRow.Row(0))
+
+		concat := tensor.New(1, mw)
+		scale := float32(1 / math.Sqrt(float64(hd)))
+		for h := 0; h < sl.Width; h++ {
+			qh := q.Row(0)[h*hd : (h+1)*hd]
+			// Scores over cached positions 0..pos.
+			scores := make([]float32, pos+1)
+			var max float32 = -math.MaxFloat32
+			for j := 0; j <= pos; j++ {
+				kj := kv.k.Row(j)[h*hd : (h+1)*hd]
+				var s float32
+				for z := range qh {
+					s += qh[z] * kj[z]
+				}
+				s *= scale
+				scores[j] = s
+				if s > max {
+					max = s
+				}
+			}
+			var sum float32
+			for j := range scores {
+				scores[j] = float32(math.Exp(float64(scores[j] - max)))
+				sum += scores[j]
+			}
+			out := concat.Row(0)[h*hd : (h+1)*hd]
+			for j := 0; j <= pos; j++ {
+				wj := scores[j] / sum
+				vj := kv.v.Row(j)[h*hd : (h+1)*hd]
+				for z := range out {
+					out[z] += wj * vj[z]
+				}
+			}
+		}
+
+		attn := tensor.New(1, cfg.Hidden)
+		tensor.MatMul(attn, concat, sl.O)
+		tensor.AddBias(attn, sl.OB)
+		tensor.Add(attn, attn, x)
+		tensor.LayerNormRows(attn, sl.LN1G, sl.LN1B, nil, nil)
+
+		inner := tensor.New(1, sl.Width*cfg.FFNSlice())
+		tensor.MatMul(inner, attn, sl.FFN1)
+		tensor.AddBias(inner, sl.FFN1B)
+		tensor.GELU(inner)
+		out := tensor.New(1, cfg.Hidden)
+		tensor.MatMul(out, inner, sl.FFN2)
+		tensor.AddBias(out, sl.FFN2B)
+		tensor.Add(out, out, attn)
+		tensor.LayerNormRows(out, sl.LN2G, sl.LN2B, nil, nil)
+		x = out
+	}
+	d.length++
+	return x.Row(0), nil
+}
+
+// NextLogits returns LM logits after consuming the token (weight-tied
+// head, same as Submodel.NextTokenLogits).
+func (d *Decoder) NextLogits(token int) ([]float32, error) {
+	hidden, err := d.Append(token)
+	if err != nil {
+		return nil, err
+	}
+	h := tensor.FromSlice(1, d.SM.Cfg.Hidden, hidden)
+	logits := tensor.New(1, d.SM.Cfg.Vocab)
+	tensor.MatMulBT(logits, h, d.SM.Parent.Emb.Token)
+	return logits.Row(0), nil
+}
+
+// GenerateCached greedily decodes steps tokens after the prompt using
+// the KV cache; the result matches Submodel.Generate exactly while
+// doing O(n) layer passes instead of O(n²).
+func (sm *Submodel) GenerateCached(prompt []int, steps int) ([]int, error) {
+	if len(prompt) == 0 {
+		return nil, fmt.Errorf("model: empty prompt")
+	}
+	d := NewDecoder(sm)
+	var logits []float32
+	var err error
+	for _, tok := range prompt {
+		if logits, err = d.NextLogits(tok); err != nil {
+			return nil, err
+		}
+	}
+	seq := append([]int(nil), prompt...)
+	for s := 0; s < steps && len(seq) < sm.Cfg.MaxSeq; s++ {
+		best := 0
+		for i, v := range logits {
+			if v > logits[best] {
+				best = i
+			}
+		}
+		seq = append(seq, best)
+		if len(seq) >= sm.Cfg.MaxSeq {
+			break
+		}
+		if logits, err = d.NextLogits(best); err != nil {
+			return nil, err
+		}
+	}
+	return seq, nil
+}

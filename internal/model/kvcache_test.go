@@ -1,0 +1,108 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDecoderMatchesCausalForward(t *testing.T) {
+	// The KV-cached incremental path must reproduce the full causal
+	// forward pass position by position.
+	cfg := Tiny()
+	w := NewRandom(cfg, 71)
+	sm, err := NewSubmodel(w, cfg.Layers, cfg.Heads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokens := []int{3, 14, 15, 9, 26, 5}
+	full := sm.CausalForward(tokens)
+	d := NewDecoder(sm)
+	for i, tok := range tokens {
+		hidden, err := d.Append(tok)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := full.Row(i)
+		for j := range hidden {
+			if math.Abs(float64(hidden[j]-want[j])) > 1e-4 {
+				t.Fatalf("position %d dim %d: cached %v vs full %v", i, j, hidden[j], want[j])
+			}
+		}
+	}
+	if d.Len() != len(tokens) {
+		t.Fatalf("decoder length %d", d.Len())
+	}
+}
+
+func TestGenerateCachedMatchesGenerate(t *testing.T) {
+	cfg := Tiny()
+	w := NewRandom(cfg, 72)
+	for _, dims := range [][2]int{{cfg.Layers, cfg.Heads}, {2, 2}} {
+		sm, err := NewSubmodel(w, dims[0], dims[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		prompt := []int{11, 7, 19}
+		slow, err := sm.Generate(prompt, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := sm.GenerateCached(prompt, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(slow) != len(fast) {
+			t.Fatalf("lengths differ: %d vs %d", len(slow), len(fast))
+		}
+		for i := range slow {
+			if slow[i] != fast[i] {
+				t.Fatalf("submodel %v: cached decode diverged at %d: %v vs %v", dims, i, slow, fast)
+			}
+		}
+	}
+}
+
+func TestDecoderValidation(t *testing.T) {
+	cfg := Tiny()
+	w := NewRandom(cfg, 73)
+	sm, _ := NewSubmodel(w, 1, 1)
+	d := NewDecoder(sm)
+	if _, err := d.Append(-1); err == nil {
+		t.Fatal("negative token accepted")
+	}
+	if _, err := d.Append(cfg.Vocab); err == nil {
+		t.Fatal("out-of-vocab token accepted")
+	}
+	for i := 0; i < cfg.MaxSeq; i++ {
+		if _, err := d.Append(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.Append(1); err == nil {
+		t.Fatal("overflow past MaxSeq accepted")
+	}
+}
+
+func BenchmarkGenerateNaive(b *testing.B) {
+	cfg := Tiny()
+	w := NewRandom(cfg, 74)
+	sm, _ := NewSubmodel(w, cfg.Layers, cfg.Heads)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sm.Generate([]int{1, 2}, 24); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateKVCached(b *testing.B) {
+	cfg := Tiny()
+	w := NewRandom(cfg, 74)
+	sm, _ := NewSubmodel(w, cfg.Layers, cfg.Heads)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sm.GenerateCached([]int{1, 2}, 24); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,371 @@
+package model
+
+import (
+	"os"
+
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sti/internal/quant"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := BERTBase().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Tiny().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := BERTBase()
+	bad.Hidden = 770 // not divisible by 12
+	if bad.Validate() == nil {
+		t.Fatal("expected divisibility error")
+	}
+	bad = BERTBase()
+	bad.Layers = 0
+	if bad.Validate() == nil {
+		t.Fatal("expected non-positive error")
+	}
+}
+
+func TestPaperScaleParameterCounts(t *testing.T) {
+	cfg := BERTBase()
+	// Figure 2 / Table 1: 589,824 weights per shard, 7.08M per layer.
+	if got := cfg.ShardParams(); got != 589824 {
+		t.Fatalf("ShardParams = %d, want 589824", got)
+	}
+	if got := cfg.LayerParams(); got != 7077888 {
+		t.Fatalf("LayerParams = %d, want 7077888", got)
+	}
+	if got := cfg.TransformerParams(); got != 12*7077888 {
+		t.Fatalf("TransformerParams = %d", got)
+	}
+}
+
+func TestNewRandomDeterministic(t *testing.T) {
+	a := NewRandom(Tiny(), 42)
+	b := NewRandom(Tiny(), 42)
+	if !a.Layers[0].Q.Equal(b.Layers[0].Q) || !a.Emb.Token.Equal(b.Emb.Token) {
+		t.Fatal("NewRandom not deterministic for equal seeds")
+	}
+	c := NewRandom(Tiny(), 43)
+	if a.Layers[0].Q.Equal(c.Layers[0].Q) {
+		t.Fatal("different seeds produced identical weights")
+	}
+}
+
+func TestShardFlattenRoundTrip(t *testing.T) {
+	cfg := Tiny()
+	w := NewRandom(cfg, 1)
+	s := w.ExtractShard(2, 3)
+	if s.Params() != cfg.ShardParams() {
+		t.Fatalf("shard params %d want %d", s.Params(), cfg.ShardParams())
+	}
+	flat := s.Flatten()
+	back, err := UnflattenShard(cfg, 2, 3, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Q.Equal(s.Q) || !back.K.Equal(s.K) || !back.V.Equal(s.V) ||
+		!back.O.Equal(s.O) || !back.FFN1.Equal(s.FFN1) || !back.FFN2.Equal(s.FFN2) {
+		t.Fatal("flatten/unflatten round trip lost data")
+	}
+}
+
+func TestUnflattenRejectsWrongSize(t *testing.T) {
+	if _, err := UnflattenShard(Tiny(), 0, 0, make([]float32, 7)); err == nil {
+		t.Fatal("expected size error")
+	}
+}
+
+func TestAssembleFullWidthReproducesOriginal(t *testing.T) {
+	cfg := Tiny()
+	w := NewRandom(cfg, 2)
+	shards := make([]*ShardWeights, cfg.Heads)
+	for i := range shards {
+		shards[i] = w.ExtractShard(1, i)
+	}
+	sl, err := AssembleSubLayer(cfg, w.Layers[1], shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := w.Layers[1]
+	if !sl.Q.Equal(orig.Q) || !sl.K.Equal(orig.K) || !sl.V.Equal(orig.V) ||
+		!sl.O.Equal(orig.O) || !sl.FFN1.Equal(orig.FFN1) || !sl.FFN2.Equal(orig.FFN2) {
+		t.Fatal("full-width assembly does not reproduce the original layer")
+	}
+}
+
+func TestAssembleRejectsMixedLayers(t *testing.T) {
+	cfg := Tiny()
+	w := NewRandom(cfg, 3)
+	_, err := AssembleSubLayer(cfg, w.Layers[0], []*ShardWeights{
+		w.ExtractShard(0, 0), w.ExtractShard(1, 1),
+	})
+	if err == nil {
+		t.Fatal("expected error assembling shards from different layers")
+	}
+}
+
+func testTokens(cfg Config, n int, rng *rand.Rand) []int {
+	toks := make([]int, n)
+	for i := range toks {
+		toks[i] = rng.Intn(cfg.Vocab)
+	}
+	return toks
+}
+
+func TestForwardDeterministic(t *testing.T) {
+	cfg := Tiny()
+	w := NewRandom(cfg, 4)
+	sm, err := NewSubmodel(w, cfg.Layers, cfg.Heads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	toks := testTokens(cfg, 16, rng)
+	a := sm.Logits(toks, nil)
+	b := sm.Logits(toks, nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("forward pass not deterministic")
+		}
+	}
+	if len(a) != cfg.Classes {
+		t.Fatalf("logits length %d", len(a))
+	}
+	for _, v := range a {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatalf("non-finite logit %v", v)
+		}
+	}
+}
+
+func TestAnySubmodelProducesFiniteLogits(t *testing.T) {
+	// Paper §4.1: any n×m submodel must execute and give meaningful
+	// (finite, well-formed) results.
+	cfg := Tiny()
+	w := NewRandom(cfg, 6)
+	rng := rand.New(rand.NewSource(7))
+	toks := testTokens(cfg, 12, rng)
+	for n := 1; n <= cfg.Layers; n++ {
+		for m := 1; m <= cfg.Heads; m++ {
+			sm, err := NewSubmodel(w, n, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range sm.Logits(toks, nil) {
+				if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+					t.Fatalf("submodel %dx%d produced non-finite logit", n, m)
+				}
+			}
+		}
+	}
+}
+
+func TestHeadPermutationInvariance(t *testing.T) {
+	// Assembling the same set of shards in a different order must give
+	// identical logits: Q/K/V columns and O rows are permuted together,
+	// and attention heads are order-independent.
+	cfg := Tiny()
+	w := NewRandom(cfg, 8)
+	rng := rand.New(rand.NewSource(9))
+	toks := testTokens(cfg, 10, rng)
+
+	build := func(order []int) []float32 {
+		sm := &Submodel{Cfg: cfg, Parent: w}
+		for l := 0; l < 2; l++ {
+			shards := make([]*ShardWeights, len(order))
+			for i, s := range order {
+				shards[i] = w.ExtractShard(l, s)
+			}
+			sl, err := AssembleSubLayer(cfg, w.Layers[l], shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sm.Layers = append(sm.Layers, sl)
+		}
+		return sm.Logits(toks, nil)
+	}
+	a := build([]int{0, 1, 2})
+	b := build([]int{2, 0, 1})
+	for i := range a {
+		if math.Abs(float64(a[i]-b[i])) > 1e-4 {
+			t.Fatalf("head permutation changed logits: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestPaddingMaskIsolation(t *testing.T) {
+	// Changing a padding token's id must not change the logits when the
+	// position is masked out of attention.
+	cfg := Tiny()
+	w := NewRandom(cfg, 10)
+	sm, err := NewSubmodel(w, 3, cfg.Heads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	toks := testTokens(cfg, 8, rng)
+	mask := []bool{true, true, true, true, true, false, false, false}
+	a := sm.Logits(toks, mask)
+	toks2 := append([]int(nil), toks...)
+	toks2[5] = (toks2[5] + 1) % cfg.Vocab
+	toks2[7] = (toks2[7] + 3) % cfg.Vocab
+	b := sm.Logits(toks2, mask)
+	for i := range a {
+		if math.Abs(float64(a[i]-b[i])) > 1e-5 {
+			t.Fatalf("padding leaked into logits: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestQuantizedShardsApproximateFullModel(t *testing.T) {
+	// A 6-bit submodel should be close to the full-fidelity one; 2-bit
+	// strictly worse (larger deviation). This is the fidelity gradient
+	// STI's planner exploits.
+	cfg := Tiny()
+	w := NewRandom(cfg, 12)
+	rng := rand.New(rand.NewSource(13))
+	toks := testTokens(cfg, 12, rng)
+
+	quantized := func(bits int) []float32 {
+		sm := &Submodel{Cfg: cfg, Parent: w}
+		for l := 0; l < 2; l++ {
+			shards := make([]*ShardWeights, cfg.Heads)
+			for i := 0; i < cfg.Heads; i++ {
+				flat := w.ExtractShard(l, i).Flatten()
+				rec := quant.Quantize(flat, bits).Dequantize()
+				s, err := UnflattenShard(cfg, l, i, rec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				shards[i] = s
+			}
+			sl, err := AssembleSubLayer(cfg, w.Layers[l], shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sm.Layers = append(sm.Layers, sl)
+		}
+		return sm.Logits(toks, nil)
+	}
+	full, err := NewSubmodel(w, 2, cfg.Heads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := full.Logits(toks, nil)
+	dev := func(got []float32) float64 {
+		var d float64
+		for i := range got {
+			d += math.Abs(float64(got[i] - ref[i]))
+		}
+		return d
+	}
+	d6 := dev(quantized(6))
+	d2 := dev(quantized(2))
+	if d6 >= d2 {
+		t.Fatalf("6-bit deviation %v not below 2-bit deviation %v", d6, d2)
+	}
+	if d6 > 0.5 {
+		t.Fatalf("6-bit deviation %v unexpectedly large", d6)
+	}
+}
+
+func TestFLOPsMonotone(t *testing.T) {
+	cfg := BERTBase()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(11)
+		m := 1 + rng.Intn(11)
+		l := 16 + rng.Intn(112)
+		base := FLOPs(cfg, n, m, l)
+		return FLOPs(cfg, n+1, m, l) > base && FLOPs(cfg, n, m+1, l) > base
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFLOPsScalesLinearlyInDepth(t *testing.T) {
+	cfg := BERTBase()
+	one := FLOPs(cfg, 1, 12, 128)
+	ten := FLOPs(cfg, 10, 12, 128)
+	if ten != 10*one {
+		t.Fatalf("FLOPs not linear in depth: %d vs 10×%d", ten, one)
+	}
+}
+
+func TestResidentBytesSmallVersusShards(t *testing.T) {
+	// Resident parameters (embeddings aside) must be tiny compared with
+	// shard weights — the premise for keeping them in memory (§6).
+	cfg := BERTBase()
+	w := NewRandom(Tiny(), 14) // geometry only matters via cfg below
+	_ = w
+	shardBytes := 4 * cfg.TransformerParams()
+	// Per-layer misc: 4 d biases + dff + d + 4 d layernorm params.
+	miscPerLayer := 4 * (4*cfg.Hidden + cfg.FFN + cfg.Hidden + 4*cfg.Hidden)
+	if miscPerLayer*cfg.Layers > shardBytes/50 {
+		t.Fatalf("misc params %d not ≪ shard bytes %d", miscPerLayer*cfg.Layers, shardBytes)
+	}
+}
+
+func BenchmarkForwardTinyFullModel(b *testing.B) {
+	cfg := Tiny()
+	w := NewRandom(cfg, 15)
+	sm, err := NewSubmodel(w, cfg.Layers, cfg.Heads)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(16))
+	toks := testTokens(cfg, 32, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sm.Logits(toks, nil)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/model.ckpt"
+	cfg := Tiny()
+	w := NewRandom(cfg, 81)
+	if err := w.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadWeights(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cfg != cfg {
+		t.Fatalf("config %+v", got.Cfg)
+	}
+	if !got.Layers[2].FFN1.Equal(w.Layers[2].FFN1) || !got.Emb.Token.Equal(w.Emb.Token) {
+		t.Fatal("checkpoint round trip lost weights")
+	}
+	// Behavioural equivalence.
+	a, _ := NewSubmodel(w, cfg.Layers, cfg.Heads)
+	b, _ := NewSubmodel(got, cfg.Layers, cfg.Heads)
+	la := a.Logits([]int{1, 2, 3}, nil)
+	lb := b.Logits([]int{1, 2, 3}, nil)
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatal("loaded model computes differently")
+		}
+	}
+}
+
+func TestLoadWeightsErrors(t *testing.T) {
+	if _, err := LoadWeights(t.TempDir() + "/missing"); err == nil {
+		t.Fatal("missing checkpoint accepted")
+	}
+	bad := t.TempDir() + "/bad"
+	if err := os.WriteFile(bad, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadWeights(bad); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+}

@@ -1,0 +1,164 @@
+package model
+
+import (
+	"fmt"
+
+	"sti/internal/tensor"
+)
+
+// ShardWeights is the full-fidelity payload of one vertical slice of one
+// layer: one attention head's Q/K/V/O columns plus 1/M of the FFN
+// neurons (Table 1). A shard is what gets quantized into K fidelity
+// versions and stored on flash.
+type ShardWeights struct {
+	Layer, Slice int
+
+	Q, K, V *tensor.Matrix // d × d/M (output columns of head Slice)
+	O       *tensor.Matrix // d/M × d (input rows fed by head Slice)
+	FFN1    *tensor.Matrix // d × dff/M
+	FFN2    *tensor.Matrix // dff/M × d
+}
+
+// ExtractShard vertically slices shard (layer, slice) out of the full
+// weights. By construction the slice is independent: it holds exactly
+// the parameters that head `slice` reads and writes.
+func (w *Weights) ExtractShard(layer, slice int) *ShardWeights {
+	cfg := w.Cfg
+	if layer < 0 || layer >= cfg.Layers || slice < 0 || slice >= cfg.Heads {
+		panic(fmt.Sprintf("model: ExtractShard(%d,%d) outside %dx%d", layer, slice, cfg.Layers, cfg.Heads))
+	}
+	l := w.Layers[layer]
+	hd, fs := cfg.HeadDim(), cfg.FFNSlice()
+	return &ShardWeights{
+		Layer: layer, Slice: slice,
+		Q:    l.Q.ColSlice(slice*hd, (slice+1)*hd),
+		K:    l.K.ColSlice(slice*hd, (slice+1)*hd),
+		V:    l.V.ColSlice(slice*hd, (slice+1)*hd),
+		O:    l.O.RowSlice(slice*hd, (slice+1)*hd),
+		FFN1: l.FFN1.ColSlice(slice*fs, (slice+1)*fs),
+		FFN2: l.FFN2.RowSlice(slice*fs, (slice+1)*fs),
+	}
+}
+
+// InstallShard writes a shard's weights (flat, in Flatten order) back
+// into the full weight matrices — the inverse of ExtractShard, used to
+// rebuild complete weights from a store's full-fidelity shards.
+func (w *Weights) InstallShard(layer, slice int, flat []float32) error {
+	cfg := w.Cfg
+	s, err := UnflattenShard(cfg, layer, slice, flat)
+	if err != nil {
+		return err
+	}
+	if layer < 0 || layer >= cfg.Layers || slice < 0 || slice >= cfg.Heads {
+		return fmt.Errorf("model: InstallShard(%d,%d) outside %dx%d", layer, slice, cfg.Layers, cfg.Heads)
+	}
+	l := w.Layers[layer]
+	hd, fs := cfg.HeadDim(), cfg.FFNSlice()
+	l.Q.SetColSlice(slice*hd, s.Q)
+	l.K.SetColSlice(slice*hd, s.K)
+	l.V.SetColSlice(slice*hd, s.V)
+	l.O.SetRowSlice(slice*hd, s.O)
+	l.FFN1.SetColSlice(slice*fs, s.FFN1)
+	l.FFN2.SetRowSlice(slice*fs, s.FFN2)
+	return nil
+}
+
+// Params returns the number of weights in the shard.
+func (s *ShardWeights) Params() int {
+	return len(s.Q.Data) + len(s.K.Data) + len(s.V.Data) + len(s.O.Data) + len(s.FFN1.Data) + len(s.FFN2.Data)
+}
+
+// Flatten serializes the shard's weights into one flat slice in the
+// fixed order Q, K, V, O, FFN1, FFN2 (each row-major). This is the array
+// handed to the quantizer; Unflatten is its inverse.
+func (s *ShardWeights) Flatten() []float32 {
+	out := make([]float32, 0, s.Params())
+	for _, m := range []*tensor.Matrix{s.Q, s.K, s.V, s.O, s.FFN1, s.FFN2} {
+		out = append(out, m.Data...)
+	}
+	return out
+}
+
+// UnflattenShard reconstructs shard matrices from a flat weight slice
+// produced by Flatten (or by dequantizing a stored fidelity version).
+func UnflattenShard(cfg Config, layer, slice int, data []float32) (*ShardWeights, error) {
+	if want := cfg.ShardParams(); len(data) != want {
+		return nil, fmt.Errorf("model: shard payload has %d weights, want %d", len(data), want)
+	}
+	hd, fs, d := cfg.HeadDim(), cfg.FFNSlice(), cfg.Hidden
+	s := &ShardWeights{Layer: layer, Slice: slice}
+	off := 0
+	take := func(rows, cols int) *tensor.Matrix {
+		m := tensor.FromSlice(rows, cols, data[off:off+rows*cols])
+		off += rows * cols
+		return m
+	}
+	s.Q = take(d, hd)
+	s.K = take(d, hd)
+	s.V = take(d, hd)
+	s.O = take(hd, d)
+	s.FFN1 = take(d, fs)
+	s.FFN2 = take(fs, d)
+	return s, nil
+}
+
+// SubLayer is an assembled layer of width m: the concatenation of m
+// shards' weights plus the resident full-fidelity biases and layernorm
+// parameters sliced to match.
+type SubLayer struct {
+	Width int // m, number of shards assembled
+
+	Q, K, V *tensor.Matrix // d × m·hd
+	O       *tensor.Matrix // m·hd × d
+	FFN1    *tensor.Matrix // d × m·fs
+	FFN2    *tensor.Matrix // m·fs × d
+
+	QB, KB, VB []float32 // length m·hd (sliced from resident biases)
+	OB         []float32 // length d
+	FFN1B      []float32 // length m·fs
+	FFN2B      []float32 // length d
+	LN1G, LN1B []float32
+	LN2G, LN2B []float32
+}
+
+// AssembleSubLayer builds an executable layer of width len(shards) from
+// shard payloads (in any fidelity — callers pass dequantized weights)
+// plus the resident miscellaneous parameters of the original layer.
+// All shards must come from the same layer; their slice indexes determine
+// which resident bias columns are attached.
+func AssembleSubLayer(cfg Config, resident *LayerWeights, shards []*ShardWeights) (*SubLayer, error) {
+	m := len(shards)
+	if m == 0 || m > cfg.Heads {
+		return nil, fmt.Errorf("model: assemble with %d shards (heads=%d)", m, cfg.Heads)
+	}
+	hd, fs, d := cfg.HeadDim(), cfg.FFNSlice(), cfg.Hidden
+	sl := &SubLayer{
+		Width: m,
+		Q:     tensor.New(d, m*hd), K: tensor.New(d, m*hd), V: tensor.New(d, m*hd),
+		O:    tensor.New(m*hd, d),
+		FFN1: tensor.New(d, m*fs), FFN2: tensor.New(m*fs, d),
+		QB: make([]float32, m*hd), KB: make([]float32, m*hd), VB: make([]float32, m*hd),
+		OB: resident.OB, FFN1B: make([]float32, m*fs), FFN2B: resident.FFN2B,
+		LN1G: resident.LN1G, LN1B: resident.LN1B, LN2G: resident.LN2G, LN2B: resident.LN2B,
+	}
+	layer := shards[0].Layer
+	for i, s := range shards {
+		if s.Layer != layer {
+			return nil, fmt.Errorf("model: assembling shards from layers %d and %d", layer, s.Layer)
+		}
+		if s.Slice < 0 || s.Slice >= cfg.Heads {
+			return nil, fmt.Errorf("model: shard slice %d outside %d heads", s.Slice, cfg.Heads)
+		}
+		sl.Q.SetColSlice(i*hd, s.Q)
+		sl.K.SetColSlice(i*hd, s.K)
+		sl.V.SetColSlice(i*hd, s.V)
+		sl.O.SetRowSlice(i*hd, s.O)
+		sl.FFN1.SetColSlice(i*fs, s.FFN1)
+		sl.FFN2.SetRowSlice(i*fs, s.FFN2)
+		copy(sl.QB[i*hd:], resident.QB[s.Slice*hd:(s.Slice+1)*hd])
+		copy(sl.KB[i*hd:], resident.KB[s.Slice*hd:(s.Slice+1)*hd])
+		copy(sl.VB[i*hd:], resident.VB[s.Slice*hd:(s.Slice+1)*hd])
+		copy(sl.FFN1B[i*fs:], resident.FFN1B[s.Slice*fs:(s.Slice+1)*fs])
+	}
+	return sl, nil
+}

@@ -1,0 +1,296 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sti/internal/model"
+	"sti/internal/planner"
+	"sti/internal/shard"
+	"sti/internal/store"
+)
+
+// Engine is the real concurrent pipeline executor: an IO goroutine
+// streams each layer's shard payloads from the store while the main
+// goroutine decompresses (in parallel across a layer's shards, like the
+// paper's OpenMP decompressor) and computes the previous layers.
+//
+// The engine owns the preload buffer (§3.1): a byte-budgeted cache of
+// compressed shard payloads that survives across executions. Warm fills
+// it per a plan before user engagement; Retain implements §5.5's
+// eviction (keep bottom layers, evict from the top) after an execution.
+type Engine struct {
+	Store    *store.Store
+	Resident *model.Weights
+
+	mu          sync.Mutex
+	cache       map[shard.Version][]byte
+	cacheBytes  int64
+	CacheBudget int64
+}
+
+// NewEngine opens the resident parameters of a preprocessed store.
+func NewEngine(st *store.Store, cacheBudget int64) (*Engine, error) {
+	res, err := st.LoadResident()
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		Store: st, Resident: res,
+		cache: make(map[shard.Version][]byte), CacheBudget: cacheBudget,
+	}, nil
+}
+
+// CacheBytes returns the bytes currently held in the preload buffer.
+func (e *Engine) CacheBytes() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cacheBytes
+}
+
+// SetCacheBudget resizes the preload buffer (§3.2: the app or OS can
+// change |S| at any time). When shrinking, cached shards are evicted
+// from the top layers down — bottom layers are needed earliest on the
+// next engagement (§5.5).
+func (e *Engine) SetCacheBudget(budget int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.CacheBudget = budget
+	if e.cacheBytes <= budget {
+		return
+	}
+	versions := make([]shard.Version, 0, len(e.cache))
+	for v := range e.cache {
+		versions = append(versions, v)
+	}
+	sort.Slice(versions, func(i, j int) bool {
+		if versions[i].Layer != versions[j].Layer {
+			return versions[i].Layer > versions[j].Layer // top layers first
+		}
+		return versions[i].Slice > versions[j].Slice
+	})
+	for _, v := range versions {
+		if e.cacheBytes <= budget {
+			break
+		}
+		e.cacheBytes -= int64(len(e.cache[v]))
+		delete(e.cache, v)
+	}
+}
+
+// Warm brings the buffer to exactly the plan's preload set: shard
+// versions the plan does not preload are evicted (a replanned pipeline
+// owns the buffer — §3.2), then missing preloads are read in. After
+// Warm, the buffer holds PreloadUsed bytes, so it respects any budget
+// the plan was given.
+func (e *Engine) Warm(p *planner.Plan) error {
+	wanted := make(map[shard.Version]bool)
+	for l := 0; l < p.Depth; l++ {
+		for j, s := range p.Slices[l] {
+			if p.Preloaded[l][j] {
+				wanted[shard.Version{ID: shard.ID{Layer: l, Slice: s}, Bits: p.Bits[l][j]}] = true
+			}
+		}
+	}
+	e.mu.Lock()
+	for v := range e.cache {
+		if !wanted[v] {
+			e.cacheBytes -= int64(len(e.cache[v]))
+			delete(e.cache, v)
+		}
+	}
+	e.mu.Unlock()
+	for v := range wanted {
+		if e.cached(v) != nil {
+			continue
+		}
+		payload, err := e.Store.ReadShardPayload(v.Layer, v.Slice, v.Bits)
+		if err != nil {
+			return fmt.Errorf("pipeline: warm %v: %w", v, err)
+		}
+		e.put(v, payload)
+	}
+	return nil
+}
+
+func (e *Engine) cached(v shard.Version) []byte {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cache[v]
+}
+
+func (e *Engine) put(v shard.Version, payload []byte) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.cache[v]; ok {
+		return
+	}
+	e.cache[v] = payload
+	e.cacheBytes += int64(len(payload))
+}
+
+// ExecStats reports what one pipelined execution did.
+type ExecStats struct {
+	LayerIO      []time.Duration // wall time of each layer's IO job
+	LayerCompute []time.Duration // wall time of each layer's compute job
+	Stall        time.Duration   // compute time spent waiting on IO
+	BytesRead    int64
+	CacheHits    int
+	Total        time.Duration
+}
+
+type layerDelivery struct {
+	layer    int
+	payloads [][]byte // indexed like plan.Slices[layer]
+	ioTime   time.Duration
+	read     int64
+	hits     int
+	err      error
+}
+
+// Execute runs the plan through the IO/compute pipeline on one input
+// and returns the class logits.
+func (e *Engine) Execute(p *planner.Plan, tokens []int, mask []bool) ([]float32, *ExecStats, error) {
+	cfg := e.Resident.Cfg
+	if p.Depth > cfg.Layers || p.Width > cfg.Heads {
+		return nil, nil, fmt.Errorf("pipeline: plan %dx%d exceeds model %dx%d", p.Depth, p.Width, cfg.Layers, cfg.Heads)
+	}
+	start := time.Now()
+	deliveries := make(chan layerDelivery, p.Depth)
+	go e.ioWorker(p, deliveries)
+
+	stats := &ExecStats{
+		LayerIO:      make([]time.Duration, p.Depth),
+		LayerCompute: make([]time.Duration, p.Depth),
+	}
+	sm := &model.Submodel{Cfg: cfg, Parent: e.Resident}
+	x := sm.Embed(tokens)
+	for l := 0; l < p.Depth; l++ {
+		waitStart := time.Now()
+		d := <-deliveries
+		stats.Stall += time.Since(waitStart)
+		if d.err != nil {
+			return nil, nil, d.err
+		}
+		if d.layer != l {
+			return nil, nil, fmt.Errorf("pipeline: layer %d delivered out of order (want %d)", d.layer, l)
+		}
+		stats.LayerIO[l] = d.ioTime
+		stats.BytesRead += d.read
+		stats.CacheHits += d.hits
+
+		compStart := time.Now()
+		sub, err := e.assemble(p, l, d.payloads)
+		if err != nil {
+			return nil, nil, err
+		}
+		x = model.ForwardLayer(cfg, sub, x, mask)
+		stats.LayerCompute[l] = time.Since(compStart)
+	}
+	logits := sm.Classify(x)
+	stats.Total = time.Since(start)
+	return logits, stats, nil
+}
+
+// ioWorker streams each layer's non-cached shard payloads in layer
+// order, one IO job per layer (§3.1).
+func (e *Engine) ioWorker(p *planner.Plan, out chan<- layerDelivery) {
+	for l := 0; l < p.Depth; l++ {
+		d := layerDelivery{layer: l, payloads: make([][]byte, p.Width)}
+		ioStart := time.Now()
+		for j, s := range p.Slices[l] {
+			v := shard.Version{ID: shard.ID{Layer: l, Slice: s}, Bits: p.Bits[l][j]}
+			if payload := e.cached(v); payload != nil {
+				d.payloads[j] = payload
+				d.hits++
+				continue
+			}
+			payload, err := e.Store.ReadShardPayload(l, s, v.Bits)
+			if err != nil {
+				d.err = fmt.Errorf("pipeline: layer %d shard %v: %w", l, v, err)
+				out <- d
+				return
+			}
+			d.payloads[j] = payload
+			d.read += int64(len(payload))
+		}
+		d.ioTime = time.Since(ioStart)
+		out <- d
+	}
+}
+
+// assemble decompresses a layer's payloads concurrently and builds the
+// executable sub-layer with the resident miscellaneous parameters.
+func (e *Engine) assemble(p *planner.Plan, l int, payloads [][]byte) (*model.SubLayer, error) {
+	cfg := e.Resident.Cfg
+	shards := make([]*model.ShardWeights, p.Width)
+	errs := make([]error, p.Width)
+	var wg sync.WaitGroup
+	for j := range payloads {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			payload, err := store.DecodePayload(payloads[j])
+			if err != nil {
+				errs[j] = err
+				return
+			}
+			shards[j], errs[j] = model.UnflattenShard(cfg, l, p.Slices[l][j], payload.Weights())
+		}(j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return model.AssembleSubLayer(cfg, e.Resident.Layers[l], shards)
+}
+
+// Retain implements the post-execution eviction policy (§5.5): cache
+// the executed plan's shards from the bottom layer up until the budget
+// is full, evicting everything else. Bottom layers are needed earliest
+// next time, so preserving them avoids compulsory stalls.
+func (e *Engine) Retain(p *planner.Plan) error {
+	keep := make(map[shard.Version]bool)
+	var used int64
+retain:
+	for l := 0; l < p.Depth; l++ {
+		for j, s := range p.Slices[l] {
+			v := shard.Version{ID: shard.ID{Layer: l, Slice: s}, Bits: p.Bits[l][j]}
+			size, err := e.Store.Man.ShardSize(l, s, v.Bits)
+			if err != nil {
+				return err
+			}
+			if used+int64(size) > e.CacheBudget {
+				break retain
+			}
+			keep[v] = true
+			used += int64(size)
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for v := range e.cache {
+		if !keep[v] {
+			e.cacheBytes -= int64(len(e.cache[v]))
+			delete(e.cache, v)
+		}
+	}
+	// Fill any kept-but-missing entries synchronously (they were just
+	// streamed; re-reading is the offline refill of the buffer).
+	for v := range keep {
+		if _, ok := e.cache[v]; ok {
+			continue
+		}
+		payload, err := e.Store.ReadShardPayload(v.Layer, v.Slice, v.Bits)
+		if err != nil {
+			return err
+		}
+		e.cache[v] = payload
+		e.cacheBytes += int64(len(payload))
+	}
+	return nil
+}

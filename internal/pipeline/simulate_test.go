@@ -1,0 +1,134 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"sti/internal/device"
+	"sti/internal/importance"
+	"sti/internal/model"
+	"sti/internal/planner"
+)
+
+func TestSimulateHandSchedule(t *testing.T) {
+	// Two layers on a synthetic device: 10 MB/s bandwidth, no overhead,
+	// 100 ms compute per layer, 1 MB per layer ⇒ IO 100 ms per layer.
+	dev := &device.Profile{Bandwidth: 10e6}
+	jobs := []LayerJob{
+		{IOBytes: 1e6, Compute: 100 * time.Millisecond},
+		{IOBytes: 1e6, Compute: 100 * time.Millisecond},
+	}
+	tl := Simulate(dev, jobs)
+	if tl.IOEnd[0] != 100*time.Millisecond || tl.IOEnd[1] != 200*time.Millisecond {
+		t.Fatalf("IO schedule %v", tl.IOEnd)
+	}
+	// Layer 0 computes 100–200 ms; layer 1's IO finishes at 200 ms, so
+	// it computes 200–300 ms with zero bubble.
+	if tl.CompStart[0] != 100*time.Millisecond || tl.CompStart[1] != 200*time.Millisecond {
+		t.Fatalf("compute schedule %v", tl.CompStart)
+	}
+	if tl.Total() != 300*time.Millisecond {
+		t.Fatalf("total %v", tl.Total())
+	}
+	if tl.ComputeStall() != 100*time.Millisecond { // only the cold start
+		t.Fatalf("stall %v", tl.ComputeStall())
+	}
+}
+
+func TestSimulateSequentialMatchesSum(t *testing.T) {
+	dev := &device.Profile{Bandwidth: 10e6}
+	jobs := []LayerJob{
+		{IOBytes: 2e6, Compute: 50 * time.Millisecond},
+		{IOBytes: 1e6, Compute: 70 * time.Millisecond},
+	}
+	tl := SimulateSequential(dev, jobs)
+	want := 300*time.Millisecond + 120*time.Millisecond
+	if tl.Total() != want {
+		t.Fatalf("sequential total %v, want %v", tl.Total(), want)
+	}
+	// No overlap: first compute starts after last IO.
+	if tl.CompStart[0] != 300*time.Millisecond {
+		t.Fatalf("compute started at %v during IO", tl.CompStart[0])
+	}
+}
+
+func TestStandardPipelineStallsLikePaper(t *testing.T) {
+	// §2.2: a DistilBERT layer needs 339 ms IO but only 95 ms compute,
+	// so the standard layerwise pipeline stalls >72% of the time.
+	dev := device.Odroid()
+	jobs := make([]LayerJob, 6)
+	for i := range jobs {
+		jobs[i] = LayerJob{IOBytes: 7077888 * 4, Compute: dev.TComp(128, 12, 1.0)}
+	}
+	tl := Simulate(dev, jobs)
+	stallFrac := float64(tl.ComputeStall()) / float64(tl.Total())
+	if stallFrac < 0.6 {
+		t.Fatalf("stall fraction %.2f; paper reports computation stalls >72%% of the time", stallFrac)
+	}
+	if tl.IOUtilization() < 0.9 {
+		t.Fatalf("IO should be nearly saturated, got %.2f", tl.IOUtilization())
+	}
+}
+
+func TestSTIPlanSimulatesWithoutExtraStalls(t *testing.T) {
+	// End-to-end invariant: a plan the AIBs declared valid must run on
+	// the simulator with no stall beyond the planner's reported
+	// compulsory InitialStall. Property-checked over targets, buffers
+	// and platforms.
+	cfg := model.BERTBase()
+	imp := importance.Synthetic("QQP", cfg.Layers, cfg.Heads)
+	sizer := planner.AnalyticSizer{Params: cfg.ShardParams()}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		dev := device.Platforms()[rng.Intn(2)]
+		target := time.Duration(120+rng.Intn(500)) * time.Millisecond
+		preload := int64(rng.Intn(6 << 20))
+		req := planner.NewRequest(dev, cfg, imp, sizer, target, preload)
+		p, err := req.Plan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tl := Simulate(dev, PlanJobs(p, sizer))
+		slack := tl.ComputeStall() - p.InitialStall
+		if slack > 50*time.Microsecond || slack < -50*time.Microsecond {
+			t.Fatalf("%s T=%v S=%d: simulated stall %v != planned %v (plan %dx%d)",
+				dev.Name, target, preload, tl.ComputeStall(), p.InitialStall, p.Depth, p.Width)
+		}
+		wantTotal := p.InitialStall + time.Duration(p.Depth)*p.TCompLayer
+		if diff := tl.Total() - wantTotal; diff > 50*time.Microsecond || diff < -50*time.Microsecond {
+			t.Fatalf("total %v != planned %v", tl.Total(), wantTotal)
+		}
+	}
+}
+
+func TestTimelineUtilizationBounds(t *testing.T) {
+	dev := device.Odroid()
+	jobs := []LayerJob{{IOBytes: 1e6, Compute: 30 * time.Millisecond}}
+	tl := Simulate(dev, jobs)
+	for _, u := range []float64{tl.ComputeUtilization(), tl.IOUtilization()} {
+		if u < 0 || u > 1 {
+			t.Fatalf("utilization %v out of [0,1]", u)
+		}
+	}
+	empty := Simulate(dev, nil)
+	if empty.Total() != 0 || empty.ComputeUtilization() != 0 {
+		t.Fatal("empty schedule must be all zeros")
+	}
+}
+
+func TestTimelineGanttRenders(t *testing.T) {
+	dev := device.Odroid()
+	jobs := []LayerJob{
+		{IOBytes: 5e6, Compute: 40 * time.Millisecond},
+		{IOBytes: 2e6, Compute: 40 * time.Millisecond},
+	}
+	g := Simulate(dev, jobs).Gantt()
+	out := g.Render(60)
+	if out == "" || g.Span() == 0 {
+		t.Fatal("empty gantt render")
+	}
+	if g.Utilization("Compute") <= 0 || g.Utilization("IO") <= 0 {
+		t.Fatal("gantt utilization must be positive")
+	}
+}

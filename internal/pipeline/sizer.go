@@ -1,0 +1,27 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"sti/internal/planner"
+	"sti/internal/store"
+)
+
+// ManifestSizer adapts a store manifest's exact payload sizes to the
+// planner's Sizer interface, so plans against a real store charge the
+// IO budgets with true byte counts.
+type ManifestSizer struct {
+	Man *store.Manifest
+}
+
+var _ planner.Sizer = ManifestSizer{}
+
+func (m ManifestSizer) ShardSize(layer, slice, bits int) int {
+	size, err := m.Man.ShardSize(layer, slice, bits)
+	if err != nil {
+		// The planner only asks for shards/bitwidths it was configured
+		// with; a miss is a programming error, not a data condition.
+		panic(fmt.Sprintf("pipeline: %v", err))
+	}
+	return size
+}

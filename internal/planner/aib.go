@@ -1,0 +1,113 @@
+package planner
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// AIB tracks per-layer Accumulated IO Budgets (§5.4.2): B[k] is the IO
+// time available to finish loading all shards of layers 0..k before
+// layer k's computation is scheduled to start. The recursive paper
+// definition AIB(k) = AIB(k−1) + Tcomp(k−1) with AIB(0) = bonus is
+// materialized eagerly since layers share one Tcomp.
+//
+// Charging a shard at layer k debits layers k..n−1: loading it consumes
+// IO time that all later layers were counting on (§5.4.2 "loading such
+// shards only affect yet-to-be-executed layers"). The planning invariant
+// is Valid(): every budget non-negative ⇒ the pipeline never stalls.
+type AIB struct {
+	B []time.Duration
+}
+
+// NewAIB builds budgets for n layers: B[k] = bonus + k·tcomp.
+func NewAIB(n int, bonus, tcomp time.Duration) *AIB {
+	a := &AIB{B: make([]time.Duration, n)}
+	for k := range a.B {
+		a.B[k] = bonus + time.Duration(k)*tcomp
+	}
+	return a
+}
+
+// Charge debits d from layer and every subsequent layer.
+func (a *AIB) Charge(layer int, d time.Duration) {
+	for k := layer; k < len(a.B); k++ {
+		a.B[k] -= d
+	}
+}
+
+// Add credits d to layer and every subsequent layer. Used to build
+// delta vectors for trial allocations.
+func (a *AIB) Add(layer int, d time.Duration) {
+	for k := layer; k < len(a.B); k++ {
+		a.B[k] += d
+	}
+}
+
+// CanCharge reports whether charging d at layer keeps all budgets
+// non-negative.
+func (a *AIB) CanCharge(layer int, d time.Duration) bool {
+	for k := layer; k < len(a.B); k++ {
+		if a.B[k] < d {
+			return false
+		}
+	}
+	return true
+}
+
+// Valid reports the planning invariant: all budgets non-negative.
+func (a *AIB) Valid() bool {
+	for _, b := range a.B {
+		if b < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Min returns the smallest budget.
+func (a *AIB) Min() time.Duration {
+	if len(a.B) == 0 {
+		return 0
+	}
+	min := a.B[0]
+	for _, b := range a.B[1:] {
+		if b < min {
+			min = b
+		}
+	}
+	return min
+}
+
+// AddAll credits d to every layer (used to absorb a compulsory stall:
+// the whole pipeline shifts right, giving each layer that much more IO
+// time).
+func (a *AIB) AddAll(d time.Duration) {
+	for k := range a.B {
+		a.B[k] += d
+	}
+}
+
+// Clone returns a deep copy for trial allocations.
+func (a *AIB) Clone() *AIB {
+	return &AIB{B: append([]time.Duration(nil), a.B...)}
+}
+
+// Sub subtracts another budget vector elementwise (other holds deltas
+// accumulated layer-by-layer).
+func (a *AIB) Sub(other *AIB) {
+	if len(other.B) != len(a.B) {
+		panic("planner: AIB length mismatch")
+	}
+	for k := range a.B {
+		a.B[k] -= other.B[k]
+	}
+}
+
+func (a *AIB) String() string {
+	parts := make([]string, len(a.B))
+	for k, b := range a.B {
+		parts[k] = fmt.Sprintf("AIB(%d)=%v", k, b)
+	}
+	return strings.Join(parts, " ")
+}

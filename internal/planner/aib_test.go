@@ -1,0 +1,119 @@
+package planner
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFigure6MiniExample reconstructs the paper's worked AIB example
+// (Figure 6): a 2×3 submodel, T = 2 s, Tcomp = 1 s, preload buffer
+// holding three 2-bit shards of layer 0, and the toy IO table
+// Tio(b) = b/10 s. Candidates A and B must validate; C must not.
+func TestFigure6MiniExample(t *testing.T) {
+	tio := func(bits int) time.Duration { return time.Duration(bits) * 100 * time.Millisecond }
+	newBudgets := func() *AIB {
+		// AIB(0) = 0.6 s (bonus IO: filling the preload buffer with
+		// three 2-bit shards), AIB(1) = AIB(0) + Tcomp = 1.6 s.
+		a := NewAIB(2, 600*time.Millisecond, time.Second)
+		if a.B[0] != 600*time.Millisecond || a.B[1] != 1600*time.Millisecond {
+			t.Fatalf("initial budgets %v", a)
+		}
+		// Fill S′ with S: charge the three preloaded 2-bit shards of
+		// layer 0 against the bonus.
+		for i := 0; i < 3; i++ {
+			a.Charge(0, tio(2))
+		}
+		if a.B[0] != 0 || a.B[1] != time.Second {
+			t.Fatalf("after preload charges: %v", a)
+		}
+		return a
+	}
+
+	// Candidate A: layer-1 shards at {2,2,2} bits → AIB(1) = 0.4 s ≥ 0.
+	a := newBudgets()
+	for _, b := range []int{2, 2, 2} {
+		a.Charge(1, tio(b))
+	}
+	if !a.Valid() || a.B[1] != 400*time.Millisecond {
+		t.Fatalf("candidate A: %v", a)
+	}
+
+	// Candidate B: {3,3,3} → AIB(1) = 0.1 s ≥ 0.
+	b := newBudgets()
+	for _, bits := range []int{3, 3, 3} {
+		b.Charge(1, tio(bits))
+	}
+	if !b.Valid() || b.B[1] != 100*time.Millisecond {
+		t.Fatalf("candidate B: %v", b)
+	}
+
+	// Candidate C: {5,2,4} → AIB(1) = −0.1 s: invalid, would stall.
+	c := newBudgets()
+	for _, bits := range []int{5, 2, 4} {
+		c.Charge(1, tio(bits))
+	}
+	if c.Valid() {
+		t.Fatalf("candidate C must be invalid: %v", c)
+	}
+	if c.B[1] != -100*time.Millisecond {
+		t.Fatalf("candidate C AIB(1) = %v, paper says −0.1 s", c.B[1])
+	}
+}
+
+func TestAIBChargePropagatesForward(t *testing.T) {
+	a := NewAIB(4, 0, time.Second)
+	a.Charge(2, 500*time.Millisecond)
+	want := []time.Duration{0, time.Second, 1500 * time.Millisecond, 2500 * time.Millisecond}
+	for k, w := range want {
+		if a.B[k] != w {
+			t.Fatalf("B[%d] = %v, want %v", k, a.B[k], w)
+		}
+	}
+}
+
+func TestAIBCanCharge(t *testing.T) {
+	a := NewAIB(3, 0, time.Second) // [0, 1s, 2s]
+	if a.CanCharge(0, time.Millisecond) {
+		t.Fatal("layer 0 has zero budget; charge must be refused")
+	}
+	if !a.CanCharge(1, time.Second) {
+		t.Fatal("exactly-fitting charge must be allowed")
+	}
+	if a.CanCharge(1, time.Second+1) {
+		t.Fatal("overfitting charge must be refused")
+	}
+}
+
+func TestAIBMinAddAll(t *testing.T) {
+	a := NewAIB(3, 0, time.Second)
+	a.Charge(0, 300*time.Millisecond) // [-0.3, 0.7, 1.7]
+	if a.Min() != -300*time.Millisecond {
+		t.Fatalf("Min = %v", a.Min())
+	}
+	a.AddAll(300 * time.Millisecond)
+	if !a.Valid() || a.B[0] != 0 {
+		t.Fatalf("AddAll result %v", a)
+	}
+}
+
+func TestAIBCloneAndSub(t *testing.T) {
+	a := NewAIB(2, time.Second, time.Second)
+	c := a.Clone()
+	c.Charge(0, time.Second)
+	if a.B[0] != time.Second {
+		t.Fatal("Clone must not alias")
+	}
+	d := NewAIB(2, 0, 0)
+	d.Add(1, 500*time.Millisecond)
+	a.Sub(d)
+	if a.B[0] != time.Second || a.B[1] != 1500*time.Millisecond {
+		t.Fatalf("Sub result %v", a)
+	}
+}
+
+func TestAIBEmpty(t *testing.T) {
+	a := NewAIB(0, 0, 0)
+	if !a.Valid() || a.Min() != 0 {
+		t.Fatal("empty AIB must be trivially valid")
+	}
+}

@@ -1,0 +1,429 @@
+// Package planner implements STI's two-stage pipeline planner (§5), the
+// paper's core contribution:
+//
+//  1. Compute planning (§5.3): from the profiled per-layer computation
+//     delay, propose the largest n×m submodel whose computation fits the
+//     target latency T, preferring deeper submodels on (near-)ties
+//     because attention heads within a layer are redundant.
+//  2. IO planning (§5.4): track per-layer Accumulated IO Budgets (AIBs)
+//     — the IO time each layer can overlap with earlier computation —
+//     and select per-shard bitwidths in two passes: first the highest
+//     uniform bitwidth the AIBs admit, then importance-guided upgrades
+//     of individual shards until the budgets are consumed.
+//
+// A small preload buffer (§5.4.2) contributes "bonus IO": shards held in
+// it cost no stream time, letting the pipeline start computing layer 0
+// immediately.
+package planner
+
+import (
+	"fmt"
+	"time"
+
+	"sti/internal/device"
+	"sti/internal/importance"
+	"sti/internal/model"
+	"sti/internal/shard"
+)
+
+// Sizer reports the on-disk payload size of a shard fidelity version.
+// Manifests of real stores implement exact sizes; AnalyticSizer serves
+// paper-scale planning.
+type Sizer interface {
+	ShardSize(layer, slice, bits int) int
+}
+
+// AnalyticSizer estimates shard sizes from the parameter count alone.
+type AnalyticSizer struct {
+	Params int // weights per shard
+}
+
+func (a AnalyticSizer) ShardSize(_, _, bits int) int {
+	return shard.EstimateSizeBytes(a.Params, bits)
+}
+
+// Request carries everything a planning run needs. Target and
+// PreloadBudget come from the app (§3.2); the rest comes from offline
+// profiling.
+type Request struct {
+	Device *device.Profile
+	Cfg    model.Config
+	Imp    *importance.Table
+	Sizer  Sizer
+
+	Target        time.Duration
+	SeqLen        int
+	PreloadBudget int64 // |S|, bytes
+
+	// Freq is the DVFS operating point to plan for. The paper plans at
+	// peak because the SoC runs at peak during active inference (§5.3),
+	// but profiles Tcomp(l, m, freq) so plans for thermally-throttled
+	// operation remain possible. Zero means the device's peak.
+	Freq device.Freq
+
+	// Bitwidths are the quantized fidelity versions available,
+	// ascending. Defaults to shard.Bitwidths.
+	Bitwidths []int
+	// AllowFull permits upgrading shards to the uncompressed 32-bit
+	// version (the paper's second pass upgrades "to full 32 bitwidth").
+	AllowFull bool
+
+	// PreferDeeper enables §5.3's tie rule (ablation knob).
+	PreferDeeper bool
+	// TwoPass enables the uniform first pass of §5.4.3; disabling it
+	// falls back to importance-greedy upgrades from the minimum
+	// bitwidth (ablation knob).
+	TwoPass bool
+}
+
+// NewRequest returns a Request with the paper's default settings.
+func NewRequest(dev *device.Profile, cfg model.Config, imp *importance.Table, sizer Sizer, target time.Duration, preload int64) Request {
+	return Request{
+		Device: dev, Cfg: cfg, Imp: imp, Sizer: sizer,
+		Target: target, SeqLen: 128, PreloadBudget: preload,
+		Freq:      dev.PeakFreq(),
+		Bitwidths: append([]int(nil), shard.Bitwidths...),
+		AllowFull: true, PreferDeeper: true, TwoPass: true,
+	}
+}
+
+// freq returns the operating point to plan at.
+func (req Request) freq() device.Freq {
+	if req.Freq == 0 {
+		return req.Device.PeakFreq()
+	}
+	return req.Freq
+}
+
+// Plan is an executable submodel configuration: which shards, at what
+// fidelity, which are preloaded.
+type Plan struct {
+	Depth, Width int
+	SeqLen       int
+	Target       time.Duration
+
+	// Slices[l] lists the slice indexes of layer l in the submodel;
+	// Bits[l][j] and Preloaded[l][j] describe slices[l][j].
+	Slices    [][]int
+	Bits      [][]int
+	Preloaded [][]bool
+
+	PreloadUsed  int64         // bytes of preload buffer occupied
+	TCompLayer   time.Duration // profiled per-layer compute delay
+	InitialStall time.Duration // compulsory IO wait before layer 0
+	Aborted      bool          // AIBs could not even support minimum bits
+}
+
+// LayerStreamBytes returns the bytes layer l streams from flash
+// (excluding preloaded shards) under sizer.
+func (p *Plan) LayerStreamBytes(l int, sizer Sizer) int {
+	total := 0
+	for j, s := range p.Slices[l] {
+		if !p.Preloaded[l][j] {
+			total += sizer.ShardSize(l, s, p.Bits[l][j])
+		}
+	}
+	return total
+}
+
+// TotalStreamBytes sums streamed bytes over all layers.
+func (p *Plan) TotalStreamBytes(sizer Sizer) int64 {
+	var total int64
+	for l := range p.Slices {
+		total += int64(p.LayerStreamBytes(l, sizer))
+	}
+	return total
+}
+
+// ShardCount returns n×m.
+func (p *Plan) ShardCount() int { return p.Depth * p.Width }
+
+// WorkingBufferBytes estimates the temporary working buffer of §3.1:
+// one layer's uncompressed FP32 shard weights plus the intermediate
+// activations of a single layer's forward pass (Q/K/V projections,
+// per-head attention scores, FFN inner activations, residuals). It is
+// allocated per execution, does not grow with model depth, and is not
+// part of STI's optimization target — reported for completeness.
+func (p *Plan) WorkingBufferBytes(shardParams, hidden, ffnSlice int) int64 {
+	weights := int64(p.Width) * int64(shardParams) * 4
+	l := int64(p.SeqLen)
+	acts := 4 * (3*l*int64(hidden) + // Q, K, V
+		l*l + // one head's score matrix (reused)
+		l*int64(p.Width*ffnSlice) + // FFN inner
+		3*l*int64(hidden)) // concat, residuals, output
+	return weights + acts
+}
+
+func (p *Plan) String() string {
+	return fmt.Sprintf("plan %dx%d (T=%v, preload %dB, stall %v)",
+		p.Depth, p.Width, p.Target, p.PreloadUsed, p.InitialStall)
+}
+
+// computeTiePct is how close (in shard count) two submodels must be for
+// the "prefer deeper" rule to apply (§5.3 "similar number of shards").
+const computeTiePct = 0.07
+
+// ComputePlan enumerates all (n, m) pairs against the profiled
+// computation delay and returns the chosen submodel size (§5.3). The
+// budget is the time available for computation (the caller subtracts
+// any compulsory initial stall).
+func ComputePlan(req Request, budget time.Duration) (n, m int) {
+	type cand struct{ n, m int }
+	var cands []cand
+	for width := 1; width <= req.Cfg.Heads; width++ {
+		tc := req.Device.TComp(req.SeqLen, width, req.freq())
+		depth := int(budget / tc)
+		if depth > req.Cfg.Layers {
+			depth = req.Cfg.Layers
+		}
+		if depth >= 1 {
+			cands = append(cands, cand{depth, width})
+		}
+	}
+	if len(cands) == 0 {
+		// Even a 1×1 submodel misses T; run it anyway (§7.1 notes all
+		// systems degrade below the hardware's feasible latency).
+		return 1, 1
+	}
+	best := 0
+	for _, c := range cands {
+		if c.n*c.m > best {
+			best = c.n * c.m
+		}
+	}
+	sel := cand{}
+	for _, c := range cands {
+		if float64(c.n*c.m) < float64(best)*(1-computeTiePct) {
+			continue
+		}
+		better := false
+		switch {
+		case sel.n == 0:
+			better = true
+		case req.PreferDeeper && c.n != sel.n:
+			better = c.n > sel.n
+		case c.n*c.m != sel.n*sel.m:
+			better = c.n*c.m > sel.n*sel.m
+		case !req.PreferDeeper:
+			better = c.m > sel.m
+		}
+		if better {
+			sel = c
+		}
+	}
+	return sel.n, sel.m
+}
+
+// Plan runs both stages and returns the execution plan. If the plan's
+// compulsory initial stall would push the pipeline past T, the depth is
+// reduced and IO planning repeated (at most a handful of iterations).
+func (req Request) Plan() (*Plan, error) {
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	budget := req.Target
+	for {
+		n, m := ComputePlan(req, budget)
+		p := req.planIO(n, m)
+		total := p.InitialStall + time.Duration(n)*p.TCompLayer
+		if total <= req.Target || n == 1 {
+			return p, nil
+		}
+		// Shrink the compute budget by the stall we just discovered and
+		// try again.
+		budget = req.Target - p.InitialStall
+		if budget <= 0 {
+			return p, nil
+		}
+		n2, m2 := ComputePlan(req, budget)
+		if n2 == n && m2 == m {
+			return p, nil
+		}
+	}
+}
+
+func (req Request) validate() error {
+	switch {
+	case req.Device == nil:
+		return fmt.Errorf("planner: nil device profile")
+	case req.Imp == nil:
+		return fmt.Errorf("planner: nil importance table")
+	case req.Sizer == nil:
+		return fmt.Errorf("planner: nil sizer")
+	case req.Target <= 0:
+		return fmt.Errorf("planner: non-positive target %v", req.Target)
+	case req.SeqLen <= 0:
+		return fmt.Errorf("planner: non-positive sequence length")
+	case len(req.Bitwidths) == 0:
+		return fmt.Errorf("planner: no bitwidths")
+	case req.PreloadBudget < 0:
+		return fmt.Errorf("planner: negative preload budget")
+	}
+	if err := req.Cfg.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// transfer returns pure bandwidth-limited transfer time for n bytes.
+func (req Request) transfer(bytes int) time.Duration {
+	return time.Duration(float64(bytes) / req.Device.Bandwidth * float64(time.Second))
+}
+
+// planIO is stage two (§5.4): preload selection, AIB initialization and
+// the two-pass bitwidth allocation.
+func (req Request) planIO(n, m int) *Plan {
+	minBits := req.Bitwidths[0]
+	p := &Plan{
+		Depth: n, Width: m, SeqLen: req.SeqLen, Target: req.Target,
+		TCompLayer: req.Device.TComp(req.SeqLen, m, req.freq()),
+	}
+	for l := 0; l < n; l++ {
+		p.Slices = append(p.Slices, req.Imp.TopSlices(l, m))
+		bits := make([]int, m)
+		for j := range bits {
+			bits[j] = minBits
+		}
+		p.Bits = append(p.Bits, bits)
+		p.Preloaded = append(p.Preloaded, make([]bool, m))
+	}
+
+	// AIB initialization (§5.4.2): AIB(k) = AIB(k−1) + Tcomp with the
+	// preload buffer as "bonus IO". Preloaded shards are charged
+	// against a bonus that exactly covers them, so net budgets start at
+	// k·Tcomp and only streamed shards are charged.
+	//
+	// Preload selection (§5.4.2 warm-up): walk shards in layer order —
+	// bottom layers are needed first — and preload exactly those the
+	// AIBs cannot stream without stalling (above all layer 0, whose
+	// budget is zero). Shards the pipeline can overlap for free stay
+	// streamed, leaving the rest of |S| for pass-two fidelity upgrades
+	// of the preloaded shards.
+	aib := NewAIB(n, 0, p.TCompLayer)
+	remaining := req.PreloadBudget
+	for l := 0; l < n; l++ {
+		overheadCharged := false
+		for j, s := range p.Slices[l] {
+			size := req.Sizer.ShardSize(l, s, minBits)
+			cost := req.transfer(size)
+			if !overheadCharged {
+				// Each layer with streamed shards is one IO job (§3.1)
+				// and pays the issue overhead once.
+				cost += req.Device.IOOverhead
+			}
+			if aib.CanCharge(l, cost) {
+				aib.Charge(l, cost)
+				overheadCharged = true
+				continue
+			}
+			if int64(size) <= remaining {
+				p.Preloaded[l][j] = true
+				remaining -= int64(size)
+				p.PreloadUsed += int64(size)
+				continue
+			}
+			// Neither streamable nor preloadable: forced stream, the
+			// pipeline will stall for it (§5.4.3 abort case).
+			aib.Charge(l, cost)
+			overheadCharged = true
+		}
+	}
+	// Compulsory stall: shift every budget right by the deficit; the
+	// whole pipeline starts that much later.
+	if stall := -aib.Min(); stall > 0 {
+		p.InitialStall = stall
+		aib.AddAll(stall)
+	}
+
+	// Pass 1: highest uniform bitwidth for streamed shards.
+	uniform := minBits
+	if req.TwoPass {
+		for _, b := range req.Bitwidths[1:] {
+			extra := NewAIB(n, 0, 0) // accumulated upgrade deltas per layer
+			for l := 0; l < n; l++ {
+				for j, s := range p.Slices[l] {
+					if p.Preloaded[l][j] {
+						continue
+					}
+					d := req.transfer(req.Sizer.ShardSize(l, s, b) - req.Sizer.ShardSize(l, s, uniform))
+					extra.Add(l, d)
+				}
+			}
+			trial := aib.Clone()
+			trial.Sub(extra)
+			if ok := trial.Valid(); ok {
+				aib = trial
+				uniform = b
+				for l := 0; l < n; l++ {
+					for j := range p.Bits[l] {
+						if !p.Preloaded[l][j] {
+							p.Bits[l][j] = b
+						}
+					}
+				}
+			}
+		}
+	}
+	// Record when the AIBs could not support anything beyond the
+	// compulsory minimum (§5.4.3's abort case). Allocation still
+	// continues below with whatever budget the stall freed up.
+	p.Aborted = p.InitialStall > 0 && uniform == minBits
+
+	// Pass 2: importance-guided upgrades of individual shards until the
+	// AIBs (streamed) or the preload buffer (preloaded) are consumed.
+	targets := upgradeTargets(req)
+	for _, id := range req.Imp.Ranked() {
+		l := id.Layer
+		if l >= n {
+			continue
+		}
+		j := indexOf(p.Slices[l], id.Slice)
+		if j < 0 {
+			continue
+		}
+		cur := p.Bits[l][j]
+		for _, b := range targets {
+			if b <= cur {
+				break
+			}
+			delta := req.Sizer.ShardSize(l, id.Slice, b) - req.Sizer.ShardSize(l, id.Slice, cur)
+			if p.Preloaded[l][j] {
+				if p.PreloadUsed+int64(delta) <= req.PreloadBudget {
+					p.PreloadUsed += int64(delta)
+					p.Bits[l][j] = b
+					break
+				}
+				continue
+			}
+			d := req.transfer(delta)
+			if aib.CanCharge(l, d) {
+				aib.Charge(l, d)
+				p.Bits[l][j] = b
+				break
+			}
+		}
+	}
+	return p
+}
+
+// upgradeTargets returns candidate upgrade bitwidths, descending, with
+// the full-fidelity version first when allowed.
+func upgradeTargets(req Request) []int {
+	var t []int
+	if req.AllowFull {
+		t = append(t, shard.FullBits)
+	}
+	for i := len(req.Bitwidths) - 1; i >= 0; i-- {
+		t = append(t, req.Bitwidths[i])
+	}
+	return t
+}
+
+func indexOf(s []int, v int) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}

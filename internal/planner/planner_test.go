@@ -1,0 +1,472 @@
+package planner
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"sti/internal/device"
+	"sti/internal/importance"
+	"sti/internal/model"
+	"sti/internal/shard"
+)
+
+func paperRequest(dev *device.Profile, target time.Duration, preload int64) Request {
+	cfg := model.BERTBase()
+	imp := importance.Synthetic("SST-2", cfg.Layers, cfg.Heads)
+	return NewRequest(dev, cfg, imp, AnalyticSizer{Params: cfg.ShardParams()}, target, preload)
+}
+
+func TestComputePlanCPUPrefersDeeperNarrower(t *testing.T) {
+	req := paperRequest(device.Odroid(), 200*time.Millisecond, 1<<20)
+	n, m := ComputePlan(req, req.Target)
+	if n < 4 || m > 6 {
+		t.Fatalf("Odroid T=200ms chose %dx%d; paper behaviour is deep/narrow (Table 6, Figure 8)", n, m)
+	}
+	// Compute must fit the budget.
+	tc := req.Device.TComp(req.SeqLen, m, 1.0)
+	if time.Duration(n)*tc > req.Target {
+		t.Fatalf("%dx%d computation %v exceeds T", n, m, time.Duration(n)*tc)
+	}
+}
+
+func TestComputePlanGPUPrefersShallowWide(t *testing.T) {
+	req := paperRequest(device.Jetson(), 200*time.Millisecond, 5<<20)
+	n, m := ComputePlan(req, req.Target)
+	if m != 12 {
+		t.Fatalf("Jetson T=200ms chose %dx%d; GPU non-proportionality should make m=12 free (§7.3)", n, m)
+	}
+	if n != 3 {
+		t.Fatalf("Jetson T=200ms depth %d, want 3 (≈60 ms/layer)", n)
+	}
+}
+
+func TestComputePlanMoreTimeMoreShards(t *testing.T) {
+	for _, dev := range device.Platforms() {
+		prev := 0
+		for _, target := range []time.Duration{150, 200, 400, 800} {
+			req := paperRequest(dev, target*time.Millisecond, 0)
+			n, m := ComputePlan(req, req.Target)
+			if n*m < prev {
+				t.Fatalf("%s: shard count decreased with larger T", dev.Name)
+			}
+			prev = n * m
+		}
+	}
+}
+
+func TestComputePlanInfeasibleTargetRunsMinimum(t *testing.T) {
+	req := paperRequest(device.Jetson(), time.Millisecond, 0)
+	n, m := ComputePlan(req, req.Target)
+	if n != 1 || m != 1 {
+		t.Fatalf("infeasible target chose %dx%d, want 1x1", n, m)
+	}
+}
+
+func TestPreferDeeperAblation(t *testing.T) {
+	req := paperRequest(device.Odroid(), 200*time.Millisecond, 0)
+	req.PreferDeeper = false
+	n1, m1 := ComputePlan(req, req.Target)
+	req.PreferDeeper = true
+	n2, m2 := ComputePlan(req, req.Target)
+	if n2 < n1 {
+		t.Fatalf("PreferDeeper should not reduce depth: %dx%d vs %dx%d", n1, m1, n2, m2)
+	}
+}
+
+func TestPlanBasicInvariants(t *testing.T) {
+	for _, dev := range device.Platforms() {
+		for _, target := range []time.Duration{150, 200, 400} {
+			req := paperRequest(dev, target*time.Millisecond, 1<<20)
+			p, err := req.Plan()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Depth < 1 || p.Width < 1 {
+				t.Fatalf("%s T=%v: empty plan", dev.Name, target)
+			}
+			if len(p.Slices) != p.Depth || len(p.Bits) != p.Depth || len(p.Preloaded) != p.Depth {
+				t.Fatalf("plan structure inconsistent: %+v", p)
+			}
+			for l := range p.Slices {
+				if len(p.Slices[l]) != p.Width {
+					t.Fatalf("layer %d has %d slices, want %d", l, len(p.Slices[l]), p.Width)
+				}
+				for j, b := range p.Bits[l] {
+					if !shard.ValidBits(b) {
+						t.Fatalf("invalid bitwidth %d at (%d,%d)", b, l, j)
+					}
+				}
+			}
+			if p.PreloadUsed > req.PreloadBudget {
+				t.Fatalf("preload overflow: %d > %d", p.PreloadUsed, req.PreloadBudget)
+			}
+		}
+	}
+}
+
+func TestPlanPreloadCoversBottomLayers(t *testing.T) {
+	req := paperRequest(device.Odroid(), 200*time.Millisecond, 1<<20)
+	p, err := req.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Preloaded[0][0] {
+		t.Fatal("with a 1MB buffer the first shards of layer 0 must be preloaded")
+	}
+	// Preload fills in layer order: no shard of layer l+1 preloaded
+	// unless all of layer l is.
+	for l := 0; l+1 < p.Depth; l++ {
+		nextHas := false
+		for _, pre := range p.Preloaded[l+1] {
+			nextHas = nextHas || pre
+		}
+		if nextHas {
+			for _, pre := range p.Preloaded[l] {
+				if !pre {
+					t.Fatalf("layer %d partially preloaded while layer %d has preloads", l, l+1)
+				}
+			}
+		}
+	}
+	if p.InitialStall != 0 {
+		t.Fatalf("preloaded plan should start without stall, got %v", p.InitialStall)
+	}
+}
+
+func TestPlanNoPreloadStalls(t *testing.T) {
+	req := paperRequest(device.Odroid(), 200*time.Millisecond, 0)
+	p, err := req.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.InitialStall <= 0 {
+		t.Fatal("cold start must have a compulsory initial stall")
+	}
+	if p.PreloadUsed != 0 {
+		t.Fatalf("no budget but PreloadUsed = %d", p.PreloadUsed)
+	}
+}
+
+func TestPlanImportanceGuidedUpgrades(t *testing.T) {
+	// With generous IO budget (long T), importance-ranked shards must
+	// end with bitwidths at least as high as lower-ranked ones within
+	// the same layer.
+	req := paperRequest(device.Odroid(), 400*time.Millisecond, 1<<20)
+	p, err := req.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := req.Imp
+	upgraded := 0
+	for l := 0; l < p.Depth; l++ {
+		for j1 := range p.Slices[l] {
+			for j2 := range p.Slices[l] {
+				s1, s2 := p.Slices[l][j1], p.Slices[l][j2]
+				if p.Preloaded[l][j1] != p.Preloaded[l][j2] {
+					continue // different resource pools
+				}
+				if imp.Score[l][s1] > imp.Score[l][s2] && p.Bits[l][j1] < p.Bits[l][j2] {
+					t.Fatalf("layer %d: more important slice %d has %d bits < slice %d with %d bits",
+						l, s1, p.Bits[l][j1], s2, p.Bits[l][j2])
+				}
+			}
+			if p.Bits[l][j1] > req.Bitwidths[0] {
+				upgraded++
+			}
+		}
+	}
+	if upgraded == 0 {
+		t.Fatal("400ms budget on Odroid should allow some upgrades")
+	}
+}
+
+func TestPlanMoreTargetNeverLowersUniformFloor(t *testing.T) {
+	// A larger T admits at least as high a uniform bitwidth floor.
+	floor := func(target time.Duration) int {
+		req := paperRequest(device.Jetson(), target, 0)
+		p, err := req.Plan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		min := 99
+		for l := range p.Bits {
+			for _, b := range p.Bits[l] {
+				if b < min {
+					min = b
+				}
+			}
+		}
+		return min
+	}
+	if floor(400*time.Millisecond) < floor(150*time.Millisecond) {
+		t.Fatal("uniform floor decreased with more time")
+	}
+}
+
+func TestPlanLargerPreloadBufferMorePreloadsLessStall(t *testing.T) {
+	// §7.4: growing |S| covers more bottom-layer shards and can only
+	// shrink the compulsory cold-start stall.
+	prevCount := -1
+	prevStall := time.Duration(1 << 62)
+	for _, s := range []int64{0, 400 << 10, 2 << 20, 4 << 20} {
+		req := paperRequest(device.Odroid(), 200*time.Millisecond, s)
+		p, err := req.Plan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := 0
+		for l := range p.Preloaded {
+			for _, pre := range p.Preloaded[l] {
+				if pre {
+					count++
+				}
+			}
+		}
+		if count < prevCount {
+			t.Fatalf("|S|=%d preloaded %d shards, fewer than smaller buffer's %d", s, count, prevCount)
+		}
+		if p.InitialStall > prevStall {
+			t.Fatalf("|S|=%d stall %v grew versus %v", s, p.InitialStall, prevStall)
+		}
+		prevCount, prevStall = count, p.InitialStall
+	}
+}
+
+func TestPlanAIBNoStallInvariant(t *testing.T) {
+	// Reconstruct the AIB check over the emitted plan: cumulative
+	// streamed IO through layer k must fit within InitialStall +
+	// k·Tcomp, i.e. the plan never stalls the pipeline after start.
+	for _, dev := range device.Platforms() {
+		req := paperRequest(dev, 200*time.Millisecond, 1<<20)
+		p, err := req.Plan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var io time.Duration
+		for l := 0; l < p.Depth; l++ {
+			bytes := p.LayerStreamBytes(l, req.Sizer)
+			if bytes > 0 {
+				io += req.Device.IOOverhead + req.transfer(bytes)
+			}
+			budget := p.InitialStall + time.Duration(l)*p.TCompLayer
+			if io > budget+time.Microsecond {
+				t.Fatalf("%s: cumulative IO %v exceeds budget %v at layer %d", dev.Name, io, budget, l)
+			}
+		}
+	}
+}
+
+func TestTwoPassAblation(t *testing.T) {
+	// Disabling the uniform pass must still produce a valid plan; with
+	// it enabled, the minimum bitwidth across streamed shards is at
+	// least as high (the uniform floor is the point of pass one).
+	minStreamed := func(twoPass bool) int {
+		req := paperRequest(device.Jetson(), 400*time.Millisecond, 0)
+		req.TwoPass = twoPass
+		p, err := req.Plan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		min := 99
+		for l := range p.Bits {
+			for j, b := range p.Bits[l] {
+				if !p.Preloaded[l][j] && b < min {
+					min = b
+				}
+			}
+		}
+		return min
+	}
+	if minStreamed(true) < minStreamed(false) {
+		t.Fatal("two-pass allocation lowered the uniform floor")
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	req := paperRequest(device.Odroid(), 200*time.Millisecond, 0)
+	req.Device = nil
+	if _, err := req.Plan(); err == nil {
+		t.Fatal("nil device must be rejected")
+	}
+	req = paperRequest(device.Odroid(), -time.Second, 0)
+	if _, err := req.Plan(); err == nil {
+		t.Fatal("negative target must be rejected")
+	}
+	req = paperRequest(device.Odroid(), 200*time.Millisecond, 0)
+	req.Bitwidths = nil
+	if _, err := req.Plan(); err == nil {
+		t.Fatal("empty bitwidths must be rejected")
+	}
+}
+
+func TestPlanStringer(t *testing.T) {
+	req := paperRequest(device.Odroid(), 200*time.Millisecond, 1<<20)
+	p, err := req.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() == "" || p.ShardCount() != p.Depth*p.Width {
+		t.Fatal("plan accessors broken")
+	}
+}
+
+func TestPlanAtLowerFrequencyShrinksSubmodel(t *testing.T) {
+	// DVFS: at half frequency each layer costs ~2x, so the feasible
+	// submodel must shrink while the plan stays stall-free.
+	peak := paperRequest(device.Odroid(), 200*time.Millisecond, 1<<20)
+	throttled := peak
+	throttled.Freq = 0.5
+	pPeak, err := peak.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pHalf, err := throttled.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pHalf.ShardCount() >= pPeak.ShardCount() {
+		t.Fatalf("throttled plan %dx%d not smaller than peak %dx%d",
+			pHalf.Depth, pHalf.Width, pPeak.Depth, pPeak.Width)
+	}
+	if time.Duration(pHalf.Depth)*pHalf.TCompLayer > throttled.Target {
+		t.Fatal("throttled plan misses target")
+	}
+	// Slower compute means each layer grants MORE IO budget, so the
+	// throttled plan should afford at least the same fidelity floor.
+	minBits := func(p *Plan) int {
+		min := 99
+		for l := range p.Bits {
+			for _, b := range p.Bits[l] {
+				if b < min {
+					min = b
+				}
+			}
+		}
+		return min
+	}
+	if minBits(pHalf) < minBits(pPeak) {
+		t.Fatalf("throttled fidelity floor %d below peak %d", minBits(pHalf), minBits(pPeak))
+	}
+}
+
+func TestPlanZeroFreqDefaultsToPeak(t *testing.T) {
+	req := paperRequest(device.Jetson(), 200*time.Millisecond, 0)
+	req.Freq = 0
+	p, err := req.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := req.Device.TComp(req.SeqLen, p.Width, req.Device.PeakFreq())
+	if p.TCompLayer != want {
+		t.Fatalf("zero freq did not default to peak: %v vs %v", p.TCompLayer, want)
+	}
+}
+
+func TestPlanRandomGeometriesInvariant(t *testing.T) {
+	// Property sweep: arbitrary geometries, targets and buffers must
+	// always yield structurally valid, budget-respecting plans.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 80; trial++ {
+		heads := 2 + rng.Intn(11)
+		cfg := model.Config{
+			Layers: 2 + rng.Intn(11), Heads: heads,
+			Hidden: heads * (4 + rng.Intn(8)), FFN: heads * (8 + rng.Intn(16)),
+			Vocab: 64, MaxSeq: 32, Classes: 2,
+		}
+		imp := importance.Synthetic("QNLI", cfg.Layers, cfg.Heads)
+		dev := device.Platforms()[rng.Intn(2)]
+		req := NewRequest(dev, cfg, imp,
+			AnalyticSizer{Params: cfg.ShardParams()},
+			time.Duration(50+rng.Intn(600))*time.Millisecond,
+			int64(rng.Intn(4<<20)))
+		req.SeqLen = 16 + rng.Intn(112)
+		p, err := req.Plan()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if p.Depth < 1 || p.Depth > cfg.Layers || p.Width < 1 || p.Width > cfg.Heads {
+			t.Fatalf("trial %d: plan %dx%d outside %dx%d", trial, p.Depth, p.Width, cfg.Layers, cfg.Heads)
+		}
+		if p.PreloadUsed > req.PreloadBudget {
+			t.Fatalf("trial %d: preload overflow", trial)
+		}
+		for l := range p.Slices {
+			seen := map[int]bool{}
+			for j, s := range p.Slices[l] {
+				if s < 0 || s >= cfg.Heads || seen[s] {
+					t.Fatalf("trial %d: bad slice %d at layer %d", trial, s, l)
+				}
+				seen[s] = true
+				if !shard.ValidBits(p.Bits[l][j]) {
+					t.Fatalf("trial %d: invalid bits", trial)
+				}
+			}
+		}
+	}
+}
+
+func TestPlanLongerSequenceShrinksSubmodel(t *testing.T) {
+	// Tcomp grows with input length, so at fixed T a longer padded
+	// input must fit at most as many shards (§5.2 profiles Tcomp(l,...)).
+	short := paperRequest(device.Odroid(), 200*time.Millisecond, 1<<20)
+	short.SeqLen = 64
+	long := paperRequest(device.Odroid(), 200*time.Millisecond, 1<<20)
+	long.SeqLen = 256
+	pShort, err := short.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pLong, err := long.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pLong.ShardCount() > pShort.ShardCount() {
+		t.Fatalf("longer input fit more shards: %d vs %d", pLong.ShardCount(), pShort.ShardCount())
+	}
+}
+
+func TestWorkingBufferBytes(t *testing.T) {
+	cfg := model.BERTBase()
+	req := paperRequest(device.Odroid(), 200*time.Millisecond, 1<<20)
+	p, err := req.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb := p.WorkingBufferBytes(cfg.ShardParams(), cfg.Hidden, cfg.FFNSlice())
+	// §2.1/§3.1: a working buffer holds one model tile — "often a few
+	// MBs" — and must be far below the whole model's footprint.
+	if wb < 1<<20 || wb > 64<<20 {
+		t.Fatalf("working buffer %d bytes implausible", wb)
+	}
+	wider := *p
+	wider.Width = p.Width * 2
+	if wider.WorkingBufferBytes(cfg.ShardParams(), cfg.Hidden, cfg.FFNSlice()) <= wb {
+		t.Fatal("working buffer must grow with width")
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	// §3.2: STI plans once and executes repeatedly — planning must be a
+	// pure function of its inputs.
+	req := paperRequest(device.Odroid(), 200*time.Millisecond, 1<<20)
+	a, err := req.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := req.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Depth != b.Depth || a.Width != b.Width || a.PreloadUsed != b.PreloadUsed {
+		t.Fatal("planning not deterministic")
+	}
+	for l := range a.Bits {
+		for j := range a.Bits[l] {
+			if a.Bits[l][j] != b.Bits[l][j] || a.Slices[l][j] != b.Slices[l][j] ||
+				a.Preloaded[l][j] != b.Preloaded[l][j] {
+				t.Fatal("plan contents differ between runs")
+			}
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Package shard defines the identity and size accounting of model
+// shards — the unit STI manages: one vertical slice of one layer, in one
+// of K fidelity versions (§4). The store persists N×M×K shard versions;
+// the planner reasons about their IO cost via the size functions here.
+package shard
+
+import "fmt"
+
+// FullBits marks the uncompressed float32 fidelity version.
+const FullBits = 32
+
+// Bitwidths are the quantized fidelity versions the preprocessor
+// instantiates (the paper uses K = 2..6 plus the 32-bit original).
+var Bitwidths = []int{2, 3, 4, 5, 6}
+
+// AllBitwidths returns the quantized bitwidths plus FullBits, ascending.
+func AllBitwidths() []int {
+	return append(append([]int{}, Bitwidths...), FullBits)
+}
+
+// ValidBits reports whether b is a storable fidelity version.
+func ValidBits(b int) bool {
+	if b == FullBits {
+		return true
+	}
+	for _, k := range Bitwidths {
+		if k == b {
+			return true
+		}
+	}
+	return false
+}
+
+// ID names one vertical slice of one layer.
+type ID struct {
+	Layer int
+	Slice int
+}
+
+func (id ID) String() string { return fmt.Sprintf("L%d.S%d", id.Layer, id.Slice) }
+
+// Version names one fidelity version of one shard: the unit stored on
+// flash and selected by the IO planner.
+type Version struct {
+	ID
+	Bits int
+}
+
+func (v Version) String() string { return fmt.Sprintf("%v@%db", v.ID, v.Bits) }
+
+// ExpectedOutlierFraction is the fraction of weights preserved verbatim
+// by Gaussian outlier-aware quantization on real transformer weights;
+// the paper measures 0.14–0.17% (§6). Analytic size estimates use the
+// midpoint.
+const ExpectedOutlierFraction = 0.0015
+
+// headerBytes approximates per-shard serialization overhead in the
+// store's binary format (lengths, ids).
+const headerBytes = 32
+
+// EstimateSizeBytes returns the analytic on-disk size of a shard of
+// `params` weights at the given bitwidth. For quantized versions this is
+// packed k-bit indexes + a 2^k-entry float32 dictionary + (position,
+// value) pairs for the expected outliers. Planning at paper scale uses
+// this estimate; real stores record exact sizes in their manifest.
+func EstimateSizeBytes(params, bits int) int {
+	if bits == FullBits {
+		return 4*params + headerBytes
+	}
+	if bits < 1 || bits > 8 {
+		panic(fmt.Sprintf("shard: invalid bitwidth %d", bits))
+	}
+	packed := (params*bits + 7) / 8
+	dict := 4 * (1 << bits)
+	outliers := int(float64(params)*ExpectedOutlierFraction) * 8
+	return packed + dict + outliers + headerBytes
+}
+
+// EstimateLayerBytes returns the analytic size of loading m shards of a
+// layer where shard i uses bits[i]. STI issues the whole layer as one IO
+// job (§3.1), so this is the size the device's TIO is charged with.
+func EstimateLayerBytes(params int, bits []int) int {
+	total := 0
+	for _, b := range bits {
+		total += EstimateSizeBytes(params, b)
+	}
+	return total
+}

@@ -1,0 +1,96 @@
+package shard
+
+import "testing"
+
+func TestValidBits(t *testing.T) {
+	for _, b := range []int{2, 3, 4, 5, 6, 32} {
+		if !ValidBits(b) {
+			t.Errorf("ValidBits(%d) = false", b)
+		}
+	}
+	for _, b := range []int{0, 1, 7, 8, 16} {
+		if ValidBits(b) {
+			t.Errorf("ValidBits(%d) = true", b)
+		}
+	}
+}
+
+func TestAllBitwidths(t *testing.T) {
+	all := AllBitwidths()
+	if len(all) != 6 || all[len(all)-1] != FullBits {
+		t.Fatalf("AllBitwidths = %v", all)
+	}
+	// Must not alias the package slice.
+	all[0] = 99
+	if Bitwidths[0] == 99 {
+		t.Fatal("AllBitwidths aliases Bitwidths")
+	}
+}
+
+func TestEstimateSizeMonotone(t *testing.T) {
+	const params = 589824 // paper-scale shard
+	prev := 0
+	for _, b := range AllBitwidths() {
+		s := EstimateSizeBytes(params, b)
+		if s <= prev {
+			t.Fatalf("size not increasing with bits at %d: %d <= %d", b, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestEstimateSizePaperScale(t *testing.T) {
+	const params = 589824
+	// 2-bit shard ≈ 147 KB of indexes plus small dictionaries.
+	s2 := EstimateSizeBytes(params, 2)
+	if s2 < 147456 || s2 > 160000 {
+		t.Fatalf("2-bit shard size %d outside expected range", s2)
+	}
+	// Full shard = 2.36 MB.
+	sf := EstimateSizeBytes(params, FullBits)
+	if sf < 2359296 || sf > 2359296+1024 {
+		t.Fatalf("full shard size %d", sf)
+	}
+}
+
+func TestStorageOverheadMatchesPaper(t *testing.T) {
+	// §7.2: five fidelity versions {2..6} of a 12×12 model take ≈215 MB,
+	// versus a full 32-bit transformer of ≈340 MB of shard weights.
+	const params = 589824
+	const shardsPerModel = 12 * 12
+	var five int64
+	for _, b := range Bitwidths {
+		five += int64(shardsPerModel) * int64(EstimateSizeBytes(params, b))
+	}
+	if five < 200e6 || five > 235e6 {
+		t.Fatalf("five-version storage = %d MB, paper reports ≈215 MB", five/1e6)
+	}
+}
+
+func TestEstimateLayerBytes(t *testing.T) {
+	const params = 1000
+	bits := []int{2, 2, 6}
+	want := EstimateSizeBytes(params, 2)*2 + EstimateSizeBytes(params, 6)
+	if got := EstimateLayerBytes(params, bits); got != want {
+		t.Fatalf("EstimateLayerBytes = %d, want %d", got, want)
+	}
+	if EstimateLayerBytes(params, nil) != 0 {
+		t.Fatal("empty layer must cost 0 bytes")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	v := Version{ID: ID{Layer: 3, Slice: 7}, Bits: 4}
+	if v.String() != "L3.S7@4b" {
+		t.Fatalf("Version.String = %q", v.String())
+	}
+}
+
+func TestEstimateBadBitsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	EstimateSizeBytes(100, 9)
+}

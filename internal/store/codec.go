@@ -1,0 +1,199 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"sti/internal/quant"
+	"sti/internal/shard"
+)
+
+// payloadMagic guards each serialized shard payload.
+const payloadMagic = 0x53544950 // "STIP"
+
+// finishPayload appends the CRC32 trailer over everything written so
+// far. Flash on cheap edge devices corrupts; a shard substituted with
+// garbage weights would silently destroy accuracy, so every payload is
+// integrity-checked on decode.
+func finishPayload(buf *bytes.Buffer) []byte {
+	sum := crc32.ChecksumIEEE(buf.Bytes())
+	_ = binary.Write(buf, binary.LittleEndian, sum)
+	return buf.Bytes()
+}
+
+// verifyPayload checks and strips the CRC32 trailer.
+func verifyPayload(data []byte) ([]byte, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("store: payload too short for checksum")
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	want := binary.LittleEndian.Uint32(trailer)
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("store: payload checksum mismatch (%#x != %#x)", got, want)
+	}
+	return body, nil
+}
+
+// Payload is one decoded shard fidelity version: either a quantized
+// block or raw float32 weights.
+type Payload struct {
+	Bits  int
+	Count int
+	Block *quant.Block // nil when Bits == shard.FullBits
+	Raw   []float32    // nil when quantized
+}
+
+// Weights returns the full-fidelity float32 weights of the payload,
+// dequantizing if necessary. This is the decompression step of the
+// pipeline (§5.5): dictionary substitution back to FP32.
+func (p *Payload) Weights() []float32 {
+	if p.Bits == shard.FullBits {
+		return p.Raw
+	}
+	return p.Block.Dequantize()
+}
+
+// WeightsInto decompresses into dst (length ≥ Count), reusing the
+// pipeline's working buffer.
+func (p *Payload) WeightsInto(dst []float32) []float32 {
+	if p.Bits == shard.FullBits {
+		copy(dst, p.Raw)
+		return dst[:p.Count]
+	}
+	return p.Block.DequantizeInto(dst)
+}
+
+// EncodePayload serializes a quantized block into the store's on-disk
+// format.
+func EncodePayload(b *quant.Block) []byte {
+	var buf bytes.Buffer
+	writeU32 := func(v uint32) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	writeU32(payloadMagic)
+	writeU32(uint32(b.Bits))
+	writeU32(uint32(b.Count))
+	writeU32(uint32(len(b.Centroids)))
+	for _, c := range b.Centroids {
+		writeU32(math.Float32bits(c))
+	}
+	writeU32(uint32(len(b.OutlierPos)))
+	for _, p := range b.OutlierPos {
+		writeU32(p)
+	}
+	for _, v := range b.OutlierVal {
+		writeU32(math.Float32bits(v))
+	}
+	writeU32(uint32(len(b.Packed)))
+	buf.Write(b.Packed)
+	return finishPayload(&buf)
+}
+
+// EncodeRawPayload serializes full-fidelity weights.
+func EncodeRawPayload(weights []float32) []byte {
+	var buf bytes.Buffer
+	writeU32 := func(v uint32) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	writeU32(payloadMagic)
+	writeU32(uint32(shard.FullBits))
+	writeU32(uint32(len(weights)))
+	for _, w := range weights {
+		writeU32(math.Float32bits(w))
+	}
+	return finishPayload(&buf)
+}
+
+// DecodePayload parses a serialized shard payload, verifying its
+// integrity checksum first.
+func DecodePayload(data []byte) (*Payload, error) {
+	body, err := verifyPayload(data)
+	if err != nil {
+		return nil, err
+	}
+	r := &byteReader{data: body}
+	magic, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if magic != payloadMagic {
+		return nil, fmt.Errorf("store: bad payload magic %#x", magic)
+	}
+	bits, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	count, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	p := &Payload{Bits: int(bits), Count: int(count)}
+	if p.Bits == shard.FullBits {
+		raw := make([]float32, count)
+		for i := range raw {
+			v, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			raw[i] = math.Float32frombits(v)
+		}
+		p.Raw = raw
+		return p, nil
+	}
+	if p.Bits < quant.MinBits || p.Bits > quant.MaxBits {
+		return nil, fmt.Errorf("store: payload bitwidth %d invalid", p.Bits)
+	}
+	nc, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	blk := &quant.Block{Bits: p.Bits, Count: p.Count, Centroids: make([]float32, nc)}
+	for i := range blk.Centroids {
+		v, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		blk.Centroids[i] = math.Float32frombits(v)
+	}
+	no, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	blk.OutlierPos = make([]uint32, no)
+	blk.OutlierVal = make([]float32, no)
+	for i := range blk.OutlierPos {
+		if blk.OutlierPos[i], err = r.u32(); err != nil {
+			return nil, err
+		}
+	}
+	for i := range blk.OutlierVal {
+		v, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		blk.OutlierVal[i] = math.Float32frombits(v)
+	}
+	np, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if int(np) > len(r.data)-r.off {
+		return nil, fmt.Errorf("store: truncated packed section (%d of %d bytes)", len(r.data)-r.off, np)
+	}
+	blk.Packed = append([]byte(nil), r.data[r.off:r.off+int(np)]...)
+	p.Block = blk
+	return p, nil
+}
+
+type byteReader struct {
+	data []byte
+	off  int
+}
+
+func (r *byteReader) u32() (uint32, error) {
+	if r.off+4 > len(r.data) {
+		return 0, fmt.Errorf("store: truncated payload at offset %d", r.off)
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v, nil
+}

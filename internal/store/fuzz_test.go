@@ -1,0 +1,53 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+
+	"sti/internal/quant"
+)
+
+// FuzzDecodePayload ensures arbitrary bytes never panic the decoder —
+// a corrupted flash block must surface as an error, not a crash.
+func FuzzDecodePayload(f *testing.F) {
+	w := make([]float32, 500)
+	rng := rand.New(rand.NewSource(1))
+	for i := range w {
+		w[i] = float32(rng.NormFloat64()) * 0.05
+	}
+	f.Add(EncodePayload(quant.Quantize(w, 3)))
+	f.Add(EncodeRawPayload(w[:16]))
+	f.Add([]byte{})
+	f.Add([]byte{0x50, 0x49, 0x54, 0x53})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodePayload(data)
+		if err != nil {
+			return
+		}
+		// A successfully decoded payload must be internally consistent.
+		got := p.Weights()
+		if len(got) != p.Count {
+			t.Fatalf("decoded %d weights, header says %d", len(got), p.Count)
+		}
+	})
+}
+
+func TestDecodeDetectsBitflips(t *testing.T) {
+	w := make([]float32, 2000)
+	rng := rand.New(rand.NewSource(2))
+	for i := range w {
+		w[i] = float32(rng.NormFloat64()) * 0.02
+	}
+	valid := EncodePayload(quant.Quantize(w, 4))
+	if _, err := DecodePayload(valid); err != nil {
+		t.Fatalf("valid payload rejected: %v", err)
+	}
+	// Flip one bit anywhere: the checksum must catch it.
+	for _, pos := range []int{0, 10, len(valid) / 2, len(valid) - 5} {
+		corrupted := append([]byte(nil), valid...)
+		corrupted[pos] ^= 0x40
+		if _, err := DecodePayload(corrupted); err == nil {
+			t.Fatalf("bit flip at %d not detected", pos)
+		}
+	}
+}

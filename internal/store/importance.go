@@ -1,0 +1,48 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sti/internal/importance"
+)
+
+// importanceName is the optional per-model importance profile shipped
+// alongside the shards. The paper profiles importance per fine-tuned
+// model in the cloud (§3.2, §5.2) and deploys the result with the
+// model; persisting it in the store mirrors that flow.
+const importanceName = "importance.json"
+
+// SaveImportance writes a profiled importance table into the store
+// directory.
+func SaveImportance(dir string, tbl *importance.Table) error {
+	data, err := json.MarshalIndent(tbl, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, importanceName), data, 0o644)
+}
+
+// LoadImportance reads the store's importance profile. It returns
+// (nil, nil) when none was shipped — callers fall back to a uniform or
+// synthetic table.
+func (s *Store) LoadImportance() (*importance.Table, error) {
+	data, err := os.ReadFile(filepath.Join(s.Dir, importanceName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	tbl := &importance.Table{}
+	if err := json.Unmarshal(data, tbl); err != nil {
+		return nil, fmt.Errorf("store: importance profile: %w", err)
+	}
+	if tbl.Layers != s.Man.Config.Layers || tbl.Slices != s.Man.Config.Heads {
+		return nil, fmt.Errorf("store: importance profile is %dx%d, model is %dx%d",
+			tbl.Layers, tbl.Slices, s.Man.Config.Layers, s.Man.Config.Heads)
+	}
+	return tbl, nil
+}

@@ -1,0 +1,305 @@
+// Package store persists and serves the N×M×K shard versions of a
+// preprocessed model (§4.2 "storing shards per version", §6).
+//
+// Layout of a store directory:
+//
+//	manifest.json            — geometry, bitwidths, exact per-shard sizes
+//	resident.gob             — always-resident parameters (embeddings,
+//	                           biases, layernorms, classifier head)
+//	layer_LL_bits_BB.bin     — all M shards of layer LL at bitwidth BB,
+//	                           co-located for access locality (§6)
+//
+// Each layer file carries an index so a subset of shards can be read
+// with one contiguous scan per shard; STI loads one layer's selected
+// shards as a single IO job (§3.1).
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sti/internal/model"
+	"sti/internal/quant"
+	"sti/internal/shard"
+	"sti/internal/tensor"
+)
+
+const (
+	manifestName = "manifest.json"
+	residentName = "resident.gob"
+	fileMagic    = 0x5354494C // "STIL"
+)
+
+// Manifest records what a store contains. Sizes are exact serialized
+// bytes per shard version, which the planner uses for IO budgeting when
+// planning against a real store.
+type Manifest struct {
+	Config    model.Config
+	Bitwidths []int // quantized widths; FullBits is always also stored
+	// Sizes[layer][slice][i] is the payload size at Bitwidths[i];
+	// the last entry (index len(Bitwidths)) is the full-fidelity size.
+	Sizes [][][]int
+}
+
+// bitIndex maps a bitwidth to its column in Manifest.Sizes.
+func (m *Manifest) bitIndex(bits int) (int, error) {
+	if bits == shard.FullBits {
+		return len(m.Bitwidths), nil
+	}
+	for i, b := range m.Bitwidths {
+		if b == bits {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("store: bitwidth %d not in store (have %v + full)", bits, m.Bitwidths)
+}
+
+// ShardSize returns the exact on-disk payload size of a shard version.
+func (m *Manifest) ShardSize(layer, slice, bits int) (int, error) {
+	if layer < 0 || layer >= m.Config.Layers || slice < 0 || slice >= m.Config.Heads {
+		return 0, fmt.Errorf("store: shard (%d,%d) outside %dx%d", layer, slice, m.Config.Layers, m.Config.Heads)
+	}
+	bi, err := m.bitIndex(bits)
+	if err != nil {
+		return 0, err
+	}
+	return m.Sizes[layer][slice][bi], nil
+}
+
+// TotalBytes returns the cumulative size of all stored fidelity
+// versions, split into quantized versions and the full model — the
+// storage-overhead numbers of §7.2.
+func (m *Manifest) TotalBytes() (quantized, full int64) {
+	for _, layer := range m.Sizes {
+		for _, sizes := range layer {
+			for i, s := range sizes {
+				if i == len(m.Bitwidths) {
+					full += int64(s)
+				} else {
+					quantized += int64(s)
+				}
+			}
+		}
+	}
+	return quantized, full
+}
+
+// resident is the gob-serialized always-in-memory parameter set.
+type resident struct {
+	Cfg     model.Config
+	Emb     *model.Embeddings
+	Misc    []layerMisc
+	Pooler  *tensor.Matrix
+	PoolerB []float32
+	Cls     *tensor.Matrix
+	ClsB    []float32
+}
+
+type layerMisc struct {
+	QB, KB, VB, OB, FFN1B, FFN2B, LN1G, LN1B, LN2G, LN2B []float32
+}
+
+// Preprocess shards, quantizes and persists a model into dir, returning
+// the manifest. This is STI's one-time per-model preprocessing (§3.2),
+// normally done in the cloud before deployment.
+func Preprocess(dir string, w *model.Weights, bitwidths []int) (*Manifest, error) {
+	if len(bitwidths) == 0 {
+		bitwidths = shard.Bitwidths
+	}
+	for _, b := range bitwidths {
+		if b == shard.FullBits || b < quant.MinBits || b > quant.MaxBits {
+			return nil, fmt.Errorf("store: cannot preprocess bitwidth %d", b)
+		}
+	}
+	cfg := w.Cfg
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	man := &Manifest{Config: cfg, Bitwidths: append([]int(nil), bitwidths...)}
+	man.Sizes = make([][][]int, cfg.Layers)
+
+	allBits := append(append([]int(nil), bitwidths...), shard.FullBits)
+	for l := 0; l < cfg.Layers; l++ {
+		man.Sizes[l] = make([][]int, cfg.Heads)
+		for s := range man.Sizes[l] {
+			man.Sizes[l][s] = make([]int, len(allBits))
+		}
+		flats := make([][]float32, cfg.Heads)
+		for s := 0; s < cfg.Heads; s++ {
+			flats[s] = w.ExtractShard(l, s).Flatten()
+		}
+		for bi, bits := range allBits {
+			payloads := make([][]byte, cfg.Heads)
+			for s := 0; s < cfg.Heads; s++ {
+				if bits == shard.FullBits {
+					payloads[s] = EncodeRawPayload(flats[s])
+				} else {
+					payloads[s] = EncodePayload(quant.Quantize(flats[s], bits))
+				}
+				man.Sizes[l][s][bi] = len(payloads[s])
+			}
+			if err := writeLayerFile(layerPath(dir, l, bits), l, bits, payloads); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if err := writeResident(filepath.Join(dir, residentName), w); err != nil {
+		return nil, err
+	}
+	manData, err := json.MarshalIndent(man, "", " ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), manData, 0o644); err != nil {
+		return nil, err
+	}
+	return man, nil
+}
+
+func layerPath(dir string, layer, bits int) string {
+	return filepath.Join(dir, fmt.Sprintf("layer_%02d_bits_%02d.bin", layer, bits))
+}
+
+// writeLayerFile co-locates all shards of (layer, bits) in one file:
+// header, index table, then payloads.
+func writeLayerFile(path string, layer, bits int, payloads [][]byte) error {
+	var buf bytes.Buffer
+	w32 := func(v uint32) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	w64 := func(v uint64) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	w32(fileMagic)
+	w32(uint32(layer))
+	w32(uint32(bits))
+	w32(uint32(len(payloads)))
+	offset := uint64(16 + 16*len(payloads))
+	for _, p := range payloads {
+		w64(offset)
+		w64(uint64(len(p)))
+		offset += uint64(len(p))
+	}
+	for _, p := range payloads {
+		buf.Write(p)
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+func writeResident(path string, w *model.Weights) error {
+	r := resident{
+		Cfg: w.Cfg, Emb: w.Emb,
+		Pooler: w.Pooler, PoolerB: w.PoolerB, Cls: w.Cls, ClsB: w.ClsB,
+	}
+	for _, l := range w.Layers {
+		r.Misc = append(r.Misc, layerMisc{
+			QB: l.QB, KB: l.KB, VB: l.VB, OB: l.OB,
+			FFN1B: l.FFN1B, FFN2B: l.FFN2B,
+			LN1G: l.LN1G, LN1B: l.LN1B, LN2G: l.LN2G, LN2B: l.LN2B,
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return gob.NewEncoder(f).Encode(&r)
+}
+
+// Store serves shard payloads from a preprocessed directory.
+type Store struct {
+	Dir string
+	Man *Manifest
+}
+
+// Open loads a store's manifest.
+func Open(dir string) (*Store, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("store: open: %w", err)
+	}
+	man := &Manifest{}
+	if err := json.Unmarshal(data, man); err != nil {
+		return nil, fmt.Errorf("store: manifest: %w", err)
+	}
+	return &Store{Dir: dir, Man: man}, nil
+}
+
+// ReadShardPayload reads the serialized payload of one shard version.
+// The returned byte count is exactly what an IO planner should charge.
+func (s *Store) ReadShardPayload(layer, slice, bits int) ([]byte, error) {
+	if _, err := s.Man.ShardSize(layer, slice, bits); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(layerPath(s.Dir, layer, bits))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	offset, length, err := readIndexEntry(f, slice)
+	if err != nil {
+		return nil, err
+	}
+	payload := make([]byte, length)
+	if _, err := f.ReadAt(payload, int64(offset)); err != nil {
+		return nil, fmt.Errorf("store: shard (%d,%d)@%d: %w", layer, slice, bits, err)
+	}
+	return payload, nil
+}
+
+// ReadShard reads and decodes one shard version.
+func (s *Store) ReadShard(layer, slice, bits int) (*Payload, error) {
+	raw, err := s.ReadShardPayload(layer, slice, bits)
+	if err != nil {
+		return nil, err
+	}
+	return DecodePayload(raw)
+}
+
+func readIndexEntry(f *os.File, slice int) (offset, length uint64, err error) {
+	header := make([]byte, 16)
+	if _, err := f.ReadAt(header, 0); err != nil {
+		return 0, 0, err
+	}
+	if binary.LittleEndian.Uint32(header) != fileMagic {
+		return 0, 0, fmt.Errorf("store: bad layer file magic")
+	}
+	n := binary.LittleEndian.Uint32(header[12:])
+	if slice < 0 || uint32(slice) >= n {
+		return 0, 0, fmt.Errorf("store: slice %d outside %d shards", slice, n)
+	}
+	entry := make([]byte, 16)
+	if _, err := f.ReadAt(entry, int64(16+16*slice)); err != nil {
+		return 0, 0, err
+	}
+	return binary.LittleEndian.Uint64(entry), binary.LittleEndian.Uint64(entry[8:]), nil
+}
+
+// LoadResident reconstructs a Weights skeleton holding the resident
+// parameters; layer weight matrices are zeroed and get populated from
+// shards by the execution engine.
+func (s *Store) LoadResident() (*model.Weights, error) {
+	f, err := os.Open(filepath.Join(s.Dir, residentName))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r resident
+	if err := gob.NewDecoder(f).Decode(&r); err != nil {
+		return nil, fmt.Errorf("store: resident: %w", err)
+	}
+	w := &model.Weights{
+		Cfg: r.Cfg, Emb: r.Emb,
+		Pooler: r.Pooler, PoolerB: r.PoolerB, Cls: r.Cls, ClsB: r.ClsB,
+	}
+	for _, m := range r.Misc {
+		w.Layers = append(w.Layers, &model.LayerWeights{
+			QB: m.QB, KB: m.KB, VB: m.VB, OB: m.OB,
+			FFN1B: m.FFN1B, FFN2B: m.FFN2B,
+			LN1G: m.LN1G, LN1B: m.LN1B, LN2G: m.LN2G, LN2B: m.LN2B,
+		})
+	}
+	return w, nil
+}

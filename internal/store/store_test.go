@@ -1,0 +1,287 @@
+package store
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sti/internal/importance"
+	"sti/internal/model"
+	"sti/internal/quant"
+	"sti/internal/shard"
+)
+
+func TestPayloadCodecQuantizedRoundTrip(t *testing.T) {
+	w := make([]float32, 5000)
+	for i := range w {
+		w[i] = float32(math.Sin(float64(i))) * 0.05
+	}
+	blk := quant.Quantize(w, 3)
+	data := EncodePayload(blk)
+	p, err := DecodePayload(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Bits != 3 || p.Count != len(w) {
+		t.Fatalf("decoded %d bits %d count", p.Bits, p.Count)
+	}
+	want := blk.Dequantize()
+	got := p.Weights()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("weight %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPayloadCodecRawRoundTrip(t *testing.T) {
+	w := []float32{1.5, -2.25, 0, 3.14159}
+	p, err := DecodePayload(EncodeRawPayload(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Bits != shard.FullBits {
+		t.Fatalf("bits %d", p.Bits)
+	}
+	got := p.Weights()
+	for i := range w {
+		if got[i] != w[i] {
+			t.Fatalf("raw weight %d: %v vs %v", i, got[i], w[i])
+		}
+	}
+}
+
+func TestDecodePayloadRejectsGarbage(t *testing.T) {
+	if _, err := DecodePayload([]byte{1, 2, 3}); err == nil {
+		t.Fatal("expected truncation error")
+	}
+	if _, err := DecodePayload(make([]byte, 64)); err == nil {
+		t.Fatal("expected magic error")
+	}
+	// Truncating a valid payload must be detected.
+	valid := EncodePayload(quant.Quantize(make([]float32, 100), 2))
+	if _, err := DecodePayload(valid[:len(valid)-5]); err == nil {
+		t.Fatal("expected truncated packed section error")
+	}
+}
+
+func buildStore(t *testing.T) (*Store, *model.Weights, string) {
+	t.Helper()
+	dir := t.TempDir()
+	cfg := model.Tiny()
+	w := model.NewRandom(cfg, 77)
+	man, err := Preprocess(dir, w, []int{2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Config != cfg {
+		t.Fatalf("manifest config %+v", man.Config)
+	}
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, w, dir
+}
+
+func TestPreprocessAndOpen(t *testing.T) {
+	st, _, dir := buildStore(t)
+	cfg := st.Man.Config
+	// All layer files present: layers × (3 quantized + full).
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var layerFiles int
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".bin" {
+			layerFiles++
+		}
+	}
+	if want := cfg.Layers * 4; layerFiles != want {
+		t.Fatalf("layer files %d, want %d", layerFiles, want)
+	}
+}
+
+func TestShardSizes(t *testing.T) {
+	st, _, _ := buildStore(t)
+	cfg := st.Man.Config
+	s2, err := st.Man.ShardSize(0, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s6, err := st.Man.ShardSize(0, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := st.Man.ShardSize(0, 0, shard.FullBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(s2 < s6 && s6 < sf) {
+		t.Fatalf("sizes not increasing: %d, %d, %d", s2, s6, sf)
+	}
+	if sf < 4*cfg.ShardParams() {
+		t.Fatalf("full size %d below raw weight bytes", sf)
+	}
+	if _, err := st.Man.ShardSize(0, 0, 5); err == nil {
+		t.Fatal("bitwidth 5 not stored; expected error")
+	}
+	if _, err := st.Man.ShardSize(99, 0, 2); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestReadShardMatchesOriginal(t *testing.T) {
+	st, w, _ := buildStore(t)
+	cfg := st.Man.Config
+	// Full fidelity must round-trip exactly.
+	p, err := st.ReadShard(1, 2, shard.FullBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := w.ExtractShard(1, 2).Flatten()
+	got := p.Weights()
+	if len(got) != cfg.ShardParams() {
+		t.Fatalf("payload count %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("full shard mismatch at %d", i)
+		}
+	}
+	// Quantized version must match an independent quantization of the
+	// same flattened weights (the process is deterministic).
+	p4, err := st.ReadShard(1, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := quant.Quantize(want, 4).Dequantize()
+	got4 := p4.Weights()
+	for i := range ref {
+		if got4[i] != ref[i] {
+			t.Fatalf("4-bit shard mismatch at %d", i)
+		}
+	}
+}
+
+func TestReadShardPayloadSizeMatchesManifest(t *testing.T) {
+	st, _, _ := buildStore(t)
+	for _, bits := range []int{2, 4, 6, shard.FullBits} {
+		raw, err := st.ReadShardPayload(2, 1, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := st.Man.ShardSize(2, 1, bits)
+		if len(raw) != want {
+			t.Fatalf("bits=%d payload %d bytes, manifest says %d", bits, len(raw), want)
+		}
+	}
+}
+
+func TestLoadResident(t *testing.T) {
+	st, w, _ := buildStore(t)
+	res, err := st.LoadResident()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cfg != w.Cfg {
+		t.Fatalf("resident config %+v", res.Cfg)
+	}
+	if !res.Emb.Token.Equal(w.Emb.Token) || !res.Pooler.Equal(w.Pooler) {
+		t.Fatal("resident embeddings/pooler differ")
+	}
+	if len(res.Layers) != w.Cfg.Layers {
+		t.Fatalf("resident layers %d", len(res.Layers))
+	}
+	for l, lm := range res.Layers {
+		for i, b := range lm.QB {
+			if b != w.Layers[l].QB[i] {
+				t.Fatalf("layer %d QB[%d] differs", l, i)
+			}
+		}
+		if lm.Q != nil {
+			t.Fatal("resident skeleton must not carry shard weight matrices")
+		}
+	}
+}
+
+func TestTotalBytesAccounting(t *testing.T) {
+	st, _, _ := buildStore(t)
+	q, f := st.Man.TotalBytes()
+	if q <= 0 || f <= 0 {
+		t.Fatalf("TotalBytes = %d, %d", q, f)
+	}
+	// Quantized versions {2,4,6} sum to ~12/32 of full + overhead: the
+	// ratio must be well under 1.
+	if float64(q)/float64(f) > 0.6 {
+		t.Fatalf("quantized/full ratio %.2f unexpectedly high", float64(q)/float64(f))
+	}
+}
+
+func TestOpenMissingDir(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("expected error for missing store")
+	}
+}
+
+func TestPreprocessRejectsFullBits(t *testing.T) {
+	dir := t.TempDir()
+	w := model.NewRandom(model.Tiny(), 1)
+	if _, err := Preprocess(dir, w, []int{32}); err == nil {
+		t.Fatal("expected error: full fidelity is always stored implicitly")
+	}
+}
+
+func TestOpenCorruptManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("corrupt manifest accepted")
+	}
+}
+
+func TestReadShardUnknownBits(t *testing.T) {
+	st, _, _ := buildStore(t)
+	if _, err := st.ReadShard(0, 0, 3); err == nil {
+		t.Fatal("unstored bitwidth accepted")
+	}
+	if _, err := st.ReadShard(0, 99, 2); err == nil {
+		t.Fatal("out-of-range slice accepted")
+	}
+}
+
+func TestImportancePersistence(t *testing.T) {
+	st, _, dir := buildStore(t)
+	cfg := st.Man.Config
+	// No profile shipped: nil, nil.
+	tbl, err := st.LoadImportance()
+	if err != nil || tbl != nil {
+		t.Fatalf("expected absent profile, got %v %v", tbl, err)
+	}
+	want := importance.Synthetic("QQP", cfg.Layers, cfg.Heads)
+	if err := SaveImportance(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.LoadImportance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range want.Score {
+		for s := range want.Score[l] {
+			if got.Score[l][s] != want.Score[l][s] {
+				t.Fatal("importance profile round trip lost data")
+			}
+		}
+	}
+	// Mismatched geometry must be rejected.
+	if err := SaveImportance(dir, importance.NewTable(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.LoadImportance(); err == nil {
+		t.Fatal("geometry mismatch accepted")
+	}
+}

@@ -1,0 +1,81 @@
+// Package tokenizer provides the small deterministic tokenizer used by
+// the synthetic GLUE tasks: whitespace word splitting with a hashed
+// vocabulary and BERT-style special tokens. The paper's models consume
+// WordPiece ids; for synthetic planted-pattern tasks a stable hash into
+// a fixed vocabulary preserves everything that matters (distinct words
+// map to distinct ids with high probability, identical words always
+// collide with themselves).
+package tokenizer
+
+import (
+	"hash/fnv"
+	"strings"
+)
+
+// Special token ids.
+const (
+	PAD = 0
+	CLS = 1
+	SEP = 2
+	UNK = 3
+
+	// NumSpecial is the first id available to vocabulary words.
+	NumSpecial = 4
+)
+
+// Tokenizer hashes words into a fixed-size id space.
+type Tokenizer struct {
+	Vocab  int // total id space, including specials
+	MaxSeq int
+}
+
+// New returns a tokenizer for the given vocabulary size and maximum
+// sequence length. Vocab must exceed NumSpecial.
+func New(vocab, maxSeq int) *Tokenizer {
+	if vocab <= NumSpecial || maxSeq < 3 {
+		panic("tokenizer: vocab/maxSeq too small")
+	}
+	return &Tokenizer{Vocab: vocab, MaxSeq: maxSeq}
+}
+
+// WordID maps one lowercase word to a stable id in
+// [NumSpecial, Vocab).
+func (t *Tokenizer) WordID(word string) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(strings.ToLower(word)))
+	return NumSpecial + int(h.Sum32()%uint32(t.Vocab-NumSpecial))
+}
+
+// Encode builds the BERT-style input for a (possibly single-sentence)
+// pair: [CLS] a... [SEP] b... [SEP] padded to MaxSeq. It returns the
+// token ids and the attention mask (true = real token).
+func (t *Tokenizer) Encode(a, b string) (tokens []int, mask []bool) {
+	tokens = make([]int, 0, t.MaxSeq)
+	tokens = append(tokens, CLS)
+	for _, w := range strings.Fields(a) {
+		if len(tokens) >= t.MaxSeq-1 {
+			break
+		}
+		tokens = append(tokens, t.WordID(w))
+	}
+	tokens = append(tokens, SEP)
+	if b != "" {
+		for _, w := range strings.Fields(b) {
+			if len(tokens) >= t.MaxSeq-1 {
+				break
+			}
+			tokens = append(tokens, t.WordID(w))
+		}
+		if len(tokens) < t.MaxSeq {
+			tokens = append(tokens, SEP)
+		}
+	}
+	mask = make([]bool, t.MaxSeq)
+	for i := range tokens {
+		mask[i] = true
+	}
+	for len(tokens) < t.MaxSeq {
+		tokens = append(tokens, PAD)
+	}
+	return tokens, mask
+}

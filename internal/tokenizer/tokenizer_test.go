@@ -1,0 +1,79 @@
+package tokenizer
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeSingleSentence(t *testing.T) {
+	tok := New(512, 16)
+	ids, mask := tok.Encode("hello world", "")
+	if len(ids) != 16 || len(mask) != 16 {
+		t.Fatalf("lengths %d/%d", len(ids), len(mask))
+	}
+	if ids[0] != CLS {
+		t.Fatalf("first token %d, want CLS", ids[0])
+	}
+	if ids[3] != SEP {
+		t.Fatalf("token 3 = %d, want SEP after two words", ids[3])
+	}
+	for i := 4; i < 16; i++ {
+		if ids[i] != PAD || mask[i] {
+			t.Fatalf("position %d not padding", i)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if !mask[i] {
+			t.Fatalf("position %d masked out", i)
+		}
+	}
+}
+
+func TestEncodePair(t *testing.T) {
+	tok := New(512, 16)
+	ids, _ := tok.Encode("a b", "c d")
+	// [CLS] a b [SEP] c d [SEP]
+	if ids[3] != SEP || ids[6] != SEP {
+		t.Fatalf("separators misplaced: %v", ids[:8])
+	}
+}
+
+func TestWordIDStableAndCaseInsensitive(t *testing.T) {
+	tok := New(512, 16)
+	if tok.WordID("Great") != tok.WordID("great") {
+		t.Fatal("case sensitivity")
+	}
+	if tok.WordID("great") == tok.WordID("awful") {
+		t.Fatal("hash collision between lexicon words (pick a bigger vocab)")
+	}
+	f := func(s string) bool {
+		id := tok.WordID(s)
+		return id >= NumSpecial && id < tok.Vocab
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeTruncatesLongInput(t *testing.T) {
+	tok := New(512, 8)
+	long := "w1 w2 w3 w4 w5 w6 w7 w8 w9 w10"
+	ids, _ := tok.Encode(long, long)
+	if len(ids) != 8 {
+		t.Fatalf("length %d", len(ids))
+	}
+	for _, id := range ids {
+		if id < 0 || id >= 512 {
+			t.Fatalf("id %d out of vocab", id)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(3, 16)
+}

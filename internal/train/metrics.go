@@ -1,0 +1,62 @@
+package train
+
+import (
+	"sti/internal/glue"
+	"sti/internal/model"
+)
+
+// Metrics bundles the two GLUE scores the paper reports (Table 3:
+// accuracy for SST-2/RTE/QNLI, accuracy/F1 for QQP).
+type Metrics struct {
+	Accuracy float64 // percent
+	F1       float64 // percent, positive class = 1
+}
+
+// F1Score computes the binary F1 (percent) of predictions against
+// labels with class 1 as positive. A degenerate all-negative predictor
+// scores 0, which is why the paper's QQP numbers can sit far below
+// 50% at low fidelity.
+func F1Score(preds, labels []int) float64 {
+	if len(preds) != len(labels) {
+		panic("train: F1Score length mismatch")
+	}
+	var tp, fp, fn float64
+	for i := range preds {
+		switch {
+		case preds[i] == 1 && labels[i] == 1:
+			tp++
+		case preds[i] == 1 && labels[i] == 0:
+			fp++
+		case preds[i] == 0 && labels[i] == 1:
+			fn++
+		}
+	}
+	if tp == 0 {
+		return 0
+	}
+	precision := tp / (tp + fp)
+	recall := tp / (tp + fn)
+	return 100 * 2 * precision * recall / (precision + recall)
+}
+
+// EvaluateMetrics measures dev accuracy and F1 of a submodel.
+func EvaluateMetrics(sm *model.Submodel, ds *glue.Dataset) Metrics {
+	if len(ds.Dev) == 0 {
+		return Metrics{}
+	}
+	preds := make([]int, len(ds.Dev))
+	labels := make([]int, len(ds.Dev))
+	correct := 0
+	for i, ex := range ds.Dev {
+		tokens, mask := ds.Encode(ex)
+		preds[i] = sm.Predict(tokens, mask)
+		labels[i] = ex.Label
+		if preds[i] == ex.Label {
+			correct++
+		}
+	}
+	return Metrics{
+		Accuracy: 100 * float64(correct) / float64(len(ds.Dev)),
+		F1:       F1Score(preds, labels),
+	}
+}

@@ -1,0 +1,59 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"sti/internal/glue"
+	"sti/internal/model"
+)
+
+func TestF1ScoreHandValues(t *testing.T) {
+	// tp=2, fp=1, fn=1 → precision 2/3, recall 2/3, F1 = 2/3.
+	preds := []int{1, 1, 1, 0, 0}
+	labels := []int{1, 1, 0, 1, 0}
+	if got := F1Score(preds, labels); math.Abs(got-66.666) > 0.01 {
+		t.Fatalf("F1 = %v, want 66.67", got)
+	}
+	// Perfect predictions.
+	if got := F1Score([]int{1, 0, 1}, []int{1, 0, 1}); got != 100 {
+		t.Fatalf("perfect F1 = %v", got)
+	}
+	// Degenerate all-negative predictor: F1 = 0 even though accuracy
+	// could be high — the behaviour behind the paper's low QQP cells.
+	if got := F1Score([]int{0, 0, 0, 0}, []int{0, 0, 0, 1}); got != 0 {
+		t.Fatalf("all-negative F1 = %v", got)
+	}
+}
+
+func TestF1ScoreLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	F1Score([]int{1}, []int{1, 0})
+}
+
+func TestEvaluateMetricsConsistent(t *testing.T) {
+	cfg := model.Config{Layers: 2, Heads: 2, Hidden: 16, FFN: 32, Vocab: 128, MaxSeq: 16, Classes: 2}
+	w := model.NewRandom(cfg, 53)
+	ds, err := glue.Generate("QQP", 8, 64, cfg.Vocab, cfg.MaxSeq, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := model.NewSubmodel(w, cfg.Layers, cfg.Heads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := EvaluateMetrics(sm, ds)
+	if m.Accuracy != Evaluate(w, ds, cfg.Layers, cfg.Heads) {
+		t.Fatalf("metrics accuracy %.1f != Evaluate", m.Accuracy)
+	}
+	if m.F1 < 0 || m.F1 > 100 {
+		t.Fatalf("F1 %v out of range", m.F1)
+	}
+	if (EvaluateMetrics(sm, &glue.Dataset{Tok: ds.Tok}) != Metrics{}) {
+		t.Fatal("empty dev set must give zero metrics")
+	}
+}
