@@ -1,0 +1,135 @@
+// Command sti-serve exposes a fleet of preprocessed STI models as a
+// concurrent JSON-over-HTTP inference service: per-model planned
+// pipelines, bounded admission queues with load shedding, per-request
+// deadlines derived from each model's latency target, and live budget
+// replanning.
+//
+//	sti-preprocess -out /tmp/sst2 -task SST-2 -train
+//	sti-serve -model sentiment=/tmp/sst2 -budget 262144 -addr :8080
+//
+//	curl -s localhost:8080/v1/infer -d '{"model":"sentiment","text":"wonderful gripping story"}'
+//	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/v1/budget -d '{"budget_bytes":131072}'
+//
+// Multiple -model flags serve multiple models from one budget; a spec
+// may override the default target and weight per model:
+//
+//	sti-serve -model sentiment=/tmp/sst2,target=150ms,weight=2 \
+//	          -model nextword=/tmp/qnli,target=300ms,weight=1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"sti"
+)
+
+// modelSpec is one parsed -model flag: name=dir[,target=D][,weight=W].
+type modelSpec struct {
+	name   string
+	dir    string
+	target time.Duration
+	weight float64
+}
+
+type modelFlags []modelSpec
+
+func (m *modelFlags) String() string {
+	var parts []string
+	for _, s := range *m {
+		parts = append(parts, s.name+"="+s.dir)
+	}
+	return strings.Join(parts, " ")
+}
+
+func (m *modelFlags) Set(v string) error {
+	spec := modelSpec{target: 200 * time.Millisecond, weight: 1}
+	for i, part := range strings.Split(v, ",") {
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return fmt.Errorf("model spec %q: want name=dir[,target=D][,weight=W]", v)
+		}
+		switch {
+		case i == 0:
+			spec.name, spec.dir = key, val
+		case key == "target":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return fmt.Errorf("model spec %q: %w", v, err)
+			}
+			spec.target = d
+		case key == "weight":
+			w, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return fmt.Errorf("model spec %q: %w", v, err)
+			}
+			spec.weight = w
+		default:
+			return fmt.Errorf("model spec %q: unknown option %q", v, key)
+		}
+	}
+	if spec.name == "" || spec.dir == "" {
+		return fmt.Errorf("model spec %q: empty name or dir", v)
+	}
+	*m = append(*m, spec)
+	return nil
+}
+
+func main() {
+	var models modelFlags
+	flag.Var(&models, "model", "model spec name=dir[,target=D][,weight=W]; repeatable (required)")
+	addr := flag.String("addr", ":8080", "listen address")
+	deviceName := flag.String("device", "odroid", "device profile: odroid or jetson")
+	budget := flag.Int64("budget", 256<<10, "fleet-wide preload budget in bytes")
+	queue := flag.Int("queue", 64, "admission queue depth per model")
+	workers := flag.Int("workers", 2, "worker goroutines per model")
+	slack := flag.Float64("slack", 4, "request deadline = slack x model target")
+	flag.Parse()
+	if len(models) == 0 {
+		log.Fatal("sti-serve: at least one -model is required")
+	}
+
+	var dev *sti.Device
+	switch *deviceName {
+	case "odroid":
+		dev = sti.Odroid()
+	case "jetson":
+		dev = sti.Jetson()
+	default:
+		log.Fatalf("sti-serve: unknown device %q", *deviceName)
+	}
+
+	fleet := sti.NewFleet(*budget)
+	for _, spec := range models {
+		sys, err := sti.Load(spec.dir, dev, 0)
+		if err != nil {
+			log.Fatalf("sti-serve: loading %q: %v", spec.name, err)
+		}
+		if err := fleet.Add(spec.name, sys, spec.target, spec.weight); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded %q from %s (target %v, weight %v)", spec.name, spec.dir, spec.target, spec.weight)
+	}
+	if err := fleet.Replan(); err != nil {
+		log.Fatalf("sti-serve: initial replan: %v", err)
+	}
+	for _, name := range fleet.Names() {
+		e, _ := fleet.Entry(name)
+		log.Printf("planned %q: %s (budget %d KB, preload %d KB)",
+			name, e.Plan, e.Budget>>10, e.Plan.PreloadUsed>>10)
+	}
+
+	sched := sti.NewScheduler(fleet, sti.ServeOptions{
+		QueueDepth: *queue, Workers: *workers, Slack: *slack,
+	})
+	defer sched.Close()
+
+	log.Printf("serving %d model(s) on %s", len(models), *addr)
+	log.Fatal(http.ListenAndServe(*addr, newServer(fleet, sched)))
+}

@@ -1,0 +1,225 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"sti"
+	"sti/internal/tokenizer"
+)
+
+// server is the HTTP frontend over a fleet and its scheduler. It is
+// split from main so tests can drive the exact handler path with
+// httptest.
+type server struct {
+	fleet  *sti.Fleet
+	sched  *sti.Scheduler
+	models map[string]modelInfo
+	mux    *http.ServeMux
+}
+
+// modelInfo caches what the handler needs to tokenize and validate
+// input for one model.
+type modelInfo struct {
+	tok    *tokenizer.Tokenizer
+	vocab  int
+	maxSeq int
+}
+
+func newServer(fleet *sti.Fleet, sched *sti.Scheduler) *server {
+	s := &server{
+		fleet:  fleet,
+		sched:  sched,
+		models: make(map[string]modelInfo),
+		mux:    http.NewServeMux(),
+	}
+	for _, name := range fleet.Names() {
+		e, _ := fleet.Entry(name)
+		cfg := e.System.Store.Man.Config
+		s.models[name] = modelInfo{
+			tok:    tokenizer.New(cfg.Vocab, cfg.MaxSeq),
+			vocab:  cfg.Vocab,
+			maxSeq: cfg.MaxSeq,
+		}
+	}
+	s.mux.HandleFunc("POST /v1/infer", s.handleInfer)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/budget", s.handleBudget)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// inferRequest carries either raw token ids or text to be tokenized
+// with the model's own tokenizer (TextB for sentence-pair tasks).
+type inferRequest struct {
+	Model  string `json:"model"`
+	Text   string `json:"text,omitempty"`
+	TextB  string `json:"textb,omitempty"`
+	Tokens []int  `json:"tokens,omitempty"`
+	Mask   []bool `json:"mask,omitempty"`
+}
+
+type inferResponse struct {
+	Model     string    `json:"model"`
+	Class     int       `json:"class"`
+	Logits    []float32 `json:"logits"`
+	QueuedMS  float64   `json:"queued_ms"`
+	TotalMS   float64   `json:"total_ms"`
+	BytesRead int64     `json:"bytes_read"`
+	CacheHits int       `json:"cache_hits"`
+}
+
+func (s *server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	var req inferRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.Model == "" {
+		httpError(w, http.StatusBadRequest, errors.New("missing model"))
+		return
+	}
+	info, ok := s.models[req.Model]
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown model %q", req.Model))
+		return
+	}
+	tokens, mask := req.Tokens, req.Mask
+	if len(tokens) == 0 {
+		if req.Text == "" {
+			httpError(w, http.StatusBadRequest, errors.New("missing text or tokens"))
+			return
+		}
+		tokens, mask = info.tok.Encode(req.Text, req.TextB)
+	} else {
+		// Raw token ids come straight from the client; reject anything
+		// the embedding table cannot index.
+		if len(tokens) > info.maxSeq {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("%d tokens exceed max sequence length %d", len(tokens), info.maxSeq))
+			return
+		}
+		for i, tk := range tokens {
+			if tk < 0 || tk >= info.vocab {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("token %d out of range [0,%d) at position %d", tk, info.vocab, i))
+				return
+			}
+		}
+		if len(mask) != 0 && len(mask) != len(tokens) {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("mask length %d != token length %d", len(mask), len(tokens)))
+			return
+		}
+	}
+
+	res, err := s.sched.Do(r.Context(), req.Model, tokens, mask)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	best := 0
+	for i, v := range res.Logits {
+		if v > res.Logits[best] {
+			best = i
+		}
+	}
+	writeJSON(w, http.StatusOK, inferResponse{
+		Model:     req.Model,
+		Class:     best,
+		Logits:    res.Logits,
+		QueuedMS:  float64(res.Queued.Microseconds()) / 1e3,
+		TotalMS:   float64(res.Total.Microseconds()) / 1e3,
+		BytesRead: res.Stats.BytesRead,
+		CacheHits: res.Stats.CacheHits,
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sched.Snapshot())
+}
+
+// handleBudget replans the whole fleet under a new preload budget —
+// §3.2's "|S| changes at any time", live. In-flight inference drains
+// first (the fleet quiesces), then every model is replanned and warmed
+// under its new share.
+func (s *server) handleBudget(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		BudgetBytes int64 `json:"budget_bytes"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.BudgetBytes < 0 {
+		httpError(w, http.StatusBadRequest, errors.New("negative budget"))
+		return
+	}
+	if err := s.fleet.SetBudget(req.BudgetBytes); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	type grant struct {
+		Model       string `json:"model"`
+		BudgetBytes int64  `json:"budget_bytes"`
+		PreloadUsed int64  `json:"preload_used"`
+	}
+	resp := struct {
+		BudgetBytes  int64   `json:"budget_bytes"`
+		PreloadBytes int64   `json:"preload_bytes"`
+		Grants       []grant `json:"grants"`
+	}{BudgetBytes: req.BudgetBytes, PreloadBytes: s.fleet.PreloadBytes()}
+	for _, name := range s.fleet.Names() {
+		e, _ := s.fleet.Entry(name)
+		resp.Grants = append(resp.Grants, grant{Model: name, BudgetBytes: e.Budget, PreloadUsed: e.Plan.PreloadUsed})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		OK     bool     `json:"ok"`
+		Models []string `json:"models"`
+	}{OK: true, Models: s.fleet.Names()})
+}
+
+// statusClientClosedRequest is nginx's non-standard 499: the client
+// went away while we were still working; no stdlib constant exists.
+const statusClientClosedRequest = 499
+
+// statusFor maps the scheduler's typed errors onto HTTP statuses: shed
+// load is 503 (retryable), blown deadlines 504, unknown models 404.
+// Context errors are the caller's own timeout or disconnect, not a
+// server fault — they must not read as 500s.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, sti.ErrQueueFull):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, sti.ErrDeadline):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, sti.ErrUnknownModel):
+		return http.StatusNotFound
+	case errors.Is(err, sti.ErrServerClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,267 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sti"
+)
+
+// buildFleet preprocesses two tiny stores and returns a planned fleet —
+// the ≥2-model setting the serving layer must multiplex.
+func buildFleet(t *testing.T, budget int64) *sti.Fleet {
+	t.Helper()
+	fleet := sti.NewFleet(budget)
+	for i, name := range []string{"sentiment", "nextword"} {
+		dir := t.TempDir()
+		w := sti.NewRandomModel(sti.TinyConfig(), int64(i+1))
+		if _, err := sti.Preprocess(dir, w, []int{2, 4}); err != nil {
+			t.Fatal(err)
+		}
+		sys, err := sti.Load(dir, sti.Odroid(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fleet.Add(name, sys, 200*time.Millisecond, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fleet.Replan(); err != nil {
+		t.Fatal(err)
+	}
+	return fleet
+}
+
+func buildServer(t *testing.T, opts sti.ServeOptions) (*httptest.Server, *sti.Fleet) {
+	t.Helper()
+	fleet := buildFleet(t, 256<<10)
+	sched := sti.NewScheduler(fleet, opts)
+	t.Cleanup(sched.Close)
+	ts := httptest.NewServer(newServer(fleet, sched))
+	t.Cleanup(ts.Close)
+	return ts, fleet
+}
+
+func postJSON(t *testing.T, url string, body any) (int, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func TestServerInferStatsHealthz(t *testing.T) {
+	ts, _ := buildServer(t, sti.ServeOptions{Slack: 1000})
+
+	status, data := postJSON(t, ts.URL+"/v1/infer",
+		inferRequest{Model: "sentiment", Text: "wonderful gripping story"})
+	if status != http.StatusOK {
+		t.Fatalf("infer status %d: %s", status, data)
+	}
+	var ir inferResponse
+	if err := json.Unmarshal(data, &ir); err != nil {
+		t.Fatal(err)
+	}
+	if ir.Model != "sentiment" || len(ir.Logits) != sti.TinyConfig().Classes {
+		t.Fatalf("bad infer response %+v", ir)
+	}
+	if ir.TotalMS <= 0 || ir.Class < 0 || ir.Class >= len(ir.Logits) {
+		t.Fatalf("bad infer response %+v", ir)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st sti.ServeStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed != 1 || len(st.Models) != 1 || st.Models[0].Model != "sentiment" {
+		t.Fatalf("stats %+v, want 1 completed on sentiment", st)
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var hz struct {
+		OK     bool     `json:"ok"`
+		Models []string `json:"models"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if !hz.OK || len(hz.Models) != 2 {
+		t.Fatalf("healthz %+v", hz)
+	}
+}
+
+func TestServerRawTokens(t *testing.T) {
+	ts, _ := buildServer(t, sti.ServeOptions{Slack: 1000})
+	status, data := postJSON(t, ts.URL+"/v1/infer",
+		inferRequest{Model: "nextword", Tokens: []int{1, 5, 6, 2}})
+	if status != http.StatusOK {
+		t.Fatalf("infer status %d: %s", status, data)
+	}
+}
+
+func TestServerErrorMapping(t *testing.T) {
+	ts, _ := buildServer(t, sti.ServeOptions{Slack: 1000})
+	for _, tc := range []struct {
+		name string
+		body any
+		want int
+	}{
+		{"unknown model", inferRequest{Model: "absent", Text: "hi"}, http.StatusNotFound},
+		{"missing model", inferRequest{Text: "hi"}, http.StatusBadRequest},
+		{"missing input", inferRequest{Model: "sentiment"}, http.StatusBadRequest},
+		{"negative budget", map[string]int64{"budget_bytes": -1}, http.StatusBadRequest},
+		{"token out of vocab", inferRequest{Model: "sentiment", Tokens: []int{999999999}}, http.StatusBadRequest},
+		{"negative token", inferRequest{Model: "sentiment", Tokens: []int{-5}}, http.StatusBadRequest},
+		{"oversized sequence", inferRequest{Model: "sentiment", Tokens: make([]int, 10000)}, http.StatusBadRequest},
+		{"mask length mismatch", inferRequest{Model: "sentiment", Tokens: []int{1, 2}, Mask: []bool{true}}, http.StatusBadRequest},
+	} {
+		url := ts.URL + "/v1/infer"
+		if tc.name == "negative budget" {
+			url = ts.URL + "/v1/budget"
+		}
+		if status, data := postJSON(t, url, tc.body); status != tc.want {
+			t.Errorf("%s: status %d (want %d): %s", tc.name, status, tc.want, data)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/v1/infer", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad json: status %d", resp.StatusCode)
+	}
+}
+
+func TestServerBudgetReplanLive(t *testing.T) {
+	ts, fleet := buildServer(t, sti.ServeOptions{Slack: 1000})
+	before := fleet.PreloadBytes()
+
+	newBudget := int64(64 << 10)
+	status, data := postJSON(t, ts.URL+"/v1/budget", map[string]int64{"budget_bytes": newBudget})
+	if status != http.StatusOK {
+		t.Fatalf("budget status %d: %s", status, data)
+	}
+	var resp struct {
+		PreloadBytes int64 `json:"preload_bytes"`
+		Grants       []struct {
+			Model       string `json:"model"`
+			BudgetBytes int64  `json:"budget_bytes"`
+		} `json:"grants"`
+	}
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Grants) != 2 {
+		t.Fatalf("grants %+v", resp.Grants)
+	}
+	var granted int64
+	for _, g := range resp.Grants {
+		granted += g.BudgetBytes
+	}
+	if granted > newBudget {
+		t.Fatalf("granted %d over budget %d", granted, newBudget)
+	}
+	if resp.PreloadBytes > newBudget {
+		t.Fatalf("preload %d over budget %d (was %d)", resp.PreloadBytes, newBudget, before)
+	}
+
+	// Inference still works under the shrunk plans.
+	if status, data := postJSON(t, ts.URL+"/v1/infer",
+		inferRequest{Model: "sentiment", Text: "still serving"}); status != http.StatusOK {
+		t.Fatalf("post-replan infer status %d: %s", status, data)
+	}
+}
+
+// TestServerConcurrentClients is the acceptance race check: ≥8
+// concurrent clients drive ≥2 fleet models through the real handler
+// path (run with -race). Shedding (503/504) is admission control, not
+// failure — but most requests must succeed, and a replan in the middle
+// must not corrupt anything.
+func TestServerConcurrentClients(t *testing.T) {
+	ts, fleet := buildServer(t, sti.ServeOptions{QueueDepth: 64, Workers: 2, Slack: 1000})
+
+	const clients = 8
+	const perClient = 6
+	models := []string{"sentiment", "nextword"}
+	var ok, shed atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				status, data := postJSON(t, ts.URL+"/v1/infer", inferRequest{
+					Model: models[(c+i)%len(models)],
+					Text:  fmt.Sprintf("request %d from client %d", i, c),
+				})
+				switch status {
+				case http.StatusOK:
+					ok.Add(1)
+				case http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+					shed.Add(1)
+				default:
+					t.Errorf("client %d: status %d: %s", c, status, data)
+					return
+				}
+			}
+		}(c)
+	}
+	// A live replan racing the clients — the fleet must quiesce, swap
+	// plans, and keep serving.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(5 * time.Millisecond)
+		if err := fleet.SetBudget(128 << 10); err != nil {
+			t.Error(err)
+		}
+	}()
+	wg.Wait()
+
+	if ok.Load() == 0 {
+		t.Fatal("no request succeeded under concurrency")
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st sti.ServeStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if int64(st.Completed) != ok.Load() {
+		t.Fatalf("stats completed %d, clients saw %d ok (%d shed)", st.Completed, ok.Load(), shed.Load())
+	}
+	if len(st.Models) != 2 {
+		t.Fatalf("stats models %+v, want both driven", st.Models)
+	}
+}

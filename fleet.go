@@ -3,6 +3,7 @@ package sti
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -16,13 +17,20 @@ import (
 // each model's pipeline whenever the budget or membership changes —
 // exactly the replanning rule of §3.2 (only T or |S| changes require
 // replanning).
+//
+// A Fleet is safe for concurrent use: Infer calls run in parallel
+// (including on the same model), while Add, Remove, SetBudget and
+// Replan take exclusive ownership — an in-flight replan quiesces
+// inference so a plan is never swapped out from under an execution.
 type Fleet struct {
+	mu      sync.RWMutex
 	budget  int64
 	entries map[string]*FleetEntry
 }
 
 // FleetEntry is one managed model with its planning inputs and current
-// plan.
+// plan. The snapshot returned by Entry is immutable; the fleet's live
+// entry is updated by Replan.
 type FleetEntry struct {
 	System *System
 	Target time.Duration
@@ -40,6 +48,8 @@ func NewFleet(totalPreloadBudget int64) *Fleet {
 // Add registers a model under a name. Weight must be positive; call
 // Replan afterwards to allocate budgets and build plans.
 func (f *Fleet) Add(name string, sys *System, target time.Duration, weight float64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if _, ok := f.entries[name]; ok {
 		return fmt.Errorf("sti: fleet already has model %q", name)
 	}
@@ -52,17 +62,42 @@ func (f *Fleet) Add(name string, sys *System, target time.Duration, weight float
 
 // Remove drops a model; its budget is redistributed at the next Replan.
 func (f *Fleet) Remove(name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	delete(f.entries, name)
 }
 
-// Entry returns the managed entry for a model name.
+// Entry returns a snapshot of the managed entry for a model name.
 func (f *Fleet) Entry(name string) (*FleetEntry, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	e, ok := f.entries[name]
-	return e, ok
+	if !ok {
+		return nil, false
+	}
+	snap := *e
+	return &snap, true
+}
+
+// Target returns the latency target of a managed model.
+func (f *Fleet) Target(name string) (time.Duration, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	e, ok := f.entries[name]
+	if !ok {
+		return 0, false
+	}
+	return e.Target, true
 }
 
 // Names lists managed models in a stable order.
 func (f *Fleet) Names() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.namesLocked()
+}
+
+func (f *Fleet) namesLocked() []string {
 	names := make([]string, 0, len(f.entries))
 	for n := range f.entries {
 		names = append(names, n)
@@ -74,19 +109,35 @@ func (f *Fleet) Names() []string {
 // SetBudget changes the fleet-wide preload budget (e.g. on OS memory
 // pressure) and replans every pipeline.
 func (f *Fleet) SetBudget(budget int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	f.budget = budget
-	return f.Replan()
+	return f.replanLocked()
+}
+
+// Budget returns the fleet-wide preload budget.
+func (f *Fleet) Budget() int64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.budget
 }
 
 // Replan splits the budget across models proportionally to their
 // weights, plans each model's pipeline, resizes each engine's buffer,
-// and warms it.
+// and warms it. In-flight Infer calls finish first; inference admitted
+// afterwards sees the new plans.
 func (f *Fleet) Replan() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.replanLocked()
+}
+
+func (f *Fleet) replanLocked() error {
 	var totalWeight float64
 	for _, e := range f.entries {
 		totalWeight += e.Weight
 	}
-	for _, name := range f.Names() {
+	for _, name := range f.namesLocked() {
 		e := f.entries[name]
 		e.Budget = int64(float64(f.budget) * e.Weight / totalWeight)
 		plan, err := e.System.Plan(e.Target, e.Budget)
@@ -103,8 +154,11 @@ func (f *Fleet) Replan() error {
 }
 
 // Infer runs one pipelined inference on the named model using its
-// current plan.
+// current plan. Concurrent Infer calls proceed in parallel; a
+// concurrent Replan blocks until they drain.
 func (f *Fleet) Infer(name string, tokens []int, mask []bool) ([]float32, *ExecStats, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	e, ok := f.entries[name]
 	if !ok {
 		return nil, nil, fmt.Errorf("sti: fleet has no model %q", name)
@@ -118,6 +172,8 @@ func (f *Fleet) Infer(name string, tokens []int, mask []bool) ([]float32, *ExecS
 // PreloadBytes reports the total preload memory currently held across
 // all managed engines.
 func (f *Fleet) PreloadBytes() int64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	var total int64
 	for _, e := range f.entries {
 		total += e.System.Engine.CacheBytes()

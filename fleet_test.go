@@ -1,6 +1,7 @@
 package sti_test
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -116,4 +117,120 @@ func TestFleetValidation(t *testing.T) {
 	if _, ok := f.Entry("dup"); ok {
 		t.Fatal("Remove did not remove")
 	}
+}
+
+func TestFleetRemoveThenReplanRedistributes(t *testing.T) {
+	f := sti.NewFleet(200 << 10)
+	if err := f.Add("keep", fleetSystem(t, 7), 200*time.Millisecond, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Add("drop", fleetSystem(t, 8), 200*time.Millisecond, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Replan(); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := f.Entry("keep")
+	if before.Budget != 100<<10 {
+		t.Fatalf("keep granted %d, want half of 200KB", before.Budget)
+	}
+	f.Remove("drop")
+	if err := f.Replan(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := f.Entry("keep")
+	if after.Budget != 200<<10 {
+		t.Fatalf("keep granted %d after Remove, want the whole 200KB", after.Budget)
+	}
+	if _, _, err := f.Infer("drop", []int{1}, nil); err == nil {
+		t.Fatal("removed model must not serve")
+	}
+	if _, _, err := f.Infer("keep", []int{1, 2}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFleetTarget(t *testing.T) {
+	f := sti.NewFleet(100 << 10)
+	if err := f.Add("m", fleetSystem(t, 9), 150*time.Millisecond, 1); err != nil {
+		t.Fatal(err)
+	}
+	if target, ok := f.Target("m"); !ok || target != 150*time.Millisecond {
+		t.Fatalf("Target = %v, %v", target, ok)
+	}
+	if _, ok := f.Target("absent"); ok {
+		t.Fatal("unknown model must not have a target")
+	}
+}
+
+func TestFleetShrinkThenGrowRewarm(t *testing.T) {
+	f := sti.NewFleet(400 << 10)
+	if err := f.Add("m", fleetSystem(t, 10), 200*time.Millisecond, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Replan(); err != nil {
+		t.Fatal(err)
+	}
+	large := f.PreloadBytes()
+	if err := f.SetBudget(large / 4); err != nil {
+		t.Fatal(err)
+	}
+	shrunk := f.PreloadBytes()
+	if shrunk > large/4 {
+		t.Fatalf("holds %d over the shrunk budget %d", shrunk, large/4)
+	}
+	// Growing back re-warms toward the original working set.
+	if err := f.SetBudget(400 << 10); err != nil {
+		t.Fatal(err)
+	}
+	if regrown := f.PreloadBytes(); regrown <= shrunk {
+		t.Fatalf("budget growth did not re-warm: %d <= %d", regrown, shrunk)
+	}
+	if _, _, err := f.Infer("m", []int{3, 2, 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFleetConcurrentInferAndReplan races parallel inference on two
+// models against budget replans; run under -race this validates the
+// fleet's quiesce-and-swap locking.
+func TestFleetConcurrentInferAndReplan(t *testing.T) {
+	f := sti.NewFleet(300 << 10)
+	if err := f.Add("a", fleetSystem(t, 11), 200*time.Millisecond, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Add("b", fleetSystem(t, 12), 200*time.Millisecond, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Replan(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			name := "a"
+			if c%2 == 1 {
+				name = "b"
+			}
+			for i := 0; i < 5; i++ {
+				if _, _, err := f.Infer(name, []int{1, 2, 3}, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, budget := range []int64{150 << 10, 300 << 10} {
+			if err := f.SetBudget(budget); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
 }

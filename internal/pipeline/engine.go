@@ -28,7 +28,7 @@ type Engine struct {
 	mu          sync.Mutex
 	cache       map[shard.Version][]byte
 	cacheBytes  int64
-	CacheBudget int64
+	cacheBudget int64
 }
 
 // NewEngine opens the resident parameters of a preprocessed store.
@@ -39,7 +39,7 @@ func NewEngine(st *store.Store, cacheBudget int64) (*Engine, error) {
 	}
 	return &Engine{
 		Store: st, Resident: res,
-		cache: make(map[shard.Version][]byte), CacheBudget: cacheBudget,
+		cache: make(map[shard.Version][]byte), cacheBudget: cacheBudget,
 	}, nil
 }
 
@@ -50,6 +50,13 @@ func (e *Engine) CacheBytes() int64 {
 	return e.cacheBytes
 }
 
+// Budget returns the preload buffer's byte budget.
+func (e *Engine) Budget() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cacheBudget
+}
+
 // SetCacheBudget resizes the preload buffer (§3.2: the app or OS can
 // change |S| at any time). When shrinking, cached shards are evicted
 // from the top layers down — bottom layers are needed earliest on the
@@ -57,7 +64,7 @@ func (e *Engine) CacheBytes() int64 {
 func (e *Engine) SetCacheBudget(budget int64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.CacheBudget = budget
+	e.cacheBudget = budget
 	if e.cacheBytes <= budget {
 		return
 	}
@@ -254,6 +261,11 @@ func (e *Engine) assemble(p *planner.Plan, l int, payloads [][]byte) (*model.Sub
 // is full, evicting everything else. Bottom layers are needed earliest
 // next time, so preserving them avoids compulsory stalls.
 func (e *Engine) Retain(p *planner.Plan) error {
+	// Hold the lock across the whole keep-set build and refill so a
+	// concurrent SetCacheBudget shrink cannot be overfilled against a
+	// stale budget read.
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	keep := make(map[shard.Version]bool)
 	var used int64
 retain:
@@ -264,15 +276,13 @@ retain:
 			if err != nil {
 				return err
 			}
-			if used+int64(size) > e.CacheBudget {
+			if used+int64(size) > e.cacheBudget {
 				break retain
 			}
 			keep[v] = true
 			used += int64(size)
 		}
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	for v := range e.cache {
 		if !keep[v] {
 			e.cacheBytes -= int64(len(e.cache[v]))

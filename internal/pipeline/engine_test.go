@@ -135,8 +135,8 @@ func TestEngineRetainServesBackToBack(t *testing.T) {
 	if err := eng.Retain(p); err != nil {
 		t.Fatal(err)
 	}
-	if eng.CacheBytes() == 0 || eng.CacheBytes() > eng.CacheBudget {
-		t.Fatalf("cache %d outside (0, %d]", eng.CacheBytes(), eng.CacheBudget)
+	if eng.CacheBytes() == 0 || eng.CacheBytes() > eng.Budget() {
+		t.Fatalf("cache %d outside (0, %d]", eng.CacheBytes(), eng.Budget())
 	}
 	_, warm, err := eng.Execute(p, []int{5, 4, 3}, nil)
 	if err != nil {

@@ -1,0 +1,276 @@
+// Package serve is the concurrent request-serving layer over a fleet
+// of planned STI pipelines. The paper plans one engagement at a time
+// (§3.2–3.3); serve turns that single-engagement machinery into a
+// multi-tenant scheduler that admits many simultaneous inference
+// requests against per-model deadlines.
+//
+// Each managed model gets a bounded admission queue and a small pool
+// of worker goroutines. A request's deadline derives from the model's
+// planned latency target: the planner already promised target-latency
+// execution, so a request queued longer than a few targets can never
+// be served usefully and is shed instead of dragging the whole queue
+// past its deadlines (load shedding at admission keeps tail latency
+// bounded — the queue rejects rather than grows).
+//
+// The scheduler never touches plans itself: replanning (budget or
+// membership changes) happens on the backend fleet, whose RWMutex
+// quiesces in-flight inference. Workers simply observe the new plan on
+// their next request.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sti/internal/pipeline"
+)
+
+// Typed admission-control errors. HTTP frontends map these to status
+// codes (503 for shedding, 504 for blown deadlines, 404 for unknown
+// models); programmatic callers test with errors.Is.
+var (
+	// ErrQueueFull reports load shedding: the model's bounded
+	// admission queue was full at submit time.
+	ErrQueueFull = errors.New("serve: queue full, request shed")
+	// ErrDeadline reports that the request's deadline expired before a
+	// worker could start it (or was already expired at submit).
+	ErrDeadline = errors.New("serve: deadline exceeded before execution")
+	// ErrUnknownModel reports a request for a model the backend does
+	// not manage.
+	ErrUnknownModel = errors.New("serve: unknown model")
+	// ErrClosed reports a submit to a scheduler after Close.
+	ErrClosed = errors.New("serve: scheduler closed")
+)
+
+// Backend is the fleet surface the scheduler drives. *sti.Fleet
+// implements it; tests substitute stubs.
+type Backend interface {
+	// Names lists managed models in a stable order.
+	Names() []string
+	// Target returns the planned latency target of a managed model.
+	Target(name string) (time.Duration, bool)
+	// Infer runs one pipelined inference; it must be safe for
+	// concurrent use.
+	Infer(name string, tokens []int, mask []bool) ([]float32, *pipeline.ExecStats, error)
+}
+
+// Options tunes the scheduler.
+type Options struct {
+	// QueueDepth bounds each model's admission queue; submits beyond
+	// it shed with ErrQueueFull. Default 64.
+	QueueDepth int
+	// Workers is the number of worker goroutines per model. Default 2.
+	Workers int
+	// Slack scales a model's latency target into its queue deadline:
+	// a request older than Slack×target at dequeue is dropped with
+	// ErrDeadline. Default 4.
+	Slack float64
+	// Window is how many recent request latencies each model keeps
+	// for the p50/p95 snapshot. Default 512.
+	Window int
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.Slack <= 0 {
+		o.Slack = 4
+	}
+	if o.Window <= 0 {
+		o.Window = 512
+	}
+	return o
+}
+
+// Result is the outcome of one scheduled inference.
+type Result struct {
+	Logits []float32
+	Stats  *pipeline.ExecStats
+
+	Queued time.Duration // admission → worker pickup
+	Total  time.Duration // admission → completion
+}
+
+type job struct {
+	ctx      context.Context
+	tokens   []int
+	mask     []bool
+	deadline time.Time
+	enqueued time.Time
+	done     chan outcome
+}
+
+type outcome struct {
+	res Result
+	err error
+}
+
+type modelQueue struct {
+	jobs    chan *job
+	stats   *modelStats
+	started bool // workers spawned (deferred to the first real enqueue)
+}
+
+// Scheduler multiplexes inference requests across a Backend with
+// per-model bounded queues, deadlines and worker pools. Create with
+// New, submit with Do, observe with Snapshot, stop with Close.
+type Scheduler struct {
+	backend Backend
+	opts    Options
+	start   time.Time
+
+	mu     sync.Mutex
+	queues map[string]*modelQueue
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New starts a scheduler over a backend. Queues and workers for each
+// model spin up lazily on its first request, so models added to the
+// fleet later are picked up without restarting the scheduler.
+func New(backend Backend, opts Options) *Scheduler {
+	return &Scheduler{
+		backend: backend,
+		opts:    opts.withDefaults(),
+		start:   time.Now(),
+		queues:  make(map[string]*modelQueue),
+	}
+}
+
+// Do submits one inference request for a model and blocks until it
+// completes, is shed, or ctx is done. The request's deadline is
+// admission time + Slack×(model target), tightened by any earlier ctx
+// deadline.
+func (s *Scheduler) Do(ctx context.Context, model string, tokens []int, mask []bool) (*Result, error) {
+	target, ok := s.backend.Target(model)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, model)
+	}
+	now := time.Now()
+	deadline := now.Add(time.Duration(s.opts.Slack * float64(target)))
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	if !deadline.After(now) {
+		s.queue(model).stats.deadlineMiss()
+		return nil, fmt.Errorf("%w: model %q", ErrDeadline, model)
+	}
+
+	j := &job{
+		ctx: ctx, tokens: tokens, mask: mask,
+		deadline: deadline, enqueued: now,
+		done: make(chan outcome, 1),
+	}
+	q := s.queue(model)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	select {
+	case q.jobs <- j:
+		if !q.started {
+			q.started = true
+			for i := 0; i < s.opts.Workers; i++ {
+				s.wg.Add(1)
+				go s.worker(model, q)
+			}
+		}
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		q.stats.shed()
+		return nil, fmt.Errorf("%w: model %q depth %d", ErrQueueFull, model, s.opts.QueueDepth)
+	}
+
+	select {
+	case out := <-j.done:
+		return &out.res, out.err
+	case <-ctx.Done():
+		// The worker will notice ctx and drop the job; don't wait.
+		return nil, ctx.Err()
+	}
+}
+
+// queue returns the model's queue, creating it on first use. Worker
+// goroutines spin up only when a job is actually enqueued, so requests
+// rejected at admission (expired deadlines, probes for odd model
+// names) don't leave idle worker pools behind.
+func (s *Scheduler) queue(model string) *modelQueue {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if q, ok := s.queues[model]; ok {
+		return q
+	}
+	q := &modelQueue{
+		jobs:  make(chan *job, s.opts.QueueDepth),
+		stats: newModelStats(model, s.opts.Window),
+	}
+	s.queues[model] = q
+	return q
+}
+
+// worker drains one model's queue until the queue closes.
+func (s *Scheduler) worker(model string, q *modelQueue) {
+	defer s.wg.Done()
+	for j := range q.jobs {
+		now := time.Now()
+		if j.ctx.Err() != nil {
+			// Caller already gone; nothing is waiting on done.
+			continue
+		}
+		if now.After(j.deadline) {
+			q.stats.deadlineMiss()
+			j.done <- outcome{err: fmt.Errorf("%w: model %q queued %v", ErrDeadline, model, now.Sub(j.enqueued).Round(time.Millisecond))}
+			continue
+		}
+		logits, stats, err := s.infer(model, j)
+		total := time.Since(j.enqueued)
+		if err != nil {
+			q.stats.failed()
+			j.done <- outcome{err: err}
+			continue
+		}
+		q.stats.completed(total)
+		j.done <- outcome{res: Result{
+			Logits: logits, Stats: stats,
+			Queued: now.Sub(j.enqueued), Total: total,
+		}}
+	}
+}
+
+// infer shields the worker from a panicking backend: one poisoned
+// request must fail alone, not take down every model's workers.
+func (s *Scheduler) infer(model string, j *job) (logits []float32, stats *pipeline.ExecStats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: model %q panicked: %v", model, r)
+		}
+	}()
+	return s.backend.Infer(model, j.tokens, j.mask)
+}
+
+// Close stops admission, drains queued requests and waits for workers
+// to exit. Requests still queued are served (or shed by their
+// deadlines) before Close returns.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for _, q := range s.queues {
+		close(q.jobs)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}

@@ -1,0 +1,332 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sti/internal/pipeline"
+)
+
+// stubBackend fabricates inference results so scheduler behaviour can
+// be tested without stores or planning.
+type stubBackend struct {
+	targets map[string]time.Duration
+	delay   time.Duration
+	gate    chan struct{} // when non-nil, Infer blocks until the gate closes
+	err     error
+	panics  atomic.Bool
+	calls   atomic.Int64
+}
+
+func (b *stubBackend) Names() []string {
+	names := make([]string, 0, len(b.targets))
+	for n := range b.targets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (b *stubBackend) Target(name string) (time.Duration, bool) {
+	t, ok := b.targets[name]
+	return t, ok
+}
+
+func (b *stubBackend) Infer(name string, tokens []int, mask []bool) ([]float32, *pipeline.ExecStats, error) {
+	b.calls.Add(1)
+	if b.gate != nil {
+		<-b.gate
+	}
+	if b.delay > 0 {
+		time.Sleep(b.delay)
+	}
+	if b.panics.Load() {
+		panic("poisoned request")
+	}
+	if b.err != nil {
+		return nil, nil, b.err
+	}
+	return []float32{float32(len(tokens)), 0}, &pipeline.ExecStats{Total: b.delay}, nil
+}
+
+// waitUntil polls cond for up to 5s, failing the test on timeout so a
+// missed signal can never hang the suite.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func twoModels() map[string]time.Duration {
+	return map[string]time.Duration{
+		"sentiment": 50 * time.Millisecond,
+		"nextword":  80 * time.Millisecond,
+	}
+}
+
+func TestSchedulerServesAndCounts(t *testing.T) {
+	b := &stubBackend{targets: twoModels()}
+	s := New(b, Options{})
+	defer s.Close()
+
+	for i := 0; i < 10; i++ {
+		res, err := s.Do(context.Background(), "sentiment", []int{1, 2, 3}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Logits) != 2 || res.Logits[0] != 3 {
+			t.Fatalf("bad logits %v", res.Logits)
+		}
+		if res.Total < res.Queued {
+			t.Fatalf("total %v < queued %v", res.Total, res.Queued)
+		}
+	}
+	st := s.Snapshot()
+	if st.Completed != 10 || st.Shed != 0 || st.Failed != 0 {
+		t.Fatalf("snapshot %+v, want 10 completed", st)
+	}
+	if len(st.Models) != 1 || st.Models[0].Model != "sentiment" {
+		t.Fatalf("models %+v", st.Models)
+	}
+	if st.Models[0].P50 <= 0 || st.Models[0].P95 < st.Models[0].P50 {
+		t.Fatalf("bad percentiles %+v", st.Models[0])
+	}
+	if st.Throughput <= 0 {
+		t.Fatalf("throughput %v", st.Throughput)
+	}
+}
+
+func TestSchedulerUnknownModel(t *testing.T) {
+	s := New(&stubBackend{targets: twoModels()}, Options{})
+	defer s.Close()
+	if _, err := s.Do(context.Background(), "absent", []int{1}, nil); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("err %v, want ErrUnknownModel", err)
+	}
+}
+
+func TestSchedulerBackendErrorPropagates(t *testing.T) {
+	boom := errors.New("flash died")
+	s := New(&stubBackend{targets: twoModels(), err: boom}, Options{})
+	defer s.Close()
+	if _, err := s.Do(context.Background(), "sentiment", []int{1}, nil); !errors.Is(err, boom) {
+		t.Fatalf("err %v, want backend error", err)
+	}
+	if st := s.Snapshot(); st.Failed != 1 {
+		t.Fatalf("failed %d, want 1", st.Failed)
+	}
+}
+
+func TestSchedulerSurvivesPanickingBackend(t *testing.T) {
+	b := &stubBackend{targets: twoModels()}
+	b.panics.Store(true)
+	s := New(b, Options{Workers: 1})
+	defer s.Close()
+	if _, err := s.Do(context.Background(), "sentiment", []int{1}, nil); err == nil {
+		t.Fatal("panicking backend must surface an error")
+	}
+	// The worker survived the panic and keeps serving.
+	b.panics.Store(false)
+	if _, err := s.Do(context.Background(), "sentiment", []int{1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Snapshot()
+	if st.Failed != 1 || st.Completed != 1 {
+		t.Fatalf("snapshot %+v, want 1 failed + 1 completed", st)
+	}
+}
+
+func TestSchedulerShedsWhenQueueFull(t *testing.T) {
+	gate := make(chan struct{})
+	b := &stubBackend{targets: twoModels(), gate: gate}
+	s := New(b, Options{QueueDepth: 1, Workers: 1, Slack: 1000})
+	// Release the gate before Close so a failing assertion can never
+	// leave Close waiting on a gated worker.
+	releaseGate := sync.OnceFunc(func() { close(gate) })
+	defer s.Close()
+	defer releaseGate()
+
+	// First request occupies the single worker, then the second fills
+	// the queue's single slot, so the third must shed. Submissions are
+	// sequenced (pickup first, then enqueue) — racing them could shed
+	// the second request instead.
+	results := make(chan error, 2)
+	go func() {
+		_, err := s.Do(context.Background(), "sentiment", []int{1}, nil)
+		results <- err
+	}()
+	waitUntil(t, "worker pickup", func() bool { return b.calls.Load() > 0 })
+	go func() {
+		_, err := s.Do(context.Background(), "sentiment", []int{1}, nil)
+		results <- err
+	}()
+	waitUntil(t, "queued request", func() bool { return len(s.queue("sentiment").jobs) > 0 })
+
+	_, err := s.Do(context.Background(), "sentiment", []int{1}, nil)
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err %v, want ErrQueueFull", err)
+	}
+	releaseGate()
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Snapshot()
+	if st.Shed != 1 || st.Completed != 2 {
+		t.Fatalf("snapshot %+v, want 1 shed + 2 completed", st)
+	}
+}
+
+func TestSchedulerDropsBlownDeadlines(t *testing.T) {
+	gate := make(chan struct{})
+	b := &stubBackend{targets: map[string]time.Duration{"m": 10 * time.Millisecond}, gate: gate}
+	// Deadline = 5×10ms: generous enough that the first request is
+	// always picked up in time, but the gated worker then holds it far
+	// longer than 50ms, so the queued second request expires.
+	s := New(b, Options{Workers: 1, Slack: 5})
+	releaseGate := sync.OnceFunc(func() { close(gate) })
+	defer s.Close()
+	defer releaseGate()
+
+	first := make(chan error, 1)
+	go func() {
+		_, err := s.Do(context.Background(), "m", []int{1}, nil)
+		first <- err
+	}()
+	waitUntil(t, "worker pickup", func() bool { return b.calls.Load() > 0 })
+	second := make(chan error, 1)
+	go func() {
+		_, err := s.Do(context.Background(), "m", []int{1}, nil)
+		second <- err
+	}()
+	time.Sleep(120 * time.Millisecond) // let the queued request's 50ms deadline expire
+	releaseGate()
+	if err := <-first; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-second; !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err %v, want ErrDeadline", err)
+	}
+	if st := s.Snapshot(); st.Models[0].DeadlineMiss != 1 {
+		t.Fatalf("snapshot %+v, want 1 deadline miss", st)
+	}
+}
+
+func TestSchedulerExpiredAtAdmission(t *testing.T) {
+	s := New(&stubBackend{targets: twoModels()}, Options{})
+	defer s.Close()
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := s.Do(ctx, "sentiment", []int{1}, nil); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err %v, want ErrDeadline", err)
+	}
+}
+
+func TestSchedulerCloseDrainsAndRejects(t *testing.T) {
+	b := &stubBackend{targets: twoModels(), delay: time.Millisecond}
+	s := New(b, Options{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Do(context.Background(), "sentiment", []int{1}, nil)
+		}()
+	}
+	wg.Wait()
+	s.Close()
+	if _, err := s.Do(context.Background(), "sentiment", []int{1}, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err %v, want ErrClosed", err)
+	}
+	s.Close() // idempotent
+}
+
+// TestSchedulerStress drives N goroutines × M models through the
+// scheduler; run under -race this is the concurrency audit of the
+// admission path, worker pools and stats.
+func TestSchedulerStress(t *testing.T) {
+	b := &stubBackend{targets: twoModels()}
+	s := New(b, Options{QueueDepth: 4, Workers: 2, Slack: 1000})
+	defer s.Close()
+
+	const clients = 16
+	models := []string{"sentiment", "nextword"}
+	var served, shed atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				_, err := s.Do(context.Background(), models[(c+i)%len(models)], []int{1, 2}, nil)
+				switch {
+				case err == nil:
+					served.Add(1)
+				case errors.Is(err, ErrQueueFull):
+					shed.Add(1)
+				default:
+					t.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if served.Load() == 0 {
+		t.Fatal("nothing served under load")
+	}
+	st := s.Snapshot()
+	if got := int64(st.Completed); got != served.Load() {
+		t.Fatalf("snapshot completed %d, clients saw %d", got, served.Load())
+	}
+	if got := int64(st.Shed); got != shed.Load() {
+		t.Fatalf("snapshot shed %d, clients saw %d", got, shed.Load())
+	}
+	if len(st.Models) != 2 {
+		t.Fatalf("models %+v, want both", st.Models)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var lat []time.Duration
+	for i := 1; i <= 100; i++ {
+		lat = append(lat, time.Duration(i))
+	}
+	if p := percentile(lat, 0.50); p != 51 {
+		t.Fatalf("p50 %d", p)
+	}
+	if p := percentile(lat, 0.95); p != 96 {
+		t.Fatalf("p95 %d", p)
+	}
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Fatalf("empty %d", p)
+	}
+	if p := percentile(lat, 1.0); p != 100 {
+		t.Fatalf("p100 %d", p)
+	}
+}
+
+func TestLatencyWindowWraps(t *testing.T) {
+	m := newModelStats("m", 4)
+	for i := 1; i <= 10; i++ {
+		m.completed(time.Duration(i) * time.Millisecond)
+	}
+	ms := m.snapshot()
+	if ms.Completed != 10 {
+		t.Fatalf("completed %d", ms.Completed)
+	}
+	// Window holds only the last 4 samples (7..10ms).
+	if ms.P50 < 7*time.Millisecond || ms.Max != 10*time.Millisecond {
+		t.Fatalf("window stats %+v", ms)
+	}
+}

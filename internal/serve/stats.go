@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ModelStats is one model's serving counters and latency distribution
+// at snapshot time. Latency percentiles cover the last Options.Window
+// completed requests, measured admission → completion.
+type ModelStats struct {
+	Model        string        `json:"model"`
+	Completed    uint64        `json:"completed"`
+	Failed       uint64        `json:"failed"`
+	Shed         uint64        `json:"shed"`
+	DeadlineMiss uint64        `json:"deadline_miss"`
+	QueueDepth   int           `json:"queue_depth"`
+	P50          time.Duration `json:"p50_ns"`
+	P95          time.Duration `json:"p95_ns"`
+	Max          time.Duration `json:"max_ns"`
+}
+
+// Stats is a point-in-time snapshot of the whole scheduler. Each
+// aggregate counter is exactly the sum of the same field across
+// Models: Shed counts admission-queue rejections only; deadline
+// expiries are under DeadlineMiss.
+type Stats struct {
+	Uptime       time.Duration `json:"uptime_ns"`
+	Throughput   float64       `json:"throughput_rps"` // completed requests/sec since start
+	Completed    uint64        `json:"completed"`
+	Failed       uint64        `json:"failed"`
+	Shed         uint64        `json:"shed"`
+	DeadlineMiss uint64        `json:"deadline_miss"`
+	Models       []ModelStats  `json:"models"`
+}
+
+type modelStats struct {
+	model string
+
+	nCompleted   atomic.Uint64
+	nFailed      atomic.Uint64
+	nShed        atomic.Uint64
+	nDeadline    atomic.Uint64
+	maxLatencyNS atomic.Int64
+
+	mu      sync.Mutex
+	window  []time.Duration // ring buffer of recent total latencies
+	next    int
+	wrapped bool
+}
+
+func newModelStats(model string, window int) *modelStats {
+	return &modelStats{model: model, window: make([]time.Duration, window)}
+}
+
+func (m *modelStats) completed(total time.Duration) {
+	m.nCompleted.Add(1)
+	for {
+		old := m.maxLatencyNS.Load()
+		if int64(total) <= old || m.maxLatencyNS.CompareAndSwap(old, int64(total)) {
+			break
+		}
+	}
+	m.mu.Lock()
+	m.window[m.next] = total
+	m.next++
+	if m.next == len(m.window) {
+		m.next, m.wrapped = 0, true
+	}
+	m.mu.Unlock()
+}
+
+func (m *modelStats) failed() { m.nFailed.Add(1) }
+
+func (m *modelStats) shed()         { m.nShed.Add(1) }
+func (m *modelStats) deadlineMiss() { m.nDeadline.Add(1) }
+
+func (m *modelStats) snapshot() ModelStats {
+	m.mu.Lock()
+	n := m.next
+	if m.wrapped {
+		n = len(m.window)
+	}
+	lat := append([]time.Duration(nil), m.window[:n]...)
+	m.mu.Unlock()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return ModelStats{
+		Model:        m.model,
+		Completed:    m.nCompleted.Load(),
+		Failed:       m.nFailed.Load(),
+		Shed:         m.nShed.Load(),
+		DeadlineMiss: m.nDeadline.Load(),
+		P50:          percentile(lat, 0.50),
+		P95:          percentile(lat, 0.95),
+		Max:          time.Duration(m.maxLatencyNS.Load()),
+	}
+}
+
+// percentile reads the p-th quantile from an ascending-sorted slice
+// using the nearest-rank method.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// Snapshot reports current serving metrics across all models that have
+// received at least one request.
+func (s *Scheduler) Snapshot() Stats {
+	s.mu.Lock()
+	queues := make([]*modelQueue, 0, len(s.queues))
+	for _, q := range s.queues {
+		queues = append(queues, q)
+	}
+	s.mu.Unlock()
+
+	st := Stats{Uptime: time.Since(s.start)}
+	for _, q := range queues {
+		ms := q.stats.snapshot()
+		ms.QueueDepth = len(q.jobs)
+		st.Completed += ms.Completed
+		st.Failed += ms.Failed
+		st.Shed += ms.Shed
+		st.DeadlineMiss += ms.DeadlineMiss
+		st.Models = append(st.Models, ms)
+	}
+	sort.Slice(st.Models, func(i, j int) bool { return st.Models[i].Model < st.Models[j].Model })
+	if sec := st.Uptime.Seconds(); sec > 0 {
+		st.Throughput = float64(st.Completed) / sec
+	}
+	return st
+}
