@@ -146,6 +146,59 @@ func BenchmarkEngineExecute(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchedServe compares B sequential pipelined inferences
+// against one ExecuteBatch of the same B inputs. The batched path
+// streams and decompresses each layer's shards once for the whole
+// batch, so completed-requests/sec rises and per-request layer IO
+// drops to ≈1/B (reported as the bytes/req metric).
+func BenchmarkBatchedServe(b *testing.B) {
+	dir := b.TempDir()
+	w := sti.NewRandomModel(sti.TinyConfig(), 77)
+	if _, err := sti.Preprocess(dir, w, nil); err != nil {
+		b.Fatal(err)
+	}
+	sys, err := sti.Load(dir, sti.Odroid(), 0) // zero preload: every layer streams
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := sys.Plan(200*time.Millisecond, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 8
+	inputs := make([]sti.BatchInput, batch)
+	for i := range inputs {
+		inputs[i] = sti.BatchInput{Tokens: []int{1, 9, 8, 7, 2}}
+	}
+
+	b.Run("sequential", func(b *testing.B) {
+		var bytes int64
+		for i := 0; i < b.N; i++ {
+			for _, in := range inputs {
+				_, stats, err := sys.Infer(p, in.Tokens, in.Mask)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bytes += stats.BytesRead
+			}
+		}
+		b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "req/s")
+		b.ReportMetric(float64(bytes)/float64(b.N*batch), "bytes/req")
+	})
+	b.Run("batched", func(b *testing.B) {
+		var bytes int64
+		for i := 0; i < b.N; i++ {
+			_, stats, err := sys.InferBatch(p, inputs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bytes += stats.BytesRead
+		}
+		b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "req/s")
+		b.ReportMetric(float64(bytes)/float64(b.N*batch), "bytes/req")
+	})
+}
+
 // §7.2 energy overhead and the §2.1-2.2 lifetime simulation.
 func BenchmarkEnergyOverhead(b *testing.B)     { benchExperiment(b, "energy") }
 func BenchmarkLifetimeSimulation(b *testing.B) { benchExperiment(b, "lifetime") }

@@ -8,8 +8,15 @@
 //	sti-serve -model sentiment=/tmp/sst2 -budget 262144 -addr :8080
 //
 //	curl -s localhost:8080/v1/infer -d '{"model":"sentiment","text":"wonderful gripping story"}'
+//	curl -s localhost:8080/v1/infer -d '{"model":"sentiment","inputs":[{"text":"loved it"},{"text":"dreadful"}]}'
 //	curl -s localhost:8080/v1/stats
 //	curl -s localhost:8080/v1/budget -d '{"budget_bytes":131072}'
+//
+// Multi-input bodies (and any concurrent single requests for the same
+// model) are drained by the scheduler's batch accumulator into one
+// batched execution whose IO/decompress stream is shared by the whole
+// batch: /v1/stats reports avg_batch and bytes_per_request so the
+// amortization is visible. -maxbatch and -batchwindow tune it.
 //
 // Multiple -model flags serve multiple models from one budget; a spec
 // may override the default target and weight per model:
@@ -90,6 +97,8 @@ func main() {
 	queue := flag.Int("queue", 64, "admission queue depth per model")
 	workers := flag.Int("workers", 2, "worker goroutines per model")
 	slack := flag.Float64("slack", 4, "request deadline = slack x model target")
+	maxBatch := flag.Int("maxbatch", 8, "max queued requests drained into one batched execution (1 disables batching)")
+	batchWindow := flag.Duration("batchwindow", 2*time.Millisecond, "how long a worker waits for a batch to fill")
 	flag.Parse()
 	if len(models) == 0 {
 		log.Fatal("sti-serve: at least one -model is required")
@@ -127,6 +136,7 @@ func main() {
 
 	sched := sti.NewScheduler(fleet, sti.ServeOptions{
 		QueueDepth: *queue, Workers: *workers, Slack: *slack,
+		MaxBatch: *maxBatch, BatchWindow: *batchWindow,
 	})
 	defer sched.Close()
 

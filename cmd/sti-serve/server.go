@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 
 	"sti"
 	"sti/internal/tokenizer"
@@ -54,24 +55,106 @@ func newServer(fleet *sti.Fleet, sched *sti.Scheduler) *server {
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// inferRequest carries either raw token ids or text to be tokenized
+// inferInput is one sequence: raw token ids, or text to be tokenized
 // with the model's own tokenizer (TextB for sentence-pair tasks).
-type inferRequest struct {
-	Model  string `json:"model"`
+type inferInput struct {
 	Text   string `json:"text,omitempty"`
 	TextB  string `json:"textb,omitempty"`
 	Tokens []int  `json:"tokens,omitempty"`
 	Mask   []bool `json:"mask,omitempty"`
 }
 
-type inferResponse struct {
-	Model     string    `json:"model"`
+// maxInputsPerBody bounds a multi-input request: each input is one
+// goroutine and one admission-queue slot, so an unbounded list would
+// let a single client burst past the queue's load shedding.
+const maxInputsPerBody = 64
+
+// inferRequest carries a single inline input (the original API) or a
+// list of inputs that the scheduler's batch accumulator may serve with
+// one shared IO/decompress stream.
+type inferRequest struct {
+	Model string `json:"model"`
+	inferInput
+	Inputs []inferInput `json:"inputs,omitempty"`
+}
+
+// inferResult is the outcome of one input. Batch is how many requests
+// shared the execution stream; BytesRead is this request's amortized
+// share of that stream's flash IO.
+type inferResult struct {
 	Class     int       `json:"class"`
-	Logits    []float32 `json:"logits"`
+	Logits    []float32 `json:"logits,omitempty"`
 	QueuedMS  float64   `json:"queued_ms"`
 	TotalMS   float64   `json:"total_ms"`
 	BytesRead int64     `json:"bytes_read"`
 	CacheHits int       `json:"cache_hits"`
+	Batch     int       `json:"batch,omitempty"`
+	Error     string    `json:"error,omitempty"`
+}
+
+type inferResponse struct {
+	Model string `json:"model"`
+	inferResult
+}
+
+type batchResponse struct {
+	Model   string        `json:"model"`
+	Results []inferResult `json:"results"`
+}
+
+// encode validates one input against a model and returns its token ids
+// and mask.
+func (info modelInfo) encode(in inferInput) ([]int, []bool, error) {
+	tokens, mask := in.Tokens, in.Mask
+	if len(tokens) == 0 {
+		if in.Text == "" {
+			return nil, nil, errors.New("missing text or tokens")
+		}
+		tokens, mask = info.tok.Encode(in.Text, in.TextB)
+		return tokens, mask, nil
+	}
+	// Raw token ids come straight from the client; reject anything
+	// the embedding table cannot index.
+	if len(tokens) > info.maxSeq {
+		return nil, nil, fmt.Errorf("%d tokens exceed max sequence length %d", len(tokens), info.maxSeq)
+	}
+	for i, tk := range tokens {
+		if tk < 0 || tk >= info.vocab {
+			return nil, nil, fmt.Errorf("token %d out of range [0,%d) at position %d", tk, info.vocab, i)
+		}
+	}
+	if len(mask) != 0 && len(mask) != len(tokens) {
+		return nil, nil, fmt.Errorf("mask length %d != token length %d", len(mask), len(tokens))
+	}
+	return tokens, mask, nil
+}
+
+// resultFor converts one scheduled outcome into the wire shape.
+func resultFor(res *sti.ServeResult, err error) inferResult {
+	if err != nil {
+		return inferResult{Class: -1, Error: err.Error()}
+	}
+	best := 0
+	for i, v := range res.Logits {
+		if v > res.Logits[best] {
+			best = i
+		}
+	}
+	out := inferResult{
+		Class:    best,
+		Logits:   res.Logits,
+		QueuedMS: float64(res.Queued.Microseconds()) / 1e3,
+		TotalMS:  float64(res.Total.Microseconds()) / 1e3,
+		Batch:    res.Batch,
+	}
+	if res.Stats != nil {
+		out.BytesRead = res.Stats.BytesRead
+		out.CacheHits = res.Stats.CacheHits
+		if res.Batch > 1 {
+			out.BytesRead /= int64(res.Batch) // amortized share of the stream
+		}
+	}
+	return out
 }
 
 func (s *server) handleInfer(w http.ResponseWriter, r *http.Request) {
@@ -89,52 +172,69 @@ func (s *server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, fmt.Errorf("unknown model %q", req.Model))
 		return
 	}
-	tokens, mask := req.Tokens, req.Mask
-	if len(tokens) == 0 {
-		if req.Text == "" {
-			httpError(w, http.StatusBadRequest, errors.New("missing text or tokens"))
-			return
-		}
-		tokens, mask = info.tok.Encode(req.Text, req.TextB)
-	} else {
-		// Raw token ids come straight from the client; reject anything
-		// the embedding table cannot index.
-		if len(tokens) > info.maxSeq {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("%d tokens exceed max sequence length %d", len(tokens), info.maxSeq))
-			return
-		}
-		for i, tk := range tokens {
-			if tk < 0 || tk >= info.vocab {
-				httpError(w, http.StatusBadRequest, fmt.Errorf("token %d out of range [0,%d) at position %d", tk, info.vocab, i))
-				return
-			}
-		}
-		if len(mask) != 0 && len(mask) != len(tokens) {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("mask length %d != token length %d", len(mask), len(tokens)))
-			return
-		}
-	}
 
-	res, err := s.sched.Do(r.Context(), req.Model, tokens, mask)
-	if err != nil {
-		httpError(w, statusFor(err), err)
+	// Single-input body: the original API shape.
+	if len(req.Inputs) == 0 {
+		tokens, mask, err := info.encode(req.inferInput)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		res, err := s.sched.Do(r.Context(), req.Model, tokens, mask)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, inferResponse{Model: req.Model, inferResult: resultFor(res, nil)})
 		return
 	}
-	best := 0
-	for i, v := range res.Logits {
-		if v > res.Logits[best] {
-			best = i
+
+	// Multi-input body: every input is validated up front, then
+	// submitted concurrently so the scheduler's batch accumulator can
+	// drain them into one batched execution.
+	if len(req.Inputs) > maxInputsPerBody {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("%d inputs exceed the per-request limit %d", len(req.Inputs), maxInputsPerBody))
+		return
+	}
+	type encoded struct {
+		tokens []int
+		mask   []bool
+	}
+	inputs := make([]encoded, len(req.Inputs))
+	for i, in := range req.Inputs {
+		tokens, mask, err := info.encode(in)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("input %d: %w", i, err))
+			return
+		}
+		inputs[i] = encoded{tokens: tokens, mask: mask}
+	}
+	results := make([]inferResult, len(inputs))
+	errs := make([]error, len(inputs))
+	var wg sync.WaitGroup
+	for i, in := range inputs {
+		wg.Add(1)
+		go func(i int, in encoded) {
+			defer wg.Done()
+			res, err := s.sched.Do(r.Context(), req.Model, in.tokens, in.mask)
+			results[i], errs[i] = resultFor(res, err), err
+		}(i, in)
+	}
+	wg.Wait()
+	// Mixed outcomes are 200 with per-result errors; an all-failed
+	// batch surfaces the first failure's status.
+	status := http.StatusOK
+	allFailed := true
+	for _, err := range errs {
+		if err == nil {
+			allFailed = false
+			break
 		}
 	}
-	writeJSON(w, http.StatusOK, inferResponse{
-		Model:     req.Model,
-		Class:     best,
-		Logits:    res.Logits,
-		QueuedMS:  float64(res.Queued.Microseconds()) / 1e3,
-		TotalMS:   float64(res.Total.Microseconds()) / 1e3,
-		BytesRead: res.Stats.BytesRead,
-		CacheHits: res.Stats.CacheHits,
-	})
+	if allFailed {
+		status = statusFor(errs[0])
+	}
+	writeJSON(w, status, batchResponse{Model: req.Model, Results: results})
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {

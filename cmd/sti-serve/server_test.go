@@ -72,7 +72,7 @@ func TestServerInferStatsHealthz(t *testing.T) {
 	ts, _ := buildServer(t, sti.ServeOptions{Slack: 1000})
 
 	status, data := postJSON(t, ts.URL+"/v1/infer",
-		inferRequest{Model: "sentiment", Text: "wonderful gripping story"})
+		inferRequest{Model: "sentiment", inferInput: inferInput{Text: "wonderful gripping story"}})
 	if status != http.StatusOK {
 		t.Fatalf("infer status %d: %s", status, data)
 	}
@@ -120,7 +120,7 @@ func TestServerInferStatsHealthz(t *testing.T) {
 func TestServerRawTokens(t *testing.T) {
 	ts, _ := buildServer(t, sti.ServeOptions{Slack: 1000})
 	status, data := postJSON(t, ts.URL+"/v1/infer",
-		inferRequest{Model: "nextword", Tokens: []int{1, 5, 6, 2}})
+		inferRequest{Model: "nextword", inferInput: inferInput{Tokens: []int{1, 5, 6, 2}}})
 	if status != http.StatusOK {
 		t.Fatalf("infer status %d: %s", status, data)
 	}
@@ -133,14 +133,14 @@ func TestServerErrorMapping(t *testing.T) {
 		body any
 		want int
 	}{
-		{"unknown model", inferRequest{Model: "absent", Text: "hi"}, http.StatusNotFound},
-		{"missing model", inferRequest{Text: "hi"}, http.StatusBadRequest},
+		{"unknown model", inferRequest{Model: "absent", inferInput: inferInput{Text: "hi"}}, http.StatusNotFound},
+		{"missing model", inferRequest{inferInput: inferInput{Text: "hi"}}, http.StatusBadRequest},
 		{"missing input", inferRequest{Model: "sentiment"}, http.StatusBadRequest},
 		{"negative budget", map[string]int64{"budget_bytes": -1}, http.StatusBadRequest},
-		{"token out of vocab", inferRequest{Model: "sentiment", Tokens: []int{999999999}}, http.StatusBadRequest},
-		{"negative token", inferRequest{Model: "sentiment", Tokens: []int{-5}}, http.StatusBadRequest},
-		{"oversized sequence", inferRequest{Model: "sentiment", Tokens: make([]int, 10000)}, http.StatusBadRequest},
-		{"mask length mismatch", inferRequest{Model: "sentiment", Tokens: []int{1, 2}, Mask: []bool{true}}, http.StatusBadRequest},
+		{"token out of vocab", inferRequest{Model: "sentiment", inferInput: inferInput{Tokens: []int{999999999}}}, http.StatusBadRequest},
+		{"negative token", inferRequest{Model: "sentiment", inferInput: inferInput{Tokens: []int{-5}}}, http.StatusBadRequest},
+		{"oversized sequence", inferRequest{Model: "sentiment", inferInput: inferInput{Tokens: make([]int, 10000)}}, http.StatusBadRequest},
+		{"mask length mismatch", inferRequest{Model: "sentiment", inferInput: inferInput{Tokens: []int{1, 2}, Mask: []bool{true}}}, http.StatusBadRequest},
 	} {
 		url := ts.URL + "/v1/infer"
 		if tc.name == "negative budget" {
@@ -157,6 +157,92 @@ func TestServerErrorMapping(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad json: status %d", resp.StatusCode)
+	}
+}
+
+// TestServerBatchedInfer drives a multi-input body end-to-end: per-
+// input results come back in order, classes match the single-input
+// path, and the scheduler's batch stats become visible in /v1/stats.
+func TestServerBatchedInfer(t *testing.T) {
+	ts, _ := buildServer(t, sti.ServeOptions{
+		Slack: 1000, Workers: 1, MaxBatch: 8, BatchWindow: 20 * time.Millisecond,
+	})
+	texts := []string{"wonderful gripping story", "dreadful boring mess", "fine either way"}
+
+	// Reference classes via the single-input API.
+	want := make([]int, len(texts))
+	for i, text := range texts {
+		status, data := postJSON(t, ts.URL+"/v1/infer", inferRequest{
+			Model: "sentiment", inferInput: inferInput{Text: text}})
+		if status != http.StatusOK {
+			t.Fatalf("single infer status %d: %s", status, data)
+		}
+		var ir inferResponse
+		if err := json.Unmarshal(data, &ir); err != nil {
+			t.Fatal(err)
+		}
+		want[i] = ir.Class
+	}
+
+	inputs := make([]inferInput, len(texts))
+	for i, text := range texts {
+		inputs[i] = inferInput{Text: text}
+	}
+	status, data := postJSON(t, ts.URL+"/v1/infer", inferRequest{Model: "sentiment", Inputs: inputs})
+	if status != http.StatusOK {
+		t.Fatalf("batched infer status %d: %s", status, data)
+	}
+	var br batchResponse
+	if err := json.Unmarshal(data, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Model != "sentiment" || len(br.Results) != len(texts) {
+		t.Fatalf("batched response %+v, want %d results", br, len(texts))
+	}
+	for i, res := range br.Results {
+		if res.Error != "" {
+			t.Fatalf("result %d error: %s", i, res.Error)
+		}
+		if res.Class != want[i] {
+			t.Fatalf("result %d class %d, want %d (batched logits must match single)", i, res.Class, want[i])
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st sti.ServeStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	// The 3 singles are one execution each; the 3 batched inputs take
+	// between 1 and 3 executions depending on accumulator timing, so
+	// the deterministic bound is 4..6 (batch-vs-execution determinism
+	// itself is pinned by the gated tests in internal/serve).
+	if st.Completed != uint64(2*len(texts)) || st.Batches < 4 || st.Batches > 6 {
+		t.Fatalf("stats %+v, want %d completed over 4..6 executions", st, 2*len(texts))
+	}
+}
+
+func TestServerBatchedInferValidatesInputs(t *testing.T) {
+	ts, _ := buildServer(t, sti.ServeOptions{Slack: 1000, MaxBatch: 4})
+	status, data := postJSON(t, ts.URL+"/v1/infer", inferRequest{
+		Model:  "sentiment",
+		Inputs: []inferInput{{Text: "fine"}, {Tokens: []int{-3}}},
+	})
+	if status != http.StatusBadRequest {
+		t.Fatalf("invalid batched input: status %d (want 400): %s", status, data)
+	}
+	// One body must not burst past the admission queue's shedding.
+	huge := make([]inferInput, maxInputsPerBody+1)
+	for i := range huge {
+		huge[i] = inferInput{Text: "x"}
+	}
+	status, data = postJSON(t, ts.URL+"/v1/infer", inferRequest{Model: "sentiment", Inputs: huge})
+	if status != http.StatusBadRequest {
+		t.Fatalf("oversized input list: status %d (want 400): %s", status, data)
 	}
 }
 
@@ -195,7 +281,7 @@ func TestServerBudgetReplanLive(t *testing.T) {
 
 	// Inference still works under the shrunk plans.
 	if status, data := postJSON(t, ts.URL+"/v1/infer",
-		inferRequest{Model: "sentiment", Text: "still serving"}); status != http.StatusOK {
+		inferRequest{Model: "sentiment", inferInput: inferInput{Text: "still serving"}}); status != http.StatusOK {
 		t.Fatalf("post-replan infer status %d: %s", status, data)
 	}
 }
@@ -219,8 +305,8 @@ func TestServerConcurrentClients(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perClient; i++ {
 				status, data := postJSON(t, ts.URL+"/v1/infer", inferRequest{
-					Model: models[(c+i)%len(models)],
-					Text:  fmt.Sprintf("request %d from client %d", i, c),
+					Model:      models[(c+i)%len(models)],
+					inferInput: inferInput{Text: fmt.Sprintf("request %d from client %d", i, c)},
 				})
 				switch status {
 				case http.StatusOK:

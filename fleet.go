@@ -132,23 +132,54 @@ func (f *Fleet) Replan() error {
 	return f.replanLocked()
 }
 
+// replanLocked replans the whole fleet atomically: every model's grant
+// and plan is staged before any entry or engine is touched, so a
+// planning failure for one model leaves every entry on its previous
+// consistent plan and budget (no partial commit whose grants no longer
+// sum to f.budget). A warming failure rolls already-warmed engines back
+// to their previous plans (best-effort — the caches are a performance
+// artifact, the entries stay untouched either way).
 func (f *Fleet) replanLocked() error {
 	var totalWeight float64
 	for _, e := range f.entries {
 		totalWeight += e.Weight
 	}
-	for _, name := range f.namesLocked() {
+	names := f.namesLocked()
+
+	// Stage: compute all grants and plans without side effects.
+	grants := make([]int64, len(names))
+	plans := make([]*Plan, len(names))
+	for i, name := range names {
 		e := f.entries[name]
-		e.Budget = int64(float64(f.budget) * e.Weight / totalWeight)
-		plan, err := e.System.Plan(e.Target, e.Budget)
+		grants[i] = int64(float64(f.budget) * e.Weight / totalWeight)
+		plan, err := e.System.Plan(e.Target, grants[i])
 		if err != nil {
 			return fmt.Errorf("sti: replanning %q: %w", name, err)
 		}
-		e.Plan = plan
-		e.System.Engine.SetCacheBudget(e.Budget)
-		if err := e.System.Warm(plan); err != nil {
+		plans[i] = plan
+	}
+
+	// Warm the engines under their new budgets; on failure, restore the
+	// engines already touched to their committed plans.
+	for i, name := range names {
+		e := f.entries[name]
+		e.System.Engine.SetCacheBudget(grants[i])
+		if err := e.System.Warm(plans[i]); err != nil {
+			for k := i; k >= 0; k-- {
+				prev := f.entries[names[k]]
+				prev.System.Engine.SetCacheBudget(prev.Budget)
+				if prev.Plan != nil {
+					_ = prev.System.Warm(prev.Plan)
+				}
+			}
 			return fmt.Errorf("sti: warming %q: %w", name, err)
 		}
+	}
+
+	// Commit: every Plan and Warm succeeded.
+	for i, name := range names {
+		e := f.entries[name]
+		e.Budget, e.Plan = grants[i], plans[i]
 	}
 	return nil
 }
@@ -167,6 +198,23 @@ func (f *Fleet) Infer(name string, tokens []int, mask []bool) ([]float32, *ExecS
 		return nil, nil, fmt.Errorf("sti: model %q not planned; call Replan", name)
 	}
 	return e.System.Infer(e.Plan, tokens, mask)
+}
+
+// InferBatch runs one batched pipelined inference on the named model:
+// the model's shard stream is read and decompressed once and fanned out
+// across all inputs, so per-request IO is 1/len(inputs) of sequential
+// Infer calls. Per-input logits are byte-identical to separate Infers.
+func (f *Fleet) InferBatch(name string, inputs []BatchInput) ([][]float32, *BatchStats, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	e, ok := f.entries[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("sti: fleet has no model %q", name)
+	}
+	if e.Plan == nil {
+		return nil, nil, fmt.Errorf("sti: model %q not planned; call Replan", name)
+	}
+	return e.System.InferBatch(e.Plan, inputs)
 }
 
 // PreloadBytes reports the total preload memory currently held across

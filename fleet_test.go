@@ -191,6 +191,99 @@ func TestFleetShrinkThenGrowRewarm(t *testing.T) {
 	}
 }
 
+// TestFleetReplanFailureIsAtomic is the regression for the partial-
+// commit bug: when planning one model fails mid-replan, models that
+// were already processed must keep their previous plans and budgets —
+// not a mix of new grants that no longer sums to the fleet budget.
+func TestFleetReplanFailureIsAtomic(t *testing.T) {
+	f := sti.NewFleet(200 << 10)
+	// "alpha" sorts before "zz-bad", so the buggy in-place loop commits
+	// alpha's new half-budget grant before zz-bad's planning fails.
+	if err := f.Add("alpha", fleetSystem(t, 20), 200*time.Millisecond, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Replan(); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := f.Entry("alpha")
+	if before.Budget != 200<<10 || before.Plan == nil {
+		t.Fatalf("alpha not planned at full budget: %+v", before)
+	}
+	// A model whose target can never be planned (non-positive).
+	if err := f.Add("zz-bad", fleetSystem(t, 21), 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Replan(); err == nil {
+		t.Fatal("replanning an unplannable model must fail")
+	}
+	after, _ := f.Entry("alpha")
+	if after.Budget != before.Budget {
+		t.Fatalf("failed replan changed alpha's budget: %d -> %d", before.Budget, after.Budget)
+	}
+	if after.Plan != before.Plan {
+		t.Fatalf("failed replan swapped alpha's plan: %p -> %p", before.Plan, after.Plan)
+	}
+	// The fleet still serves on the committed plan.
+	if _, _, err := f.Infer("alpha", []int{1, 2, 3}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Dropping the bad model makes replanning whole again.
+	f.Remove("zz-bad")
+	if err := f.Replan(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFleetInferBatchMatchesInfer drives the batched path through the
+// fleet: per-input logits must be byte-identical to sequential Infers
+// and the shared stream's per-request IO must shrink with batch size.
+func TestFleetInferBatchMatchesInfer(t *testing.T) {
+	f := sti.NewFleet(0) // zero preload: every execution streams all IO
+	if err := f.Add("m", fleetSystem(t, 22), 200*time.Millisecond, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Replan(); err != nil {
+		t.Fatal(err)
+	}
+	inputs := []sti.BatchInput{
+		{Tokens: []int{1, 9, 8, 7, 2}},
+		{Tokens: []int{1, 5, 2}},
+		{Tokens: []int{1, 2}},
+		{Tokens: []int{1, 3, 3, 3, 2}},
+	}
+	var singleBytes int64
+	single := make([][]float32, len(inputs))
+	for i, in := range inputs {
+		logits, stats, err := f.Infer("m", in.Tokens, in.Mask)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single[i] = logits
+		singleBytes += stats.BytesRead
+	}
+	batched, bs, err := f.InferBatch("m", inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Batch != len(inputs) {
+		t.Fatalf("batch %d, want %d", bs.Batch, len(inputs))
+	}
+	for i := range inputs {
+		for c := range single[i] {
+			if batched[i][c] != single[i][c] {
+				t.Fatalf("input %d logit %d: batched %v != single %v", i, c, batched[i][c], single[i][c])
+			}
+		}
+	}
+	if bs.BytesRead*int64(len(inputs)) != singleBytes {
+		t.Fatalf("batch read %d bytes for %d inputs; sequential read %d — the stream must run once",
+			bs.BytesRead, len(inputs), singleBytes)
+	}
+	if _, _, err := f.InferBatch("absent", inputs); err == nil {
+		t.Fatal("unknown model must error")
+	}
+}
+
 // TestFleetConcurrentInferAndReplan races parallel inference on two
 // models against budget replans; run under -race this validates the
 // fleet's quiesce-and-swap locking.

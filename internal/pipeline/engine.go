@@ -65,33 +65,47 @@ func (e *Engine) SetCacheBudget(budget int64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.cacheBudget = budget
-	if e.cacheBytes <= budget {
+	e.evictForLocked(0, nil)
+}
+
+// evictForLocked frees space top-layers-first until need more bytes fit
+// within the budget (it may fail to free enough; callers re-check).
+// When floor is non-nil only shards strictly above it are eligible —
+// bottom layers are needed earliest on the next engagement (§5.5).
+// e.mu must be held.
+func (e *Engine) evictForLocked(need int64, floor *shard.Version) {
+	if e.cacheBytes+need <= e.cacheBudget {
 		return
 	}
-	versions := make([]shard.Version, 0, len(e.cache))
-	for v := range e.cache {
-		versions = append(versions, v)
-	}
-	sort.Slice(versions, func(i, j int) bool {
-		if versions[i].Layer != versions[j].Layer {
-			return versions[i].Layer > versions[j].Layer // top layers first
+	victims := make([]shard.Version, 0, len(e.cache))
+	for c := range e.cache {
+		if floor != nil && !(c.Layer > floor.Layer || (c.Layer == floor.Layer && c.Slice > floor.Slice)) {
+			continue
 		}
-		return versions[i].Slice > versions[j].Slice
+		victims = append(victims, c)
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		if victims[i].Layer != victims[j].Layer {
+			return victims[i].Layer > victims[j].Layer // top layers first
+		}
+		return victims[i].Slice > victims[j].Slice
 	})
-	for _, v := range versions {
-		if e.cacheBytes <= budget {
+	for _, c := range victims {
+		if e.cacheBytes+need <= e.cacheBudget {
 			break
 		}
-		e.cacheBytes -= int64(len(e.cache[v]))
-		delete(e.cache, v)
+		e.cacheBytes -= int64(len(e.cache[c]))
+		delete(e.cache, c)
 	}
 }
 
 // Warm brings the buffer to exactly the plan's preload set: shard
 // versions the plan does not preload are evicted (a replanned pipeline
-// owns the buffer — §3.2), then missing preloads are read in. After
-// Warm, the buffer holds PreloadUsed bytes, so it respects any budget
-// the plan was given.
+// owns the buffer — §3.2), then missing preloads are read in. Preloads
+// are filled bottom layer first, so if the plan's preload set exceeds
+// the engine's current byte budget (e.g. the budget shrank after the
+// plan was made), the buffer holds the bottom-most prefix that fits —
+// never more than the budget.
 func (e *Engine) Warm(p *planner.Plan) error {
 	wanted := make(map[shard.Version]bool)
 	for l := 0; l < p.Depth; l++ {
@@ -109,7 +123,19 @@ func (e *Engine) Warm(p *planner.Plan) error {
 		}
 	}
 	e.mu.Unlock()
+	// Fill bottom-up: with a tight budget the bottom layers — needed
+	// earliest on the next engagement (§5.5) — win the buffer.
+	versions := make([]shard.Version, 0, len(wanted))
 	for v := range wanted {
+		versions = append(versions, v)
+	}
+	sort.Slice(versions, func(i, j int) bool {
+		if versions[i].Layer != versions[j].Layer {
+			return versions[i].Layer < versions[j].Layer
+		}
+		return versions[i].Slice < versions[j].Slice
+	})
+	for _, v := range versions {
 		if e.cached(v) != nil {
 			continue
 		}
@@ -117,7 +143,11 @@ func (e *Engine) Warm(p *planner.Plan) error {
 		if err != nil {
 			return fmt.Errorf("pipeline: warm %v: %w", v, err)
 		}
-		e.put(v, payload)
+		if !e.put(v, payload) {
+			// Budget full: everything after this point is a higher
+			// layer the policy would refuse too — stop streaming.
+			break
+		}
 	}
 	return nil
 }
@@ -128,14 +158,27 @@ func (e *Engine) cached(v shard.Version) []byte {
 	return e.cache[v]
 }
 
-func (e *Engine) put(v shard.Version, payload []byte) {
+// put inserts a payload into the preload buffer, enforcing the byte
+// budget (the ARCHITECTURE.md invariant: the buffer never holds more
+// than its budget). If the payload does not fit, cached shards from
+// layers strictly above the incoming one are evicted top-first; if it
+// still does not fit the insert is refused — bottom layers win ties
+// because they are needed earliest on the next engagement (§5.5). It
+// reports whether the payload is cached on return.
+func (e *Engine) put(v shard.Version, payload []byte) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, ok := e.cache[v]; ok {
-		return
+		return true
+	}
+	need := int64(len(payload))
+	e.evictForLocked(need, &v)
+	if e.cacheBytes+need > e.cacheBudget {
+		return false
 	}
 	e.cache[v] = payload
-	e.cacheBytes += int64(len(payload))
+	e.cacheBytes += need
+	return true
 }
 
 // ExecStats reports what one pipelined execution did.
@@ -157,9 +200,49 @@ type layerDelivery struct {
 	err      error
 }
 
+// BatchInput is one sequence of a batched execution.
+type BatchInput struct {
+	Tokens []int
+	Mask   []bool // valid positions; nil = all valid
+}
+
+// BatchStats reports what one batched pipelined execution did. The
+// embedded ExecStats describes the single shared IO/decompress stream:
+// BytesRead and CacheHits are incurred once for the whole batch, so
+// each request's amortized IO is BytesRead/Batch.
+type BatchStats struct {
+	ExecStats
+	Batch int // number of sequences served by the one stream
+}
+
 // Execute runs the plan through the IO/compute pipeline on one input
 // and returns the class logits.
 func (e *Engine) Execute(p *planner.Plan, tokens []int, mask []bool) ([]float32, *ExecStats, error) {
+	logits, bs, err := e.ExecuteBatch(p, []BatchInput{{Tokens: tokens, Mask: mask}})
+	if err != nil {
+		return nil, nil, err
+	}
+	return logits[0], &bs.ExecStats, nil
+}
+
+// ExecuteBatch runs the plan's IO/decompress stream once and fans every
+// assembled sub-layer out across B stacked sequences: each layer's
+// shards are read from flash and decompressed exactly once no matter
+// how many sequences ride the batch, so per-request IO is 1/B of
+// sequential execution. Per-sequence logits are byte-identical to B
+// separate Execute calls (the stacked kernels compute rows
+// independently).
+func (e *Engine) ExecuteBatch(p *planner.Plan, inputs []BatchInput) ([][]float32, *BatchStats, error) {
+	if len(inputs) == 0 {
+		return nil, nil, fmt.Errorf("pipeline: empty batch")
+	}
+	for i, in := range inputs {
+		// An empty sequence has no CLS row; in a stacked batch it would
+		// silently read its neighbor's logits.
+		if len(in.Tokens) == 0 {
+			return nil, nil, fmt.Errorf("pipeline: batch input %d has no tokens", i)
+		}
+	}
 	cfg := e.Resident.Cfg
 	if p.Depth > cfg.Layers || p.Width > cfg.Heads {
 		return nil, nil, fmt.Errorf("pipeline: plan %dx%d exceeds model %dx%d", p.Depth, p.Width, cfg.Layers, cfg.Heads)
@@ -168,12 +251,21 @@ func (e *Engine) Execute(p *planner.Plan, tokens []int, mask []bool) ([]float32,
 	deliveries := make(chan layerDelivery, p.Depth)
 	go e.ioWorker(p, deliveries)
 
-	stats := &ExecStats{
-		LayerIO:      make([]time.Duration, p.Depth),
-		LayerCompute: make([]time.Duration, p.Depth),
+	stats := &BatchStats{
+		ExecStats: ExecStats{
+			LayerIO:      make([]time.Duration, p.Depth),
+			LayerCompute: make([]time.Duration, p.Depth),
+		},
+		Batch: len(inputs),
 	}
 	sm := &model.Submodel{Cfg: cfg, Parent: e.Resident}
-	x := sm.Embed(tokens)
+	batch := make([][]int, len(inputs))
+	masks := make([][]bool, len(inputs))
+	for i, in := range inputs {
+		batch[i] = in.Tokens
+		masks[i] = in.Mask
+	}
+	x, seqLens := sm.EmbedBatch(batch)
 	for l := 0; l < p.Depth; l++ {
 		waitStart := time.Now()
 		d := <-deliveries
@@ -193,10 +285,10 @@ func (e *Engine) Execute(p *planner.Plan, tokens []int, mask []bool) ([]float32,
 		if err != nil {
 			return nil, nil, err
 		}
-		x = model.ForwardLayer(cfg, sub, x, mask)
+		x = model.ForwardLayerBatch(cfg, sub, x, seqLens, masks)
 		stats.LayerCompute[l] = time.Since(compStart)
 	}
-	logits := sm.Classify(x)
+	logits := sm.ClassifyBatch(x, seqLens)
 	stats.Total = time.Since(start)
 	return logits, stats, nil
 }

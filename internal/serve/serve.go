@@ -55,6 +55,9 @@ type Backend interface {
 	// Infer runs one pipelined inference; it must be safe for
 	// concurrent use.
 	Infer(name string, tokens []int, mask []bool) ([]float32, *pipeline.ExecStats, error)
+	// InferBatch runs one batched inference whose single IO/decompress
+	// stream serves every input; it must be safe for concurrent use.
+	InferBatch(name string, inputs []pipeline.BatchInput) ([][]float32, *pipeline.BatchStats, error)
 }
 
 // Options tunes the scheduler.
@@ -71,6 +74,14 @@ type Options struct {
 	// Window is how many recent request latencies each model keeps
 	// for the p50/p95 snapshot. Default 512.
 	Window int
+	// MaxBatch is how many queued jobs a worker may drain into one
+	// batched backend call, amortizing the model's IO/decompress
+	// stream across them. 1 disables batching. Default 1.
+	MaxBatch int
+	// BatchWindow is how long a worker holding one job waits for more
+	// to accumulate before executing (only when MaxBatch > 1).
+	// Default 2ms.
+	BatchWindow time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -86,13 +97,26 @@ func (o Options) withDefaults() Options {
 	if o.Window <= 0 {
 		o.Window = 512
 	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 1
+	}
+	if o.BatchWindow <= 0 {
+		o.BatchWindow = 2 * time.Millisecond
+	}
 	return o
 }
 
 // Result is the outcome of one scheduled inference.
 type Result struct {
 	Logits []float32
-	Stats  *pipeline.ExecStats
+	// Stats describes the execution stream that served this request.
+	// For a batched request the stream is shared: BytesRead/CacheHits
+	// are the whole batch's, so this request's amortized IO is
+	// BytesRead/Batch.
+	Stats *pipeline.ExecStats
+	// Batch is how many requests shared the execution stream (1 for an
+	// unbatched request).
+	Batch int
 
 	Queued time.Duration // admission → worker pickup
 	Total  time.Duration // admission → completion
@@ -158,8 +182,20 @@ func (s *Scheduler) Do(ctx context.Context, model string, tokens []int, mask []b
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
 	}
+
+	// The closed check must precede any queue creation: a submit racing
+	// Close would otherwise insert a brand-new queue whose channel Close
+	// already missed — leaking it unclosed and recording stats on a
+	// closed scheduler.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	q := s.queueLocked(model)
 	if !deadline.After(now) {
-		s.queue(model).stats.deadlineMiss()
+		s.mu.Unlock()
+		q.stats.deadlineMiss()
 		return nil, fmt.Errorf("%w: model %q", ErrDeadline, model)
 	}
 
@@ -167,13 +203,6 @@ func (s *Scheduler) Do(ctx context.Context, model string, tokens []int, mask []b
 		ctx: ctx, tokens: tokens, mask: mask,
 		deadline: deadline, enqueued: now,
 		done: make(chan outcome, 1),
-	}
-	q := s.queue(model)
-
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil, ErrClosed
 	}
 	select {
 	case q.jobs <- j:
@@ -200,13 +229,12 @@ func (s *Scheduler) Do(ctx context.Context, model string, tokens []int, mask []b
 	}
 }
 
-// queue returns the model's queue, creating it on first use. Worker
+// queueLocked returns the model's queue, creating it on first use.
+// s.mu must be held and s.closed checked by the caller. Worker
 // goroutines spin up only when a job is actually enqueued, so requests
 // rejected at admission (expired deadlines, probes for odd model
 // names) don't leave idle worker pools behind.
-func (s *Scheduler) queue(model string) *modelQueue {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+func (s *Scheduler) queueLocked(model string) *modelQueue {
 	if q, ok := s.queues[model]; ok {
 		return q
 	}
@@ -218,11 +246,50 @@ func (s *Scheduler) queue(model string) *modelQueue {
 	return q
 }
 
-// worker drains one model's queue until the queue closes.
+// worker drains one model's queue until the queue closes. With
+// MaxBatch > 1 it accumulates up to MaxBatch queued jobs (waiting at
+// most BatchWindow after the first) and serves them with one batched
+// backend call — one IO/decompress stream for the whole batch.
 func (s *Scheduler) worker(model string, q *modelQueue) {
 	defer s.wg.Done()
 	for j := range q.jobs {
-		now := time.Now()
+		batch := []*job{j}
+		if s.opts.MaxBatch > 1 {
+			batch = append(batch, s.accumulate(q)...)
+		}
+		s.runBatch(model, q, batch)
+	}
+}
+
+// accumulate drains up to MaxBatch-1 more jobs from the queue, waiting
+// at most BatchWindow for stragglers. It returns early if the queue
+// closes.
+func (s *Scheduler) accumulate(q *modelQueue) []*job {
+	var more []*job
+	timer := time.NewTimer(s.opts.BatchWindow)
+	defer timer.Stop()
+	for len(more) < s.opts.MaxBatch-1 {
+		select {
+		case j, ok := <-q.jobs:
+			if !ok {
+				return more
+			}
+			more = append(more, j)
+		case <-timer.C:
+			return more
+		}
+	}
+	return more
+}
+
+// runBatch checks each drained job's context and deadline — an expired
+// job sheds alone, never dragging its batchmates — then serves the
+// survivors with one backend call and demuxes results to each done
+// channel.
+func (s *Scheduler) runBatch(model string, q *modelQueue, batch []*job) {
+	now := time.Now()
+	live := batch[:0]
+	for _, j := range batch {
 		if j.ctx.Err() != nil {
 			// Caller already gone; nothing is waiting on done.
 			continue
@@ -232,30 +299,72 @@ func (s *Scheduler) worker(model string, q *modelQueue) {
 			j.done <- outcome{err: fmt.Errorf("%w: model %q queued %v", ErrDeadline, model, now.Sub(j.enqueued).Round(time.Millisecond))}
 			continue
 		}
-		logits, stats, err := s.infer(model, j)
-		total := time.Since(j.enqueued)
-		if err != nil {
-			q.stats.failed()
-			j.done <- outcome{err: err}
-			continue
+		live = append(live, j)
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	logits, stats, err := s.inferBatch(model, live)
+	if err != nil {
+		if len(live) > 1 {
+			// One poisoned request must fail alone, not take down its
+			// batchmates: retry each job unbatched.
+			for _, j := range live {
+				s.runBatch(model, q, []*job{j})
+			}
+			return
 		}
+		q.stats.failed()
+		live[0].done <- outcome{err: err}
+		return
+	}
+	q.stats.executed(len(live), stats.BytesRead)
+	for i, j := range live {
+		total := time.Since(j.enqueued)
 		q.stats.completed(total)
 		j.done <- outcome{res: Result{
-			Logits: logits, Stats: stats,
+			Logits: logits[i], Stats: &stats.ExecStats, Batch: stats.Batch,
 			Queued: now.Sub(j.enqueued), Total: total,
 		}}
 	}
 }
 
-// infer shields the worker from a panicking backend: one poisoned
-// request must fail alone, not take down every model's workers.
-func (s *Scheduler) infer(model string, j *job) (logits []float32, stats *pipeline.ExecStats, err error) {
+// inferBatch shields the worker from a panicking backend: one poisoned
+// batch must fail alone, not take down every model's workers. A
+// single-job batch uses the plain Infer path.
+func (s *Scheduler) inferBatch(model string, live []*job) (logits [][]float32, stats *pipeline.BatchStats, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("serve: model %q panicked: %v", model, r)
+			logits, stats, err = nil, nil, fmt.Errorf("serve: model %q panicked: %v", model, r)
 		}
 	}()
-	return s.backend.Infer(model, j.tokens, j.mask)
+	if len(live) == 1 {
+		l, st, err := s.backend.Infer(model, live[0].tokens, live[0].mask)
+		if err != nil {
+			return nil, nil, err
+		}
+		bs := &pipeline.BatchStats{Batch: 1}
+		if st != nil {
+			bs.ExecStats = *st
+		}
+		return [][]float32{l}, bs, nil
+	}
+	inputs := make([]pipeline.BatchInput, len(live))
+	for i, j := range live {
+		inputs[i] = pipeline.BatchInput{Tokens: j.tokens, Mask: j.mask}
+	}
+	ls, bs, err := s.backend.InferBatch(model, inputs)
+	if err != nil {
+		return nil, nil, err
+	}
+	if bs == nil {
+		bs = &pipeline.BatchStats{Batch: len(live)}
+	}
+	if len(ls) != len(live) {
+		return nil, nil, fmt.Errorf("serve: model %q returned %d results for %d inputs", model, len(ls), len(live))
+	}
+	return ls, bs, nil
 }
 
 // Close stops admission, drains queued requests and waits for workers

@@ -20,7 +20,11 @@ type stubBackend struct {
 	gate    chan struct{} // when non-nil, Infer blocks until the gate closes
 	err     error
 	panics  atomic.Bool
+	poison  atomic.Int64 // when non-zero, Infer panics on tokens[0]==poison
 	calls   atomic.Int64
+
+	mu         sync.Mutex
+	batchSizes []int // size of every batched call, in order
 }
 
 func (b *stubBackend) Names() []string {
@@ -48,10 +52,52 @@ func (b *stubBackend) Infer(name string, tokens []int, mask []bool) ([]float32, 
 	if b.panics.Load() {
 		panic("poisoned request")
 	}
+	if p := b.poison.Load(); p != 0 && len(tokens) > 0 && int64(tokens[0]) == p {
+		panic("poisoned request")
+	}
 	if b.err != nil {
 		return nil, nil, b.err
 	}
-	return []float32{float32(len(tokens)), 0}, &pipeline.ExecStats{Total: b.delay}, nil
+	return []float32{float32(len(tokens)), 0}, &pipeline.ExecStats{Total: b.delay, BytesRead: stubStreamBytes}, nil
+}
+
+// stubStreamBytes is what one stub execution stream "reads", batched or
+// not — so per-request amortization is observable in stats.
+const stubStreamBytes = 1000
+
+func (b *stubBackend) InferBatch(name string, inputs []pipeline.BatchInput) ([][]float32, *pipeline.BatchStats, error) {
+	b.mu.Lock()
+	b.batchSizes = append(b.batchSizes, len(inputs))
+	b.mu.Unlock()
+	out := make([][]float32, len(inputs))
+	var err error
+	for i, in := range inputs {
+		out[i], _, err = b.Infer(name, in.Tokens, in.Mask)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return out, &pipeline.BatchStats{
+		ExecStats: pipeline.ExecStats{BytesRead: stubStreamBytes},
+		Batch:     len(inputs),
+	}, nil
+}
+
+// queueDepth inspects a model's queue without creating one.
+func queueDepth(s *Scheduler, model string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if q, ok := s.queues[model]; ok {
+		return len(q.jobs)
+	}
+	return 0
+}
+
+// queueCount reports how many model queues exist.
+func queueCount(s *Scheduler) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queues)
 }
 
 // waitUntil polls cond for up to 5s, failing the test on timeout so a
@@ -169,7 +215,7 @@ func TestSchedulerShedsWhenQueueFull(t *testing.T) {
 		_, err := s.Do(context.Background(), "sentiment", []int{1}, nil)
 		results <- err
 	}()
-	waitUntil(t, "queued request", func() bool { return len(s.queue("sentiment").jobs) > 0 })
+	waitUntil(t, "queued request", func() bool { return queueDepth(s, "sentiment") > 0 })
 
 	_, err := s.Do(context.Background(), "sentiment", []int{1}, nil)
 	if !errors.Is(err, ErrQueueFull) {
@@ -297,22 +343,39 @@ func TestSchedulerStress(t *testing.T) {
 	}
 }
 
+// TestPercentile pins the nearest-rank definition (index ceil(p·n)−1):
+// the regression cases are the small windows where the old int(p·n)
+// indexing read one element too high — p50 of [1,2] must be 1, not 2.
 func TestPercentile(t *testing.T) {
-	var lat []time.Duration
-	for i := 1; i <= 100; i++ {
-		lat = append(lat, time.Duration(i))
+	seq := func(n int) []time.Duration {
+		var lat []time.Duration
+		for i := 1; i <= n; i++ {
+			lat = append(lat, time.Duration(i))
+		}
+		return lat
 	}
-	if p := percentile(lat, 0.50); p != 51 {
-		t.Fatalf("p50 %d", p)
-	}
-	if p := percentile(lat, 0.95); p != 96 {
-		t.Fatalf("p95 %d", p)
-	}
-	if p := percentile(nil, 0.5); p != 0 {
-		t.Fatalf("empty %d", p)
-	}
-	if p := percentile(lat, 1.0); p != 100 {
-		t.Fatalf("p100 %d", p)
+	for _, tc := range []struct {
+		name   string
+		sorted []time.Duration
+		p      float64
+		want   time.Duration
+	}{
+		{"empty", nil, 0.50, 0},
+		{"single p50", seq(1), 0.50, 1},
+		{"single p100", seq(1), 1.00, 1},
+		{"two p50", seq(2), 0.50, 1}, // the motivating bug: was index 1
+		{"two p95", seq(2), 0.95, 2},
+		{"two p100", seq(2), 1.00, 2},
+		{"three p50", seq(3), 0.50, 2},
+		{"four p25", seq(4), 0.25, 1},
+		{"hundred p50", seq(100), 0.50, 50},
+		{"hundred p95", seq(100), 0.95, 95},
+		{"hundred p100", seq(100), 1.00, 100},
+		{"p0 clamps low", seq(5), 0.0, 1},
+	} {
+		if got := percentile(tc.sorted, tc.p); got != tc.want {
+			t.Errorf("%s: percentile(%d values, %v) = %d, want %d", tc.name, len(tc.sorted), tc.p, got, tc.want)
+		}
 	}
 }
 

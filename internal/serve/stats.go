@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -10,16 +11,27 @@ import (
 // ModelStats is one model's serving counters and latency distribution
 // at snapshot time. Latency percentiles cover the last Options.Window
 // completed requests, measured admission → completion.
+//
+// Batches counts backend executions (a batch of size 1 is one
+// execution); AvgBatch = Completed/Batches is the amortization factor.
+// BytesRead sums every execution stream's flash IO, so BytesPerRequest
+// = BytesRead/Completed shows the per-request IO shrinking as batches
+// grow.
 type ModelStats struct {
-	Model        string        `json:"model"`
-	Completed    uint64        `json:"completed"`
-	Failed       uint64        `json:"failed"`
-	Shed         uint64        `json:"shed"`
-	DeadlineMiss uint64        `json:"deadline_miss"`
-	QueueDepth   int           `json:"queue_depth"`
-	P50          time.Duration `json:"p50_ns"`
-	P95          time.Duration `json:"p95_ns"`
-	Max          time.Duration `json:"max_ns"`
+	Model           string        `json:"model"`
+	Completed       uint64        `json:"completed"`
+	Failed          uint64        `json:"failed"`
+	Shed            uint64        `json:"shed"`
+	DeadlineMiss    uint64        `json:"deadline_miss"`
+	QueueDepth      int           `json:"queue_depth"`
+	Batches         uint64        `json:"batches"`
+	AvgBatch        float64       `json:"avg_batch"`
+	MaxBatch        int           `json:"max_batch"`
+	BytesRead       int64         `json:"bytes_read"`
+	BytesPerRequest float64       `json:"bytes_per_request"`
+	P50             time.Duration `json:"p50_ns"`
+	P95             time.Duration `json:"p95_ns"`
+	Max             time.Duration `json:"max_ns"`
 }
 
 // Stats is a point-in-time snapshot of the whole scheduler. Each
@@ -33,6 +45,9 @@ type Stats struct {
 	Failed       uint64        `json:"failed"`
 	Shed         uint64        `json:"shed"`
 	DeadlineMiss uint64        `json:"deadline_miss"`
+	Batches      uint64        `json:"batches"`
+	AvgBatch     float64       `json:"avg_batch"`
+	BytesRead    int64         `json:"bytes_read"`
 	Models       []ModelStats  `json:"models"`
 }
 
@@ -43,6 +58,9 @@ type modelStats struct {
 	nFailed      atomic.Uint64
 	nShed        atomic.Uint64
 	nDeadline    atomic.Uint64
+	nBatches     atomic.Uint64
+	maxBatch     atomic.Int64
+	bytesRead    atomic.Int64
 	maxLatencyNS atomic.Int64
 
 	mu      sync.Mutex
@@ -74,6 +92,19 @@ func (m *modelStats) completed(total time.Duration) {
 
 func (m *modelStats) failed() { m.nFailed.Add(1) }
 
+// executed records one backend execution: a batch of n requests served
+// by a single stream that read bytes from flash.
+func (m *modelStats) executed(n int, bytes int64) {
+	m.nBatches.Add(1)
+	m.bytesRead.Add(bytes)
+	for {
+		old := m.maxBatch.Load()
+		if int64(n) <= old || m.maxBatch.CompareAndSwap(old, int64(n)) {
+			break
+		}
+	}
+}
+
 func (m *modelStats) shed()         { m.nShed.Add(1) }
 func (m *modelStats) deadlineMiss() { m.nDeadline.Add(1) }
 
@@ -86,27 +117,42 @@ func (m *modelStats) snapshot() ModelStats {
 	lat := append([]time.Duration(nil), m.window[:n]...)
 	m.mu.Unlock()
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-	return ModelStats{
+	ms := ModelStats{
 		Model:        m.model,
 		Completed:    m.nCompleted.Load(),
 		Failed:       m.nFailed.Load(),
 		Shed:         m.nShed.Load(),
 		DeadlineMiss: m.nDeadline.Load(),
+		Batches:      m.nBatches.Load(),
+		MaxBatch:     int(m.maxBatch.Load()),
+		BytesRead:    m.bytesRead.Load(),
 		P50:          percentile(lat, 0.50),
 		P95:          percentile(lat, 0.95),
 		Max:          time.Duration(m.maxLatencyNS.Load()),
 	}
+	if ms.Batches > 0 {
+		ms.AvgBatch = float64(ms.Completed) / float64(ms.Batches)
+	}
+	if ms.Completed > 0 {
+		ms.BytesPerRequest = float64(ms.BytesRead) / float64(ms.Completed)
+	}
+	return ms
 }
 
 // percentile reads the p-th quantile from an ascending-sorted slice
-// using the nearest-rank method.
+// using the nearest-rank method: the smallest value with at least p·n
+// values at or below it, i.e. index ceil(p·n)−1.
 func percentile(sorted []time.Duration, p float64) time.Duration {
-	if len(sorted) == 0 {
+	n := len(sorted)
+	if n == 0 {
 		return 0
 	}
-	i := int(p * float64(len(sorted)))
-	if i >= len(sorted) {
-		i = len(sorted) - 1
+	i := int(math.Ceil(p*float64(n))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
 	}
 	return sorted[i]
 }
@@ -129,11 +175,16 @@ func (s *Scheduler) Snapshot() Stats {
 		st.Failed += ms.Failed
 		st.Shed += ms.Shed
 		st.DeadlineMiss += ms.DeadlineMiss
+		st.Batches += ms.Batches
+		st.BytesRead += ms.BytesRead
 		st.Models = append(st.Models, ms)
 	}
 	sort.Slice(st.Models, func(i, j int) bool { return st.Models[i].Model < st.Models[j].Model })
 	if sec := st.Uptime.Seconds(); sec > 0 {
 		st.Throughput = float64(st.Completed) / sec
+	}
+	if st.Batches > 0 {
+		st.AvgBatch = float64(st.Completed) / float64(st.Batches)
 	}
 	return st
 }
