@@ -7,10 +7,19 @@
 //	sti-preprocess -out /tmp/sst2 -task SST-2 -train
 //	sti-serve -model sentiment=/tmp/sst2 -budget 262144 -addr :8080
 //
+//	# task-typed v2: classify (default) or generate (streams SSE tokens)
+//	curl -s localhost:8080/v2/infer -d '{"model":"sentiment","task":"classify","text":"wonderful gripping story"}'
+//	curl -sN localhost:8080/v2/infer -d '{"model":"sentiment","task":"generate","text":"once upon","max_new_tokens":8}'
+//
+//	# v1 is served as a classify-pinned adapter over the v2 path
 //	curl -s localhost:8080/v1/infer -d '{"model":"sentiment","text":"wonderful gripping story"}'
 //	curl -s localhost:8080/v1/infer -d '{"model":"sentiment","inputs":[{"text":"loved it"},{"text":"dreadful"}]}'
 //	curl -s localhost:8080/v1/stats
 //	curl -s localhost:8080/v1/budget -d '{"budget_bytes":131072}'
+//
+// SIGINT/SIGTERM shut down gracefully: the listener closes, in-flight
+// HTTP requests drain, then the scheduler serves or sheds whatever is
+// still queued before the process exits.
 //
 // Multi-input bodies (and any concurrent single requests for the same
 // model) are drained by the scheduler's batch accumulator into one
@@ -26,12 +35,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"sti"
@@ -138,8 +151,30 @@ func main() {
 		QueueDepth: *queue, Workers: *workers, Slack: *slack,
 		MaxBatch: *maxBatch, BatchWindow: *batchWindow,
 	})
-	defer sched.Close()
 
+	// Graceful shutdown: SIGINT/SIGTERM stops accepting connections,
+	// drains in-flight HTTP requests, then drains the scheduler's
+	// queues — nothing dies mid-pipeline.
+	srv := &http.Server{Addr: *addr, Handler: newServer(fleet, sched)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("serving %d model(s) on %s", len(models), *addr)
-	log.Fatal(http.ListenAndServe(*addr, newServer(fleet, sched)))
+
+	select {
+	case err := <-errc:
+		sched.Close()
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		log.Printf("signal received; draining in-flight requests")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("sti-serve: http shutdown: %v", err)
+		}
+		sched.Close() // serve or shed whatever is still queued
+		log.Printf("drained; exiting")
+	}
 }

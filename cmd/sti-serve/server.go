@@ -15,6 +15,12 @@ import (
 // server is the HTTP frontend over a fleet and its scheduler. It is
 // split from main so tests can drive the exact handler path with
 // httptest.
+//
+// /v2/infer is the task-typed surface: a `task` field selects classify
+// (the default) or generate; generate responses stream each decoded
+// token as a server-sent event the moment the pipeline produces it.
+// /v1/infer is an adapter over the same path with the task pinned to
+// classify, so pre-v2 clients are served byte-identically.
 type server struct {
 	fleet  *sti.Fleet
 	sched  *sti.Scheduler
@@ -46,7 +52,8 @@ func newServer(fleet *sti.Fleet, sched *sti.Scheduler) *server {
 			maxSeq: cfg.MaxSeq,
 		}
 	}
-	s.mux.HandleFunc("POST /v1/infer", s.handleInfer)
+	s.mux.HandleFunc("POST /v2/infer", s.handleInferV2)
+	s.mux.HandleFunc("POST /v1/infer", s.handleInferV1)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/budget", s.handleBudget)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -69,18 +76,31 @@ type inferInput struct {
 // let a single client burst past the queue's load shedding.
 const maxInputsPerBody = 64
 
-// inferRequest carries a single inline input (the original API) or a
-// list of inputs that the scheduler's batch accumulator may serve with
-// one shared IO/decompress stream.
+// defaultMaxNewTokens bounds a generate request that did not say how
+// many tokens it wants.
+const defaultMaxNewTokens = 16
+
+// inferRequest is the v2 wire shape: a task-typed request carrying a
+// single inline input or a list of classify inputs the scheduler's
+// batch accumulator may serve with one shared IO/decompress stream.
+// The v1 adapter decodes the same shape and pins Task to classify.
 type inferRequest struct {
 	Model string `json:"model"`
+	// Task is "classify" (the default) or "generate".
+	Task string `json:"task,omitempty"`
+	// MaxNewTokens bounds greedy decoding (generate only; default 16,
+	// capped by the model's max sequence length).
+	MaxNewTokens int `json:"max_new_tokens,omitempty"`
+	// Priority < 0 marks the request best-effort: it is shed once the
+	// model's queue is half full.
+	Priority int `json:"priority,omitempty"`
 	inferInput
 	Inputs []inferInput `json:"inputs,omitempty"`
 }
 
-// inferResult is the outcome of one input. Batch is how many requests
-// shared the execution stream; BytesRead is this request's amortized
-// share of that stream's flash IO.
+// inferResult is the outcome of one classify input. Batch is how many
+// requests shared the execution stream; BytesRead is this request's
+// amortized share of that stream's flash IO.
 type inferResult struct {
 	Class     int       `json:"class"`
 	Logits    []float32 `json:"logits,omitempty"`
@@ -100,6 +120,25 @@ type inferResponse struct {
 type batchResponse struct {
 	Model   string        `json:"model"`
 	Results []inferResult `json:"results"`
+}
+
+// tokenEvent is one streamed SSE "token" event of a generate request.
+type tokenEvent struct {
+	Step  int `json:"step"`
+	Token int `json:"token"`
+}
+
+// generateResult is the final SSE "done" event: the full decoded
+// sequence plus the cost of the one-time shard stream it amortized.
+type generateResult struct {
+	Model        string  `json:"model"`
+	Tokens       []int   `json:"tokens"` // prompt + generated
+	PromptTokens int     `json:"prompt_tokens"`
+	NewTokens    int     `json:"new_tokens"`
+	QueuedMS     float64 `json:"queued_ms"`
+	TotalMS      float64 `json:"total_ms"`
+	BytesRead    int64   `json:"bytes_read"`
+	CacheHits    int     `json:"cache_hits"`
 }
 
 // encode validates one input against a model and returns its token ids
@@ -127,6 +166,18 @@ func (info modelInfo) encode(in inferInput) ([]int, []bool, error) {
 		return nil, nil, fmt.Errorf("mask length %d != token length %d", len(mask), len(tokens))
 	}
 	return tokens, mask, nil
+}
+
+// validPrefix counts the leading true entries of an attention mask.
+func validPrefix(mask []bool) int {
+	n := 0
+	for _, ok := range mask {
+		if !ok {
+			break
+		}
+		n++
+	}
+	return n
 }
 
 // resultFor converts one scheduled outcome into the wire shape.
@@ -157,12 +208,31 @@ func resultFor(res *sti.ServeResult, err error) inferResult {
 	return out
 }
 
-func (s *server) handleInfer(w http.ResponseWriter, r *http.Request) {
+// handleInferV2 is the task-typed inference endpoint.
+func (s *server) handleInferV2(w http.ResponseWriter, r *http.Request) {
 	var req inferRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
+	s.serveInfer(w, r, req)
+}
+
+// handleInferV1 adapts the original positional endpoint onto the v2
+// path: the same wire shape with the task pinned to classify, so v1
+// clients observe exactly the pre-v2 behavior.
+func (s *server) handleInferV1(w http.ResponseWriter, r *http.Request) {
+	var req inferRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	req.Task = "classify"
+	s.serveInfer(w, r, req)
+}
+
+// serveInfer validates and dispatches one decoded request.
+func (s *server) serveInfer(w http.ResponseWriter, r *http.Request, req inferRequest) {
 	if req.Model == "" {
 		httpError(w, http.StatusBadRequest, errors.New("missing model"))
 		return
@@ -172,7 +242,18 @@ func (s *server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, fmt.Errorf("unknown model %q", req.Model))
 		return
 	}
+	switch req.Task {
+	case "", "classify":
+		s.serveClassify(w, r, req, info)
+	case "generate":
+		s.serveGenerate(w, r, req, info)
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown task %q (want classify or generate)", req.Task))
+	}
+}
 
+// serveClassify serves a single- or multi-input classify request.
+func (s *server) serveClassify(w http.ResponseWriter, r *http.Request, req inferRequest, info modelInfo) {
 	// Single-input body: the original API shape.
 	if len(req.Inputs) == 0 {
 		tokens, mask, err := info.encode(req.inferInput)
@@ -180,7 +261,9 @@ func (s *server) handleInfer(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		res, err := s.sched.Do(r.Context(), req.Model, tokens, mask)
+		res, err := s.sched.Submit(r.Context(), req.Model, sti.Request{
+			Task: sti.TaskClassify, Tokens: tokens, Mask: mask, Priority: req.Priority,
+		})
 		if err != nil {
 			httpError(w, statusFor(err), err)
 			return
@@ -196,29 +279,25 @@ func (s *server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("%d inputs exceed the per-request limit %d", len(req.Inputs), maxInputsPerBody))
 		return
 	}
-	type encoded struct {
-		tokens []int
-		mask   []bool
-	}
-	inputs := make([]encoded, len(req.Inputs))
+	encoded := make([]sti.Request, len(req.Inputs))
 	for i, in := range req.Inputs {
 		tokens, mask, err := info.encode(in)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("input %d: %w", i, err))
 			return
 		}
-		inputs[i] = encoded{tokens: tokens, mask: mask}
+		encoded[i] = sti.Request{Task: sti.TaskClassify, Tokens: tokens, Mask: mask, Priority: req.Priority}
 	}
-	results := make([]inferResult, len(inputs))
-	errs := make([]error, len(inputs))
+	results := make([]inferResult, len(encoded))
+	errs := make([]error, len(encoded))
 	var wg sync.WaitGroup
-	for i, in := range inputs {
+	for i, sreq := range encoded {
 		wg.Add(1)
-		go func(i int, in encoded) {
+		go func(i int, sreq sti.Request) {
 			defer wg.Done()
-			res, err := s.sched.Do(r.Context(), req.Model, in.tokens, in.mask)
+			res, err := s.sched.Submit(r.Context(), req.Model, sreq)
 			results[i], errs[i] = resultFor(res, err), err
-		}(i, in)
+		}(i, sreq)
 	}
 	wg.Wait()
 	// Mixed outcomes are 200 with per-result errors; an all-failed
@@ -235,6 +314,123 @@ func (s *server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		status = statusFor(errs[0])
 	}
 	writeJSON(w, status, batchResponse{Model: req.Model, Results: results})
+}
+
+// sseStream serializes server-sent events onto one response. Writes
+// race between the scheduler worker (OnToken, during the decode) and
+// the handler (final event, after Submit returns); the mutex and the
+// closed flag guarantee no event is written after the handler returns
+// and the ResponseWriter dies.
+type sseStream struct {
+	mu      sync.Mutex
+	w       http.ResponseWriter
+	started bool
+	closed  bool
+}
+
+// event writes one named SSE event with a JSON payload, setting the
+// stream headers on first use.
+func (st *sseStream) event(name string, v any) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.eventLocked(name, v)
+}
+
+func (st *sseStream) eventLocked(name string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	if st.closed {
+		return
+	}
+	if !st.started {
+		st.started = true
+		h := st.w.Header()
+		h.Set("Content-Type", "text/event-stream")
+		h.Set("Cache-Control", "no-cache")
+		st.w.WriteHeader(http.StatusOK)
+	}
+	fmt.Fprintf(st.w, "event: %s\ndata: %s\n\n", name, data)
+	if fl, ok := st.w.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// finish ends the stream: a nil err emits the final event; a non-nil
+// err is delivered in-band as an SSE "error" event when tokens already
+// streamed, or as a plain JSON error with the proper status code when
+// nothing was written yet. No event can be written after finish
+// returns, so the handler may safely return.
+func (st *sseStream) finish(name string, v any, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err == nil {
+		st.eventLocked(name, v)
+	} else if st.started {
+		st.eventLocked("error", struct {
+			Error string `json:"error"`
+		}{err.Error()})
+	} else {
+		httpError(st.w, statusFor(err), err)
+	}
+	st.closed = true
+}
+
+// serveGenerate serves one generate request, streaming each decoded
+// token as an SSE "token" event followed by a final "done" (or
+// "error") event. Errors before the first token — admission control,
+// validation — are plain JSON with the proper status code, exactly
+// like classify.
+func (s *server) serveGenerate(w http.ResponseWriter, r *http.Request, req inferRequest, info modelInfo) {
+	if len(req.Inputs) > 0 {
+		httpError(w, http.StatusBadRequest, errors.New("generate takes a single prompt, not inputs"))
+		return
+	}
+	prompt, mask, err := info.encode(req.inferInput)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	// The tokenizer pads classify inputs to MaxSeq; a generate prompt is
+	// only the valid prefix — padding would fill the decode window (and
+	// a causal decode attends to everything before it, padding included).
+	if n := validPrefix(mask); n > 0 && n < len(prompt) {
+		prompt = prompt[:n]
+	}
+	maxNew := req.MaxNewTokens
+	if maxNew <= 0 {
+		maxNew = defaultMaxNewTokens
+	}
+	if maxNew > info.maxSeq {
+		maxNew = info.maxSeq
+	}
+
+	st := &sseStream{w: w}
+	res, err := s.sched.Submit(r.Context(), req.Model, sti.Request{
+		Task: sti.TaskGenerate, Tokens: prompt,
+		MaxNewTokens: maxNew, Priority: req.Priority,
+		OnToken: func(step, token int) {
+			st.event("token", tokenEvent{Step: step, Token: token})
+		},
+	})
+	if err != nil {
+		st.finish("", nil, err)
+		return
+	}
+	out := generateResult{
+		Model:    req.Model,
+		Tokens:   res.GeneratedTokens,
+		QueuedMS: float64(res.Queued.Microseconds()) / 1e3,
+		TotalMS:  float64(res.Total.Microseconds()) / 1e3,
+	}
+	if res.Gen != nil {
+		out.PromptTokens = res.Gen.PromptTokens
+		out.NewTokens = res.Gen.NewTokens
+		out.BytesRead = res.Gen.Stream.BytesRead
+		out.CacheHits = res.Gen.Stream.CacheHits
+	}
+	st.finish("done", out, nil)
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -1,19 +1,21 @@
 // Generate: the paper's declared future work (§3.4) — applying STI's
-// elastic sharding to generative, GPT-style decoding. The very same
-// N×M×K shards on flash assemble into a causal submodel; the
-// language-model head ties weights with the token embedding, so no
-// extra parameters are needed. The example assembles submodels of
-// several widths and fidelities from a preprocessed store and decodes
-// greedily from each, showing that generation works at every
-// elasticity point.
+// elastic sharding to generative, GPT-style decoding, now a first-class
+// task of the v2 API. A task-typed Request drives the very same planned
+// pipeline that serves classification: the planner picks a submodel,
+// preload set and per-shard bitwidths for the latency target, the
+// engine streams and decompresses the plan's shards exactly once, and a
+// KV-cached decoder amortizes that one elastic IO pass across every
+// generated token, streaming each one through Request.OnToken.
 //
 //	go run ./examples/generate
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"sti"
 	"sti/internal/model"
@@ -31,48 +33,93 @@ func main() {
 	if _, err := sti.Preprocess(dir, w, nil); err != nil {
 		log.Fatal(err)
 	}
-	sys, err := sti.Load(dir, sti.Odroid(), 0)
+	sys, err := sti.Load(dir, sti.Odroid(), 1<<20)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	prompt := []int{1, 17, 23}
-	for _, point := range []struct {
-		n, m, bits int
-	}{
-		{cfg.Layers, cfg.Heads, 32}, // full model, full fidelity
-		{cfg.Layers, cfg.Heads, 6},
-		{2, 2, 6}, // narrow, shallow
-		{2, 2, 2}, // and at the lowest fidelity
-	} {
-		sm, err := assembleCausal(sys, w, point.n, point.m, point.bits)
-		if err != nil {
-			log.Fatal(err)
-		}
-		seq, err := sm.Generate(prompt, 8)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("submodel %2dx%-2d @ %2d-bit: %v\n", point.n, point.m, point.bits, seq)
+	// Plan and warm exactly like classification: generation rides the
+	// same two-stage planner and preload buffer.
+	plan, err := sys.Plan(200*time.Millisecond, 64<<10)
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Println("\nevery elasticity point decodes; fidelity/width change the continuation,")
-	fmt.Println("exactly as the classification path behaves under STI's planner.")
+	if err := sys.Warm(plan); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan: %s\n", plan)
+
+	prompt := []int{1, 17, 23}
+	fmt.Printf("prompt %v, streaming: ", prompt)
+	resp, err := sys.Run(context.Background(), plan, sti.Request{
+		Task:         sti.TaskGenerate,
+		Tokens:       prompt,
+		MaxNewTokens: 8,
+		OnToken:      func(step, token int) { fmt.Printf("%d ", token) },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsequence: %v\n", resp.GeneratedTokens)
+	fmt.Printf("stream:   read %d KB once, %d cache hits — amortized over %d decode steps\n",
+		resp.Gen.Stream.BytesRead>>10, resp.Gen.Stream.CacheHits,
+		resp.Gen.PromptTokens+resp.Gen.NewTokens)
+
+	// The engine's logit path is byte-identical to GenerateCached on the
+	// same submodel: assemble the plan's exact shard versions by hand and
+	// decode without the pipeline.
+	ref, err := assembleFromPlan(sys, w, plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	want, err := ref.GenerateCached(prompt, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(resp.GeneratedTokens) != len(want) {
+		log.Fatalf("engine %v != direct %v", resp.GeneratedTokens, want)
+	}
+	for i := range want {
+		if resp.GeneratedTokens[i] != want[i] {
+			log.Fatalf("engine %v != direct %v", resp.GeneratedTokens, want)
+		}
+	}
+	fmt.Println("verified: pipeline decode == GenerateCached on the plan's shards")
+
+	// Elasticity: tighter targets plan narrower/shallower submodels —
+	// and every one of them decodes.
+	fmt.Println("\nelasticity across latency targets:")
+	for _, target := range []time.Duration{5 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond} {
+		p, err := sys.Plan(target, 64<<10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := sys.Run(context.Background(), p, sti.Request{
+			Task: sti.TaskGenerate, Tokens: prompt, MaxNewTokens: 8,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  T=%-6v -> %dx%-2d submodel: %v\n", target, p.Depth, p.Width, r.GeneratedTokens)
+	}
+	fmt.Println("\nfidelity/width change the continuation, exactly as the")
+	fmt.Println("classification path behaves under STI's planner.")
 }
 
-// assembleCausal builds an n×m submodel by reading shard fidelity
-// versions from the on-disk store (bypassing the planner to hit chosen
-// elasticity points directly).
-func assembleCausal(sys *sti.System, w *sti.Model, n, m, bits int) (*model.Submodel, error) {
+// assembleFromPlan builds the plan's exact submodel (same slices, same
+// fidelity versions) directly from the on-disk store, bypassing the
+// pipeline.
+func assembleFromPlan(sys *sti.System, w *sti.Model, p *sti.Plan) (*model.Submodel, error) {
 	cfg := w.Cfg
 	sm := &model.Submodel{Cfg: cfg, Parent: w}
-	for l := 0; l < n; l++ {
-		shards := make([]*model.ShardWeights, m)
-		for j := 0; j < m; j++ {
-			payload, err := sys.Store.ReadShard(l, j, bits)
+	for l := 0; l < p.Depth; l++ {
+		shards := make([]*model.ShardWeights, len(p.Slices[l]))
+		for j, s := range p.Slices[l] {
+			payload, err := sys.Store.ReadShard(l, s, p.Bits[l][j])
 			if err != nil {
 				return nil, err
 			}
-			sw, err := model.UnflattenShard(cfg, l, j, payload.Weights())
+			sw, err := model.UnflattenShard(cfg, l, s, payload.Weights())
 			if err != nil {
 				return nil, err
 			}

@@ -1,10 +1,13 @@
 package sti
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
+
+	"sti/internal/pipeline"
 )
 
 // Fleet manages several expected models at once — the paper's
@@ -60,11 +63,26 @@ func (f *Fleet) Add(name string, sys *System, target time.Duration, weight float
 	return nil
 }
 
-// Remove drops a model; its budget is redistributed at the next Replan.
-func (f *Fleet) Remove(name string) {
+// Remove drops a model and immediately rebalances the fleet: the
+// removed model's engine releases every preloaded byte it held (its
+// budget drops to zero, evicting the cache), and the survivors are
+// replanned under their regrown shares — so PreloadBytes reflects the
+// new grants the moment Remove returns, instead of leaving sibling
+// grants stale and the removed engine's shards warm until someone
+// happens to call Replan. Removing an unknown name is a no-op.
+func (f *Fleet) Remove(name string) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	e, ok := f.entries[name]
+	if !ok {
+		return nil
+	}
 	delete(f.entries, name)
+	e.System.Engine.SetCacheBudget(0)
+	if err := f.replanLocked(); err != nil {
+		return fmt.Errorf("sti: replanning after removing %q: %w", name, err)
+	}
+	return nil
 }
 
 // Entry returns a snapshot of the managed entry for a model name.
@@ -184,37 +202,121 @@ func (f *Fleet) replanLocked() error {
 	return nil
 }
 
-// Infer runs one pipelined inference on the named model using its
-// current plan. Concurrent Infer calls proceed in parallel; a
-// concurrent Replan blocks until they drain.
-func (f *Fleet) Infer(name string, tokens []int, mask []bool) ([]float32, *ExecStats, error) {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
+// entryForServe snapshots a planned entry under the read lock.
+func (f *Fleet) entryForServe(name string) (*FleetEntry, error) {
 	e, ok := f.entries[name]
 	if !ok {
-		return nil, nil, fmt.Errorf("sti: fleet has no model %q", name)
+		return nil, fmt.Errorf("sti: fleet has no model %q", name)
 	}
 	if e.Plan == nil {
-		return nil, nil, fmt.Errorf("sti: model %q not planned; call Replan", name)
+		return nil, fmt.Errorf("sti: model %q not planned; call Replan", name)
 	}
-	return e.System.Infer(e.Plan, tokens, mask)
+	return e, nil
 }
 
-// InferBatch runs one batched pipelined inference on the named model:
-// the model's shard stream is read and decompressed once and fanned out
-// across all inputs, so per-request IO is 1/len(inputs) of sequential
-// Infer calls. Per-input logits are byte-identical to separate Infers.
-func (f *Fleet) InferBatch(name string, inputs []BatchInput) ([][]float32, *BatchStats, error) {
+// Serve runs one task-typed request (classify or generate) on the
+// named model using its current plan — the fleet's primary entry
+// point. Concurrent Serve calls proceed in parallel; a concurrent
+// Replan blocks until they drain. Cancelling ctx aborts the shard
+// stream between layers and a generate decode between tokens.
+//
+// The read lock — which a Replan must wait out — is held only for the
+// plan's one shard-stream pass, never for a generate's many decode
+// steps: the decode runs on the materialized submodel, which is
+// immutable and needs no synchronization with replans, so one long
+// generation cannot stall budget changes (or, behind a pending
+// writer, every other model's traffic).
+func (f *Fleet) Serve(ctx context.Context, name string, req Request) (*Response, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if req.Task != TaskGenerate {
+		f.mu.RLock()
+		defer f.mu.RUnlock()
+		e, err := f.entryForServe(name)
+		if err != nil {
+			return nil, err
+		}
+		return e.System.Run(ctx, e.Plan, req)
+	}
+
+	f.mu.RLock()
+	e, err := f.entryForServe(name)
+	if err != nil {
+		f.mu.RUnlock()
+		return nil, err
+	}
+	sm, stream, err := e.System.Engine.Materialize(ctx, e.Plan)
+	f.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	return pipeline.DecodeGenerate(ctx, sm, stream, req)
+}
+
+// ServeBatch runs one batched classify on the named model: the model's
+// shard stream is read and decompressed once and fanned out across all
+// requests, so per-request IO is 1/len(reqs) of sequential Serve
+// calls. Per-request logits are byte-identical to separate Serves.
+// Every request must be TaskClassify — generate decodes are stateful
+// per sequence and run singly through Serve.
+func (f *Fleet) ServeBatch(ctx context.Context, name string, reqs []Request) ([]*Response, *BatchStats, error) {
+	inputs := make([]BatchInput, len(reqs))
+	for i, r := range reqs {
+		if r.Task != TaskClassify {
+			return nil, nil, fmt.Errorf("sti: ServeBatch request %d has task %v; only classify batches", i, r.Task)
+		}
+		inputs[i] = BatchInput{Tokens: r.Tokens, Mask: r.Mask}
+	}
 	f.mu.RLock()
 	defer f.mu.RUnlock()
-	e, ok := f.entries[name]
-	if !ok {
-		return nil, nil, fmt.Errorf("sti: fleet has no model %q", name)
+	e, err := f.entryForServe(name)
+	if err != nil {
+		return nil, nil, err
 	}
-	if e.Plan == nil {
-		return nil, nil, fmt.Errorf("sti: model %q not planned; call Replan", name)
+	logits, bs, err := e.System.Engine.ExecuteBatch(ctx, e.Plan, inputs)
+	if err != nil {
+		return nil, nil, err
 	}
-	return e.System.InferBatch(e.Plan, inputs)
+	resps := make([]*Response, len(logits))
+	for i := range logits {
+		resps[i] = &Response{Logits: logits[i], Stats: &bs.ExecStats}
+	}
+	return resps, bs, nil
+}
+
+// Infer runs one pipelined classification on the named model using its
+// current plan.
+//
+// Deprecated: Infer is the positional classify-only API; use Serve
+// with a task-typed Request.
+func (f *Fleet) Infer(name string, tokens []int, mask []bool) ([]float32, *ExecStats, error) {
+	resp, err := f.Serve(context.Background(), name, Request{Task: TaskClassify, Tokens: tokens, Mask: mask})
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp.Logits, resp.Stats, nil
+}
+
+// InferBatch runs one batched pipelined classification on the named
+// model.
+//
+// Deprecated: InferBatch is the positional classify-only API; use
+// ServeBatch with task-typed Requests.
+func (f *Fleet) InferBatch(name string, inputs []BatchInput) ([][]float32, *BatchStats, error) {
+	reqs := make([]Request, len(inputs))
+	for i, in := range inputs {
+		reqs[i] = Request{Task: TaskClassify, Tokens: in.Tokens, Mask: in.Mask}
+	}
+	resps, bs, err := f.ServeBatch(context.Background(), name, reqs)
+	if err != nil {
+		return nil, nil, err
+	}
+	logits := make([][]float32, len(resps))
+	for i, r := range resps {
+		logits[i] = r.Logits
+	}
+	return logits, bs, nil
 }
 
 // PreloadBytes reports the total preload memory currently held across

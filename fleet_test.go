@@ -1,6 +1,7 @@
 package sti_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -281,6 +282,112 @@ func TestFleetInferBatchMatchesInfer(t *testing.T) {
 	}
 	if _, _, err := f.InferBatch("absent", inputs); err == nil {
 		t.Fatal("unknown model must error")
+	}
+}
+
+// TestFleetRemoveReleasesPreloadAndReplans is the regression for the
+// stale-removal bug: Remove used to delete the entry but leave the
+// removed engine's preload shards warm and the siblings' grants stale
+// until someone happened to call Replan. Remove must release the
+// removed engine's cached bytes and rebalance immediately, so
+// PreloadBytes matches the surviving grants the moment it returns.
+func TestFleetRemoveReleasesPreloadAndReplans(t *testing.T) {
+	f := sti.NewFleet(200 << 10)
+	keep, drop := fleetSystem(t, 30), fleetSystem(t, 31)
+	if err := f.Add("keep", keep, 200*time.Millisecond, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Add("drop", drop, 200*time.Millisecond, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Replan(); err != nil {
+		t.Fatal(err)
+	}
+	if drop.Engine.CacheBytes() == 0 {
+		t.Fatal("test premise broken: dropped model warmed nothing")
+	}
+
+	if err := f.Remove("drop"); err != nil {
+		t.Fatal(err)
+	}
+	// The removed engine holds nothing.
+	if got := drop.Engine.CacheBytes(); got != 0 {
+		t.Fatalf("removed engine still holds %d preload bytes", got)
+	}
+	// The survivor was replanned under the whole budget, without an
+	// explicit Replan call.
+	e, ok := f.Entry("keep")
+	if !ok || e.Budget != 200<<10 {
+		t.Fatalf("survivor grant %d, want the whole 200KB", e.Budget)
+	}
+	if e.Plan == nil || e.Plan.PreloadUsed > e.Budget {
+		t.Fatalf("survivor plan %+v inconsistent with grant %d", e.Plan, e.Budget)
+	}
+	// PreloadBytes now reflects exactly the new grants: only the
+	// survivor's engine holds bytes, within its grant.
+	if got := f.PreloadBytes(); got != keep.Engine.CacheBytes() || got > e.Budget {
+		t.Fatalf("fleet holds %d bytes after removal; survivor holds %d under grant %d",
+			got, keep.Engine.CacheBytes(), e.Budget)
+	}
+	if got := keep.Engine.CacheBytes(); got != e.Plan.PreloadUsed {
+		t.Fatalf("survivor warmed %d bytes, plan preloads %d", got, e.Plan.PreloadUsed)
+	}
+	// Removing an unknown name stays a no-op.
+	if err := f.Remove("absent"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFleetServeTasks drives both tasks through the fleet's unified
+// Serve entry point: classify matches the deprecated Infer adapter
+// byte for byte, and generate decodes deterministically.
+func TestFleetServeTasks(t *testing.T) {
+	f := sti.NewFleet(100 << 10)
+	if err := f.Add("m", fleetSystem(t, 32), 200*time.Millisecond, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Replan(); err != nil {
+		t.Fatal(err)
+	}
+	tokens := []int{1, 5, 6, 2}
+	resp, err := f.Serve(context.Background(), "m", sti.Request{Task: sti.TaskClassify, Tokens: tokens})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, _, err := f.Infer("m", tokens, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range legacy {
+		if resp.Logits[i] != legacy[i] {
+			t.Fatalf("Serve logits %v != Infer logits %v", resp.Logits, legacy)
+		}
+	}
+
+	var streamed []int
+	gresp, err := f.Serve(context.Background(), "m", sti.Request{
+		Task: sti.TaskGenerate, Tokens: []int{1, 9}, MaxNewTokens: 4,
+		OnToken: func(step, token int) { streamed = append(streamed, token) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gresp.Gen == nil || gresp.Gen.NewTokens != 4 || len(gresp.GeneratedTokens) != 6 {
+		t.Fatalf("generate response %+v", gresp)
+	}
+	if len(streamed) != 4 {
+		t.Fatalf("OnToken streamed %d tokens, want 4", len(streamed))
+	}
+	// Generate on an unplanned or unknown model errors like classify.
+	if _, err := f.Serve(context.Background(), "absent", sti.Request{Task: sti.TaskGenerate, Tokens: []int{1}}); err == nil {
+		t.Fatal("unknown model must error")
+	}
+	// ServeBatch refuses generate requests — decodes are stateful and
+	// run singly.
+	if _, _, err := f.ServeBatch(context.Background(), "m", []sti.Request{
+		{Task: sti.TaskGenerate, Tokens: []int{1}},
+	}); err == nil {
+		t.Fatal("ServeBatch must reject generate requests")
 	}
 }
 

@@ -35,13 +35,13 @@ func TestExecuteBatchByteIdenticalToSequential(t *testing.T) {
 
 	single := make([][]float32, len(inputs))
 	for i, in := range inputs {
-		logits, _, err := eng.Execute(p, in.Tokens, in.Mask)
+		logits, _, err := eng.Execute(ctxbg, p, in.Tokens, in.Mask)
 		if err != nil {
 			t.Fatal(err)
 		}
 		single[i] = logits
 	}
-	batched, bs, err := eng.ExecuteBatch(p, inputs)
+	batched, bs, err := eng.ExecuteBatch(ctxbg, p, inputs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,14 +69,14 @@ func TestExecuteBatchAmortizesIO(t *testing.T) {
 	inputs := batchTestInputs()
 	b := int64(len(inputs))
 
-	_, singleStats, err := eng.Execute(p, inputs[0].Tokens, inputs[0].Mask)
+	_, singleStats, err := eng.Execute(ctxbg, p, inputs[0].Tokens, inputs[0].Mask)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if singleStats.BytesRead == 0 {
 		t.Fatal("cold single execution read nothing")
 	}
-	_, bs, err := eng.ExecuteBatch(p, inputs)
+	_, bs, err := eng.ExecuteBatch(ctxbg, p, inputs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,17 +93,17 @@ func TestExecuteBatchAmortizesIO(t *testing.T) {
 func TestExecuteBatchRejectsEmptyAndOversized(t *testing.T) {
 	eng, _, st := buildTinyEngine(t, 0)
 	p, _ := tinyPlan(t, st, 100*time.Millisecond, 0)
-	if _, _, err := eng.ExecuteBatch(p, nil); err == nil {
+	if _, _, err := eng.ExecuteBatch(ctxbg, p, nil); err == nil {
 		t.Fatal("empty batch must error")
 	}
 	// An empty sequence inside a batch would silently read its
 	// neighbor's logits from the stacked activations.
 	withEmpty := append(batchTestInputs(), BatchInput{})
-	if _, _, err := eng.ExecuteBatch(p, withEmpty); err == nil {
+	if _, _, err := eng.ExecuteBatch(ctxbg, p, withEmpty); err == nil {
 		t.Fatal("empty batch input must error")
 	}
 	p.Depth = st.Man.Config.Layers + 1
-	if _, _, err := eng.ExecuteBatch(p, batchTestInputs()); err == nil {
+	if _, _, err := eng.ExecuteBatch(ctxbg, p, batchTestInputs()); err == nil {
 		t.Fatal("oversized plan must error")
 	}
 }

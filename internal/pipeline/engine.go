@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -29,6 +30,11 @@ type Engine struct {
 	cache       map[shard.Version][]byte
 	cacheBytes  int64
 	cacheBudget int64
+
+	// ioHook, when non-nil, is called at the top of every layer's IO
+	// job — before the cancellation check — so tests can cancel a
+	// context at an exact layer and assert the stream stops there.
+	ioHook func(layer int)
 }
 
 // NewEngine opens the resident parameters of a preprocessed store.
@@ -216,9 +222,11 @@ type BatchStats struct {
 }
 
 // Execute runs the plan through the IO/compute pipeline on one input
-// and returns the class logits.
-func (e *Engine) Execute(p *planner.Plan, tokens []int, mask []bool) ([]float32, *ExecStats, error) {
-	logits, bs, err := e.ExecuteBatch(p, []BatchInput{{Tokens: tokens, Mask: mask}})
+// and returns the class logits. Cancelling ctx aborts between layers:
+// the IO stream stops within one layer and staged payloads are
+// released.
+func (e *Engine) Execute(ctx context.Context, p *planner.Plan, tokens []int, mask []bool) ([]float32, *ExecStats, error) {
+	logits, bs, err := e.ExecuteBatch(ctx, p, []BatchInput{{Tokens: tokens, Mask: mask}})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -232,7 +240,14 @@ func (e *Engine) Execute(p *planner.Plan, tokens []int, mask []bool) ([]float32,
 // sequential execution. Per-sequence logits are byte-identical to B
 // separate Execute calls (the stacked kernels compute rows
 // independently).
-func (e *Engine) ExecuteBatch(p *planner.Plan, inputs []BatchInput) ([][]float32, *BatchStats, error) {
+//
+// Cancellation is checked between layers on both sides of the
+// pipeline: the IO goroutine stops streaming within one layer of ctx
+// being cancelled, and the compute loop returns ctx.Err() instead of
+// starting the next layer. Payloads already staged for unexecuted
+// layers are dropped (released to the GC) — only the preload buffer,
+// which the plan owns, survives an aborted execution.
+func (e *Engine) ExecuteBatch(ctx context.Context, p *planner.Plan, inputs []BatchInput) ([][]float32, *BatchStats, error) {
 	if len(inputs) == 0 {
 		return nil, nil, fmt.Errorf("pipeline: empty batch")
 	}
@@ -247,10 +262,10 @@ func (e *Engine) ExecuteBatch(p *planner.Plan, inputs []BatchInput) ([][]float32
 	if p.Depth > cfg.Layers || p.Width > cfg.Heads {
 		return nil, nil, fmt.Errorf("pipeline: plan %dx%d exceeds model %dx%d", p.Depth, p.Width, cfg.Layers, cfg.Heads)
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
-	deliveries := make(chan layerDelivery, p.Depth)
-	go e.ioWorker(p, deliveries)
-
 	stats := &BatchStats{
 		ExecStats: ExecStats{
 			LayerIO:      make([]time.Duration, p.Depth),
@@ -266,15 +281,40 @@ func (e *Engine) ExecuteBatch(p *planner.Plan, inputs []BatchInput) ([][]float32
 		masks[i] = in.Mask
 	}
 	x, seqLens := sm.EmbedBatch(batch)
+	err := e.streamLayers(ctx, p, &stats.ExecStats, func(l int, sub *model.SubLayer) error {
+		x = model.ForwardLayerBatch(cfg, sub, x, seqLens, masks)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	logits := sm.ClassifyBatch(x, seqLens)
+	stats.Total = time.Since(start)
+	return logits, stats, nil
+}
+
+// streamLayers runs the plan's IO/decompress stream once: the IO
+// goroutine streams each layer's shards while this goroutine
+// decompresses and assembles them, handing each sub-layer to visit in
+// layer order. stats (whose per-layer slices the caller sizes to
+// p.Depth) accumulates the stream's costs; visit's time is part of the
+// layer's compute. Cancellation is checked between layers on both
+// sides.
+func (e *Engine) streamLayers(ctx context.Context, p *planner.Plan, stats *ExecStats, visit func(l int, sub *model.SubLayer) error) error {
+	deliveries := make(chan layerDelivery, p.Depth)
+	go e.ioWorker(ctx, p, deliveries)
 	for l := 0; l < p.Depth; l++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		waitStart := time.Now()
 		d := <-deliveries
 		stats.Stall += time.Since(waitStart)
 		if d.err != nil {
-			return nil, nil, d.err
+			return d.err
 		}
 		if d.layer != l {
-			return nil, nil, fmt.Errorf("pipeline: layer %d delivered out of order (want %d)", d.layer, l)
+			return fmt.Errorf("pipeline: layer %d delivered out of order (want %d)", d.layer, l)
 		}
 		stats.LayerIO[l] = d.ioTime
 		stats.BytesRead += d.read
@@ -283,20 +323,30 @@ func (e *Engine) ExecuteBatch(p *planner.Plan, inputs []BatchInput) ([][]float32
 		compStart := time.Now()
 		sub, err := e.assemble(p, l, d.payloads)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
-		x = model.ForwardLayerBatch(cfg, sub, x, seqLens, masks)
+		if err := visit(l, sub); err != nil {
+			return err
+		}
 		stats.LayerCompute[l] = time.Since(compStart)
 	}
-	logits := sm.ClassifyBatch(x, seqLens)
-	stats.Total = time.Since(start)
-	return logits, stats, nil
+	return nil
 }
 
 // ioWorker streams each layer's non-cached shard payloads in layer
-// order, one IO job per layer (§3.1).
-func (e *Engine) ioWorker(p *planner.Plan, out chan<- layerDelivery) {
+// order, one IO job per layer (§3.1). The out channel is buffered to
+// the plan's depth so the worker never blocks on a departed consumer;
+// cancellation is checked at every layer boundary so flash IO stops
+// within one layer of ctx being cancelled.
+func (e *Engine) ioWorker(ctx context.Context, p *planner.Plan, out chan<- layerDelivery) {
 	for l := 0; l < p.Depth; l++ {
+		if e.ioHook != nil {
+			e.ioHook(l)
+		}
+		if err := ctx.Err(); err != nil {
+			out <- layerDelivery{layer: l, err: err}
+			return
+		}
 		d := layerDelivery{layer: l, payloads: make([][]byte, p.Width)}
 		ioStart := time.Now()
 		for j, s := range p.Slices[l] {

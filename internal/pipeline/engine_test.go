@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -12,6 +13,10 @@ import (
 	"sti/internal/quant"
 	"sti/internal/store"
 )
+
+// ctxbg is the background context test call sites that don't exercise
+// cancellation pass to Execute/ExecuteBatch.
+var ctxbg = context.Background()
 
 // buildTinyEngine preprocesses a tiny random model into a temp store
 // and returns an engine plus the original weights.
@@ -53,7 +58,7 @@ func TestEngineExecutesPlanMatchesDirectAssembly(t *testing.T) {
 	p, _ := tinyPlan(t, st, 100*time.Millisecond, 0)
 	tokens := []int{1, 2, 3, 4, 5, 6, 7, 8}
 
-	logits, stats, err := eng.Execute(p, tokens, nil)
+	logits, stats, err := eng.Execute(ctxbg, p, tokens, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +119,7 @@ func TestEngineWarmProducesCacheHits(t *testing.T) {
 	if eng.CacheBytes() == 0 {
 		t.Fatal("warm loaded nothing")
 	}
-	_, stats, err := eng.Execute(p, []int{1, 2, 3}, nil)
+	_, stats, err := eng.Execute(ctxbg, p, []int{1, 2, 3}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +133,7 @@ func TestEngineRetainServesBackToBack(t *testing.T) {
 	// execution reads fewer bytes.
 	eng, _, st := buildTinyEngine(t, 256<<10)
 	p, _ := tinyPlan(t, st, 100*time.Millisecond, 0)
-	_, cold, err := eng.Execute(p, []int{5, 4, 3}, nil)
+	_, cold, err := eng.Execute(ctxbg, p, []int{5, 4, 3}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +143,7 @@ func TestEngineRetainServesBackToBack(t *testing.T) {
 	if eng.CacheBytes() == 0 || eng.CacheBytes() > eng.Budget() {
 		t.Fatalf("cache %d outside (0, %d]", eng.CacheBytes(), eng.Budget())
 	}
-	_, warm, err := eng.Execute(p, []int{5, 4, 3}, nil)
+	_, warm, err := eng.Execute(ctxbg, p, []int{5, 4, 3}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,11 +186,11 @@ func TestEngineRetainKeepsBottomLayers(t *testing.T) {
 func TestEngineDeterministicLogits(t *testing.T) {
 	eng, _, st := buildTinyEngine(t, 0)
 	p, _ := tinyPlan(t, st, 150*time.Millisecond, 0)
-	a, _, err := eng.Execute(p, []int{9, 8, 7, 6}, nil)
+	a, _, err := eng.Execute(ctxbg, p, []int{9, 8, 7, 6}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := eng.Execute(p, []int{9, 8, 7, 6}, nil)
+	b, _, err := eng.Execute(ctxbg, p, []int{9, 8, 7, 6}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +205,7 @@ func TestEngineRejectsOversizedPlan(t *testing.T) {
 	eng, _, st := buildTinyEngine(t, 0)
 	p, _ := tinyPlan(t, st, 100*time.Millisecond, 0)
 	p.Depth = st.Man.Config.Layers + 5
-	if _, _, err := eng.Execute(p, []int{1}, nil); err == nil {
+	if _, _, err := eng.Execute(ctxbg, p, []int{1}, nil); err == nil {
 		t.Fatal("expected depth rejection")
 	}
 }

@@ -1,8 +1,8 @@
 // Package serve is the concurrent request-serving layer over a fleet
 // of planned STI pipelines. The paper plans one engagement at a time
 // (§3.2–3.3); serve turns that single-engagement machinery into a
-// multi-tenant scheduler that admits many simultaneous inference
-// requests against per-model deadlines.
+// multi-tenant scheduler that admits many simultaneous task-typed
+// inference requests against per-model deadlines.
 //
 // Each managed model gets a bounded admission queue and a small pool
 // of worker goroutines. A request's deadline derives from the model's
@@ -11,6 +11,13 @@
 // be served usefully and is shed instead of dragging the whole queue
 // past its deadlines (load shedding at admission keeps tail latency
 // bounded — the queue rejects rather than grows).
+//
+// Requests are task-typed (pipeline.Request): classify jobs batch into
+// one shared IO/decompress stream exactly as before, while generate
+// jobs run singly — each holds a worker for many decode steps, streams
+// tokens through Request.OnToken, and is executed under a context
+// carrying the job's deadline so the decode loop's per-token checks
+// stop it the moment the deadline (or the client) goes away.
 //
 // The scheduler never touches plans itself: replanning (budget or
 // membership changes) happens on the backend fleet, whose RWMutex
@@ -33,10 +40,12 @@ import (
 // models); programmatic callers test with errors.Is.
 var (
 	// ErrQueueFull reports load shedding: the model's bounded
-	// admission queue was full at submit time.
+	// admission queue was full at submit time (or, for best-effort
+	// requests with Priority < 0, at least half full).
 	ErrQueueFull = errors.New("serve: queue full, request shed")
 	// ErrDeadline reports that the request's deadline expired before a
-	// worker could start it (or was already expired at submit).
+	// worker could start it (or was already expired at submit), or —
+	// for generate — that the decode was stopped at the deadline.
 	ErrDeadline = errors.New("serve: deadline exceeded before execution")
 	// ErrUnknownModel reports a request for a model the backend does
 	// not manage.
@@ -52,12 +61,12 @@ type Backend interface {
 	Names() []string
 	// Target returns the planned latency target of a managed model.
 	Target(name string) (time.Duration, bool)
-	// Infer runs one pipelined inference; it must be safe for
-	// concurrent use.
-	Infer(name string, tokens []int, mask []bool) ([]float32, *pipeline.ExecStats, error)
-	// InferBatch runs one batched inference whose single IO/decompress
-	// stream serves every input; it must be safe for concurrent use.
-	InferBatch(name string, inputs []pipeline.BatchInput) ([][]float32, *pipeline.BatchStats, error)
+	// Serve runs one task-typed request (classify or generate); it
+	// must be safe for concurrent use and honor ctx cancellation.
+	Serve(ctx context.Context, name string, req pipeline.Request) (*pipeline.Response, error)
+	// ServeBatch runs one batched classify whose single IO/decompress
+	// stream serves every request; it must be safe for concurrent use.
+	ServeBatch(ctx context.Context, name string, reqs []pipeline.Request) ([]*pipeline.Response, *pipeline.BatchStats, error)
 }
 
 // Options tunes the scheduler.
@@ -74,12 +83,13 @@ type Options struct {
 	// Window is how many recent request latencies each model keeps
 	// for the p50/p95 snapshot. Default 512.
 	Window int
-	// MaxBatch is how many queued jobs a worker may drain into one
-	// batched backend call, amortizing the model's IO/decompress
-	// stream across them. 1 disables batching. Default 1.
+	// MaxBatch is how many queued classify jobs a worker may drain
+	// into one batched backend call, amortizing the model's
+	// IO/decompress stream across them. 1 disables batching.
+	// Default 1.
 	MaxBatch int
-	// BatchWindow is how long a worker holding one job waits for more
-	// to accumulate before executing (only when MaxBatch > 1).
+	// BatchWindow is how long a worker holding one classify job waits
+	// for more to accumulate before executing (only when MaxBatch > 1).
 	// Default 2ms.
 	BatchWindow time.Duration
 }
@@ -106,9 +116,14 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Result is the outcome of one scheduled inference.
+// Result is the outcome of one scheduled request.
 type Result struct {
 	Logits []float32
+	// GeneratedTokens is the full decoded sequence (prompt + new) for
+	// generate requests; nil for classify.
+	GeneratedTokens []int
+	// Gen holds per-step decode stats; non-nil only for generate.
+	Gen *pipeline.GenStats
 	// Stats describes the execution stream that served this request.
 	// For a batched request the stream is shared: BytesRead/CacheHits
 	// are the whole batch's, so this request's amortized IO is
@@ -124,8 +139,7 @@ type Result struct {
 
 type job struct {
 	ctx      context.Context
-	tokens   []int
-	mask     []bool
+	req      pipeline.Request
 	deadline time.Time
 	enqueued time.Time
 	done     chan outcome
@@ -142,9 +156,10 @@ type modelQueue struct {
 	started bool // workers spawned (deferred to the first real enqueue)
 }
 
-// Scheduler multiplexes inference requests across a Backend with
+// Scheduler multiplexes task-typed requests across a Backend with
 // per-model bounded queues, deadlines and worker pools. Create with
-// New, submit with Do, observe with Snapshot, stop with Close.
+// New, submit with Submit (or the deprecated classify-only Do),
+// observe with Snapshot, stop with Close.
 type Scheduler struct {
 	backend Backend
 	opts    Options
@@ -168,11 +183,16 @@ func New(backend Backend, opts Options) *Scheduler {
 	}
 }
 
-// Do submits one inference request for a model and blocks until it
+// Submit admits one task-typed request for a model and blocks until it
 // completes, is shed, or ctx is done. The request's deadline is
 // admission time + Slack×(model target), tightened by any earlier ctx
-// deadline.
-func (s *Scheduler) Do(ctx context.Context, model string, tokens []int, mask []bool) (*Result, error) {
+// deadline; generate requests keep checking it per decoded token.
+// Requests with Priority < 0 are best-effort: they shed once the
+// model's queue is half full, keeping headroom for normal traffic.
+func (s *Scheduler) Submit(ctx context.Context, model string, req pipeline.Request) (*Result, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
 	target, ok := s.backend.Target(model)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, model)
@@ -198,9 +218,15 @@ func (s *Scheduler) Do(ctx context.Context, model string, tokens []int, mask []b
 		q.stats.deadlineMiss()
 		return nil, fmt.Errorf("%w: model %q", ErrDeadline, model)
 	}
+	if req.Priority < 0 && 2*len(q.jobs) >= cap(q.jobs) {
+		s.mu.Unlock()
+		q.stats.shed()
+		return nil, fmt.Errorf("%w: model %q best-effort shed at depth %d/%d",
+			ErrQueueFull, model, len(q.jobs), cap(q.jobs))
+	}
 
 	j := &job{
-		ctx: ctx, tokens: tokens, mask: mask,
+		ctx: ctx, req: req,
 		deadline: deadline, enqueued: now,
 		done: make(chan outcome, 1),
 	}
@@ -229,6 +255,14 @@ func (s *Scheduler) Do(ctx context.Context, model string, tokens []int, mask []b
 	}
 }
 
+// Do submits one classify request and blocks until it completes.
+//
+// Deprecated: Do is the positional classify-only API; use Submit with
+// a task-typed pipeline.Request.
+func (s *Scheduler) Do(ctx context.Context, model string, tokens []int, mask []bool) (*Result, error) {
+	return s.Submit(ctx, model, pipeline.Request{Task: pipeline.TaskClassify, Tokens: tokens, Mask: mask})
+}
+
 // queueLocked returns the model's queue, creating it on first use.
 // s.mu must be held and s.closed checked by the caller. Worker
 // goroutines spin up only when a job is actually enqueued, so requests
@@ -246,18 +280,37 @@ func (s *Scheduler) queueLocked(model string) *modelQueue {
 	return q
 }
 
-// worker drains one model's queue until the queue closes. With
-// MaxBatch > 1 it accumulates up to MaxBatch queued jobs (waiting at
-// most BatchWindow after the first) and serves them with one batched
-// backend call — one IO/decompress stream for the whole batch.
+// worker drains one model's queue until the queue closes. A generate
+// job runs singly, immediately — holding it back for a batch window
+// would only delay its first token. A classify job accumulates up to
+// MaxBatch queued jobs (waiting at most BatchWindow after the first)
+// and serves them with one batched backend call — one IO/decompress
+// stream for the whole batch; any generate jobs the accumulator
+// happened to drain run singly right after the batch.
 func (s *Scheduler) worker(model string, q *modelQueue) {
 	defer s.wg.Done()
 	for j := range q.jobs {
+		if j.req.Task == pipeline.TaskGenerate {
+			s.runSingle(model, q, j)
+			continue
+		}
 		batch := []*job{j}
 		if s.opts.MaxBatch > 1 {
 			batch = append(batch, s.accumulate(q)...)
 		}
-		s.runBatch(model, q, batch)
+		classify := batch[:0]
+		var generate []*job
+		for _, b := range batch {
+			if b.req.Task == pipeline.TaskGenerate {
+				generate = append(generate, b)
+			} else {
+				classify = append(classify, b)
+			}
+		}
+		s.runBatch(model, q, classify)
+		for _, g := range generate {
+			s.runSingle(model, q, g)
+		}
 	}
 }
 
@@ -282,41 +335,49 @@ func (s *Scheduler) accumulate(q *modelQueue) []*job {
 	return more
 }
 
-// runBatch checks each drained job's context and deadline — an expired
-// job sheds alone, never dragging its batchmates — then serves the
+// admit checks a drained job's context and deadline at execution time:
+// an expired job sheds alone, never dragging its batchmates. It
+// reports whether the job is still worth executing.
+func (s *Scheduler) admit(model string, q *modelQueue, j *job, now time.Time) bool {
+	if j.ctx.Err() != nil {
+		// Caller already gone; nothing is waiting on done. The job must
+		// not execute — this is the cancellation-while-queued contract.
+		return false
+	}
+	if now.After(j.deadline) {
+		q.stats.deadlineMiss()
+		j.done <- outcome{err: fmt.Errorf("%w: model %q queued %v", ErrDeadline, model, now.Sub(j.enqueued).Round(time.Millisecond))}
+		return false
+	}
+	return true
+}
+
+// runBatch filters a drained classify batch through admit, serves the
 // survivors with one backend call and demuxes results to each done
 // channel.
 func (s *Scheduler) runBatch(model string, q *modelQueue, batch []*job) {
 	now := time.Now()
 	live := batch[:0]
 	for _, j := range batch {
-		if j.ctx.Err() != nil {
-			// Caller already gone; nothing is waiting on done.
-			continue
+		if s.admit(model, q, j, now) {
+			live = append(live, j)
 		}
-		if now.After(j.deadline) {
-			q.stats.deadlineMiss()
-			j.done <- outcome{err: fmt.Errorf("%w: model %q queued %v", ErrDeadline, model, now.Sub(j.enqueued).Round(time.Millisecond))}
-			continue
-		}
-		live = append(live, j)
 	}
 	if len(live) == 0 {
 		return
 	}
+	if len(live) == 1 {
+		s.execSingle(model, q, live[0])
+		return
+	}
 
-	logits, stats, err := s.inferBatch(model, live)
+	resps, stats, err := s.serveBatch(model, live)
 	if err != nil {
-		if len(live) > 1 {
-			// One poisoned request must fail alone, not take down its
-			// batchmates: retry each job unbatched.
-			for _, j := range live {
-				s.runBatch(model, q, []*job{j})
-			}
-			return
+		// One poisoned request must fail alone, not take down its
+		// batchmates: retry each job unbatched.
+		for _, j := range live {
+			s.runBatch(model, q, []*job{j})
 		}
-		q.stats.failed()
-		live[0].done <- outcome{err: err}
 		return
 	}
 	q.stats.executed(len(live), stats.BytesRead)
@@ -324,47 +385,111 @@ func (s *Scheduler) runBatch(model string, q *modelQueue, batch []*job) {
 		total := time.Since(j.enqueued)
 		q.stats.completed(total)
 		j.done <- outcome{res: Result{
-			Logits: logits[i], Stats: &stats.ExecStats, Batch: stats.Batch,
+			Logits: resps[i].Logits, Stats: &stats.ExecStats, Batch: stats.Batch,
 			Queued: now.Sub(j.enqueued), Total: total,
 		}}
 	}
 }
 
-// inferBatch shields the worker from a panicking backend: one poisoned
-// batch must fail alone, not take down every model's workers. A
-// single-job batch uses the plain Infer path.
-func (s *Scheduler) inferBatch(model string, live []*job) (logits [][]float32, stats *pipeline.BatchStats, err error) {
+// runSingle checks one job's context and deadline, then executes it
+// alone.
+func (s *Scheduler) runSingle(model string, q *modelQueue, j *job) {
+	if !s.admit(model, q, j, time.Now()) {
+		return
+	}
+	s.execSingle(model, q, j)
+}
+
+// execSingle runs one already-admitted job and reports its outcome.
+// Every single job executes under the caller's context, so a client
+// that goes away stops the shard stream mid-flight. Only generate
+// additionally carries the job's deadline into the execution (the
+// decode loop re-checks it per token): a classify that was admitted in
+// time runs to completion exactly as the batched path and the pre-v2
+// API did — deadlines gate admission, not an execution already paid
+// for.
+func (s *Scheduler) execSingle(model string, q *modelQueue, j *job) {
+	pickup := time.Now()
+	ctx, cancel := j.ctx, context.CancelFunc(func() {})
+	if j.req.Task == pipeline.TaskGenerate {
+		ctx, cancel = context.WithDeadline(j.ctx, j.deadline)
+	}
+	resp, err := s.serveOne(ctx, model, j)
+	cancel()
+
+	var bytes int64
+	var res Result
+	if resp != nil {
+		if resp.Stats != nil {
+			bytes = resp.Stats.BytesRead
+		}
+		res = Result{
+			Logits: resp.Logits, GeneratedTokens: resp.GeneratedTokens,
+			Gen: resp.Gen, Stats: resp.Stats, Batch: 1,
+			Queued: pickup.Sub(j.enqueued), Total: time.Since(j.enqueued),
+		}
+		if resp.Gen != nil {
+			q.stats.generated(resp.Gen.NewTokens)
+		}
+	}
+
+	switch {
+	case err == nil:
+		q.stats.executed(1, bytes)
+		q.stats.completed(res.Total)
+		j.done <- outcome{res: res}
+	case errors.Is(err, context.Canceled) && j.ctx.Err() != nil:
+		// Client went away mid-execution; nothing is waiting on done.
+		q.stats.executed(1, bytes)
+	case errors.Is(err, context.DeadlineExceeded):
+		// The job's own deadline stopped the execution (generate checks
+		// it per token). Partial decode results ride along — streaming
+		// callers already observed the tokens via OnToken.
+		q.stats.executed(1, bytes)
+		q.stats.deadlineMiss()
+		j.done <- outcome{res: res, err: fmt.Errorf("%w: model %q stopped at deadline", ErrDeadline, model)}
+	default:
+		q.stats.failed()
+		j.done <- outcome{err: err}
+	}
+}
+
+// serveOne shields the worker from a panicking backend: one poisoned
+// request must fail alone, not take down every model's workers.
+func (s *Scheduler) serveOne(ctx context.Context, model string, j *job) (resp *pipeline.Response, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			logits, stats, err = nil, nil, fmt.Errorf("serve: model %q panicked: %v", model, r)
+			resp, err = nil, fmt.Errorf("serve: model %q panicked: %v", model, r)
 		}
 	}()
-	if len(live) == 1 {
-		l, st, err := s.backend.Infer(model, live[0].tokens, live[0].mask)
-		if err != nil {
-			return nil, nil, err
+	return s.backend.Serve(ctx, model, j.req)
+}
+
+// serveBatch shields the worker from a panicking backend and validates
+// the response shape. Batches execute under the background context: a
+// shared stream serves several clients, so no single client's
+// cancellation may abort it (each job's ctx was checked at admission).
+func (s *Scheduler) serveBatch(model string, live []*job) (resps []*pipeline.Response, stats *pipeline.BatchStats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			resps, stats, err = nil, nil, fmt.Errorf("serve: model %q panicked: %v", model, r)
 		}
-		bs := &pipeline.BatchStats{Batch: 1}
-		if st != nil {
-			bs.ExecStats = *st
-		}
-		return [][]float32{l}, bs, nil
-	}
-	inputs := make([]pipeline.BatchInput, len(live))
+	}()
+	reqs := make([]pipeline.Request, len(live))
 	for i, j := range live {
-		inputs[i] = pipeline.BatchInput{Tokens: j.tokens, Mask: j.mask}
+		reqs[i] = j.req
 	}
-	ls, bs, err := s.backend.InferBatch(model, inputs)
+	rs, bs, err := s.backend.ServeBatch(context.Background(), model, reqs)
 	if err != nil {
 		return nil, nil, err
 	}
 	if bs == nil {
 		bs = &pipeline.BatchStats{Batch: len(live)}
 	}
-	if len(ls) != len(live) {
-		return nil, nil, fmt.Errorf("serve: model %q returned %d results for %d inputs", model, len(ls), len(live))
+	if len(rs) != len(live) {
+		return nil, nil, fmt.Errorf("serve: model %q returned %d results for %d requests", model, len(rs), len(live))
 	}
-	return ls, bs, nil
+	return rs, bs, nil
 }
 
 // Close stops admission, drains queued requests and waits for workers

@@ -15,16 +15,18 @@ import (
 // stubBackend fabricates inference results so scheduler behaviour can
 // be tested without stores or planning.
 type stubBackend struct {
-	targets map[string]time.Duration
-	delay   time.Duration
-	gate    chan struct{} // when non-nil, Infer blocks until the gate closes
-	err     error
-	panics  atomic.Bool
-	poison  atomic.Int64 // when non-zero, Infer panics on tokens[0]==poison
-	calls   atomic.Int64
+	targets   map[string]time.Duration
+	delay     time.Duration
+	stepDelay time.Duration // per generated token, so deadlines can lapse mid-decode
+	gate      chan struct{} // when non-nil, Serve blocks until the gate closes
+	err       error
+	panics    atomic.Bool
+	poison    atomic.Int64 // when non-zero, Serve panics on tokens[0]==poison
+	calls     atomic.Int64
 
 	mu         sync.Mutex
-	batchSizes []int // size of every batched call, in order
+	batchSizes []int   // size of every batched call, in order
+	servedTok  [][]int // first tokens of every executed request, in order
 }
 
 func (b *stubBackend) Names() []string {
@@ -41,8 +43,12 @@ func (b *stubBackend) Target(name string) (time.Duration, bool) {
 	return t, ok
 }
 
-func (b *stubBackend) Infer(name string, tokens []int, mask []bool) ([]float32, *pipeline.ExecStats, error) {
+// infer is the stub's classify path, shared by Serve and ServeBatch.
+func (b *stubBackend) infer(tokens []int) ([]float32, *pipeline.ExecStats, error) {
 	b.calls.Add(1)
+	b.mu.Lock()
+	b.servedTok = append(b.servedTok, append([]int(nil), tokens...))
+	b.mu.Unlock()
 	if b.gate != nil {
 		<-b.gate
 	}
@@ -65,22 +71,68 @@ func (b *stubBackend) Infer(name string, tokens []int, mask []bool) ([]float32, 
 // not — so per-request amortization is observable in stats.
 const stubStreamBytes = 1000
 
-func (b *stubBackend) InferBatch(name string, inputs []pipeline.BatchInput) ([][]float32, *pipeline.BatchStats, error) {
+func (b *stubBackend) Serve(ctx context.Context, name string, req pipeline.Request) (*pipeline.Response, error) {
+	if req.Task == pipeline.TaskGenerate {
+		return b.generate(ctx, req)
+	}
+	logits, stats, err := b.infer(req.Tokens)
+	if err != nil {
+		return nil, err
+	}
+	return &pipeline.Response{Logits: logits, Stats: stats}, nil
+}
+
+// generate fabricates a greedy decode: token s of step s, one
+// stepDelay apart, honoring ctx per token like the real engine.
+func (b *stubBackend) generate(ctx context.Context, req pipeline.Request) (*pipeline.Response, error) {
+	b.calls.Add(1)
 	b.mu.Lock()
-	b.batchSizes = append(b.batchSizes, len(inputs))
+	b.servedTok = append(b.servedTok, append([]int(nil), req.Tokens...))
 	b.mu.Unlock()
-	out := make([][]float32, len(inputs))
-	var err error
-	for i, in := range inputs {
-		out[i], _, err = b.Infer(name, in.Tokens, in.Mask)
+	if b.gate != nil {
+		<-b.gate
+	}
+	if b.err != nil {
+		return nil, b.err
+	}
+	gen := &pipeline.GenStats{Stream: pipeline.ExecStats{BytesRead: stubStreamBytes}, PromptTokens: len(req.Tokens)}
+	resp := &pipeline.Response{
+		GeneratedTokens: append([]int(nil), req.Tokens...),
+		Gen:             gen, Stats: &gen.Stream,
+	}
+	for s := 0; s < req.MaxNewTokens; s++ {
+		if err := ctx.Err(); err != nil {
+			return resp, err
+		}
+		if b.stepDelay > 0 {
+			time.Sleep(b.stepDelay)
+		}
+		resp.GeneratedTokens = append(resp.GeneratedTokens, s)
+		gen.NewTokens++
+		if req.OnToken != nil {
+			req.OnToken(s, s)
+		}
+	}
+	return resp, nil
+}
+
+func (b *stubBackend) ServeBatch(ctx context.Context, name string, reqs []pipeline.Request) ([]*pipeline.Response, *pipeline.BatchStats, error) {
+	b.mu.Lock()
+	b.batchSizes = append(b.batchSizes, len(reqs))
+	b.mu.Unlock()
+	out := make([]*pipeline.Response, len(reqs))
+	bs := &pipeline.BatchStats{
+		ExecStats: pipeline.ExecStats{BytesRead: stubStreamBytes},
+		Batch:     len(reqs),
+	}
+	for i, req := range reqs {
+		logits, _, err := b.infer(req.Tokens)
 		if err != nil {
 			return nil, nil, err
 		}
+		out[i] = &pipeline.Response{Logits: logits, Stats: &bs.ExecStats}
 	}
-	return out, &pipeline.BatchStats{
-		ExecStats: pipeline.ExecStats{BytesRead: stubStreamBytes},
-		Batch:     len(inputs),
-	}, nil
+	return out, bs, nil
 }
 
 // queueDepth inspects a model's queue without creating one.

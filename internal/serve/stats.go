@@ -29,6 +29,7 @@ type ModelStats struct {
 	MaxBatch        int           `json:"max_batch"`
 	BytesRead       int64         `json:"bytes_read"`
 	BytesPerRequest float64       `json:"bytes_per_request"`
+	GeneratedTokens uint64        `json:"generated_tokens"`
 	P50             time.Duration `json:"p50_ns"`
 	P95             time.Duration `json:"p95_ns"`
 	Max             time.Duration `json:"max_ns"`
@@ -39,16 +40,17 @@ type ModelStats struct {
 // Models: Shed counts admission-queue rejections only; deadline
 // expiries are under DeadlineMiss.
 type Stats struct {
-	Uptime       time.Duration `json:"uptime_ns"`
-	Throughput   float64       `json:"throughput_rps"` // completed requests/sec since start
-	Completed    uint64        `json:"completed"`
-	Failed       uint64        `json:"failed"`
-	Shed         uint64        `json:"shed"`
-	DeadlineMiss uint64        `json:"deadline_miss"`
-	Batches      uint64        `json:"batches"`
-	AvgBatch     float64       `json:"avg_batch"`
-	BytesRead    int64         `json:"bytes_read"`
-	Models       []ModelStats  `json:"models"`
+	Uptime          time.Duration `json:"uptime_ns"`
+	Throughput      float64       `json:"throughput_rps"` // completed requests/sec since start
+	Completed       uint64        `json:"completed"`
+	Failed          uint64        `json:"failed"`
+	Shed            uint64        `json:"shed"`
+	DeadlineMiss    uint64        `json:"deadline_miss"`
+	Batches         uint64        `json:"batches"`
+	AvgBatch        float64       `json:"avg_batch"`
+	BytesRead       int64         `json:"bytes_read"`
+	GeneratedTokens uint64        `json:"generated_tokens"`
+	Models          []ModelStats  `json:"models"`
 }
 
 type modelStats struct {
@@ -59,6 +61,7 @@ type modelStats struct {
 	nShed        atomic.Uint64
 	nDeadline    atomic.Uint64
 	nBatches     atomic.Uint64
+	nGenerated   atomic.Uint64
 	maxBatch     atomic.Int64
 	bytesRead    atomic.Int64
 	maxLatencyNS atomic.Int64
@@ -105,6 +108,13 @@ func (m *modelStats) executed(n int, bytes int64) {
 	}
 }
 
+// generated records tokens decoded by one generate execution.
+func (m *modelStats) generated(n int) {
+	if n > 0 {
+		m.nGenerated.Add(uint64(n))
+	}
+}
+
 func (m *modelStats) shed()         { m.nShed.Add(1) }
 func (m *modelStats) deadlineMiss() { m.nDeadline.Add(1) }
 
@@ -118,17 +128,18 @@ func (m *modelStats) snapshot() ModelStats {
 	m.mu.Unlock()
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 	ms := ModelStats{
-		Model:        m.model,
-		Completed:    m.nCompleted.Load(),
-		Failed:       m.nFailed.Load(),
-		Shed:         m.nShed.Load(),
-		DeadlineMiss: m.nDeadline.Load(),
-		Batches:      m.nBatches.Load(),
-		MaxBatch:     int(m.maxBatch.Load()),
-		BytesRead:    m.bytesRead.Load(),
-		P50:          percentile(lat, 0.50),
-		P95:          percentile(lat, 0.95),
-		Max:          time.Duration(m.maxLatencyNS.Load()),
+		Model:           m.model,
+		Completed:       m.nCompleted.Load(),
+		Failed:          m.nFailed.Load(),
+		Shed:            m.nShed.Load(),
+		DeadlineMiss:    m.nDeadline.Load(),
+		Batches:         m.nBatches.Load(),
+		GeneratedTokens: m.nGenerated.Load(),
+		MaxBatch:        int(m.maxBatch.Load()),
+		BytesRead:       m.bytesRead.Load(),
+		P50:             percentile(lat, 0.50),
+		P95:             percentile(lat, 0.95),
+		Max:             time.Duration(m.maxLatencyNS.Load()),
 	}
 	if ms.Batches > 0 {
 		ms.AvgBatch = float64(ms.Completed) / float64(ms.Batches)
@@ -177,6 +188,7 @@ func (s *Scheduler) Snapshot() Stats {
 		st.DeadlineMiss += ms.DeadlineMiss
 		st.Batches += ms.Batches
 		st.BytesRead += ms.BytesRead
+		st.GeneratedTokens += ms.GeneratedTokens
 		st.Models = append(st.Models, ms)
 	}
 	sort.Slice(st.Models, func(i, j int) bool { return st.Models[i].Model < st.Models[j].Model })

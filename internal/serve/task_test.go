@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"sti/internal/pipeline"
+)
+
+// TestSchedulerDropsCancelledWhileQueued pins the claim the worker
+// path makes ("the worker will notice ctx and drop the job"): a job
+// whose context is cancelled while it waits in the queue must never
+// reach the backend.
+func TestSchedulerDropsCancelledWhileQueued(t *testing.T) {
+	gate := make(chan struct{})
+	b := &stubBackend{targets: twoModels(), gate: gate}
+	s := New(b, Options{Workers: 1, Slack: 1000})
+	releaseGate := sync.OnceFunc(func() { close(gate) })
+	defer s.Close()
+	defer releaseGate()
+
+	// First request occupies the single worker.
+	first := make(chan error, 1)
+	go func() {
+		_, err := s.Do(context.Background(), "sentiment", []int{1}, nil)
+		first <- err
+	}()
+	waitUntil(t, "worker pickup", func() bool { return b.calls.Load() > 0 })
+
+	// Second request queues behind it, then its caller gives up.
+	const cancelledTok = 7777
+	ctx, cancel := context.WithCancel(context.Background())
+	second := make(chan error, 1)
+	go func() {
+		_, err := s.Do(ctx, "sentiment", []int{cancelledTok}, nil)
+		second <- err
+	}()
+	waitUntil(t, "second queued", func() bool { return queueDepth(s, "sentiment") == 1 })
+	cancel()
+	if err := <-second; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled submit got %v, want context.Canceled", err)
+	}
+
+	releaseGate()
+	if err := <-first; err != nil {
+		t.Fatal(err)
+	}
+	// Let the worker drain the queue, then prove the cancelled job never
+	// executed: the backend saw exactly one request, and not the
+	// cancelled one.
+	waitUntil(t, "queue drained", func() bool { return queueDepth(s, "sentiment") == 0 })
+	s.Close()
+	b.mu.Lock()
+	served := append([][]int(nil), b.servedTok...)
+	b.mu.Unlock()
+	if len(served) != 1 || served[0][0] == cancelledTok {
+		t.Fatalf("backend executed %v, want only the first request", served)
+	}
+	if st := s.Snapshot(); st.Completed != 1 {
+		t.Fatalf("snapshot %+v, want exactly 1 completed", st)
+	}
+}
+
+// TestSchedulerGenerateRunsSingly drives a mixed queue through one
+// worker: the classify jobs drain into one batched call while the
+// generate job runs singly, streaming its tokens through OnToken.
+func TestSchedulerGenerateRunsSingly(t *testing.T) {
+	gate := make(chan struct{})
+	b := &stubBackend{targets: twoModels(), gate: gate}
+	s := New(b, Options{Workers: 1, MaxBatch: 8, BatchWindow: 50 * time.Millisecond, Slack: 1000})
+	releaseGate := sync.OnceFunc(func() { close(gate) })
+	defer s.Close()
+	defer releaseGate()
+
+	first := make(chan error, 1)
+	go func() {
+		_, err := s.Do(context.Background(), "sentiment", []int{1}, nil)
+		first <- err
+	}()
+	waitUntil(t, "worker pickup", func() bool { return b.calls.Load() > 0 })
+
+	// Two classify jobs and one generate job queue behind the gate.
+	classifyDone := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := s.Do(context.Background(), "sentiment", []int{2, 3}, nil)
+			classifyDone <- err
+		}()
+	}
+	var mu sync.Mutex
+	var streamed []int
+	genDone := make(chan *Result, 1)
+	genErr := make(chan error, 1)
+	go func() {
+		res, err := s.Submit(context.Background(), "sentiment", pipeline.Request{
+			Task: pipeline.TaskGenerate, Tokens: []int{9}, MaxNewTokens: 3,
+			OnToken: func(step, token int) {
+				mu.Lock()
+				streamed = append(streamed, token)
+				mu.Unlock()
+			},
+		})
+		genDone <- res
+		genErr <- err
+	}()
+	waitUntil(t, "three queued", func() bool { return queueDepth(s, "sentiment") == 3 })
+	releaseGate()
+
+	if err := <-first; err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-classifyDone; err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := <-genDone
+	if err := <-genErr; err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || len(res.GeneratedTokens) != 4 || res.Gen == nil || res.Gen.NewTokens != 3 {
+		t.Fatalf("generate result %+v, want prompt+3 tokens", res)
+	}
+	if res.Batch != 1 {
+		t.Fatalf("generate batch %d, want 1 (generate never batches)", res.Batch)
+	}
+	mu.Lock()
+	nStreamed := len(streamed)
+	mu.Unlock()
+	if nStreamed != 3 {
+		t.Fatalf("OnToken streamed %d tokens, want 3", nStreamed)
+	}
+	// The two classify jobs came out as one batch of 2; the generate job
+	// never joined a batched call.
+	b.mu.Lock()
+	sizes := append([]int(nil), b.batchSizes...)
+	b.mu.Unlock()
+	if len(sizes) != 1 || sizes[0] != 2 {
+		t.Fatalf("batched calls %v, want one classify batch of 2", sizes)
+	}
+	if st := s.Snapshot(); st.GeneratedTokens != 3 {
+		t.Fatalf("snapshot %+v, want 3 generated tokens", st)
+	}
+}
+
+// TestSchedulerBestEffortSheds: Priority < 0 requests are admission-
+// controlled at half queue depth, keeping headroom for normal traffic.
+func TestSchedulerBestEffortSheds(t *testing.T) {
+	gate := make(chan struct{})
+	b := &stubBackend{targets: twoModels(), gate: gate}
+	s := New(b, Options{QueueDepth: 2, Workers: 1, Slack: 1000})
+	releaseGate := sync.OnceFunc(func() { close(gate) })
+	defer s.Close()
+	defer releaseGate()
+
+	results := make(chan error, 2)
+	go func() {
+		_, err := s.Do(context.Background(), "sentiment", []int{1}, nil)
+		results <- err
+	}()
+	waitUntil(t, "worker pickup", func() bool { return b.calls.Load() > 0 })
+	go func() {
+		_, err := s.Do(context.Background(), "sentiment", []int{1}, nil)
+		results <- err
+	}()
+	waitUntil(t, "one queued", func() bool { return queueDepth(s, "sentiment") == 1 })
+
+	// Queue is half full (1/2): best-effort sheds, normal still admits.
+	_, err := s.Submit(context.Background(), "sentiment", pipeline.Request{
+		Task: pipeline.TaskClassify, Tokens: []int{1}, Priority: -1,
+	})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("best-effort at half depth got %v, want ErrQueueFull", err)
+	}
+	third := make(chan error, 1)
+	go func() {
+		_, err := s.Do(context.Background(), "sentiment", []int{1}, nil)
+		third <- err
+	}()
+	waitUntil(t, "two queued", func() bool { return queueDepth(s, "sentiment") == 2 })
+	releaseGate()
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-third; err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Snapshot(); st.Shed != 1 || st.Completed != 3 {
+		t.Fatalf("snapshot %+v, want 1 shed + 3 completed", st)
+	}
+}
+
+// TestSchedulerGenerateDeadlineStopsDecode: a generate job whose
+// deadline lapses mid-decode stops within one token and reports
+// ErrDeadline with the partial sequence.
+func TestSchedulerGenerateDeadlineStopsDecode(t *testing.T) {
+	b := &stubBackend{
+		targets:   map[string]time.Duration{"m": 10 * time.Millisecond},
+		stepDelay: 30 * time.Millisecond,
+	}
+	// Deadline = 6×10ms = 60ms: the decode fits ~2 of the requested 50
+	// tokens before the per-token check stops it.
+	s := New(b, Options{Workers: 1, Slack: 6})
+	defer s.Close()
+
+	res, err := s.Submit(context.Background(), "m", pipeline.Request{
+		Task: pipeline.TaskGenerate, Tokens: []int{1}, MaxNewTokens: 50,
+	})
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err %v, want ErrDeadline", err)
+	}
+	if res == nil || res.Gen == nil {
+		t.Fatal("deadline-stopped generate must return the partial result")
+	}
+	if res.Gen.NewTokens == 0 || res.Gen.NewTokens >= 50 {
+		t.Fatalf("decoded %d tokens, want a partial decode", res.Gen.NewTokens)
+	}
+	if st := s.Snapshot(); st.DeadlineMiss != 1 {
+		t.Fatalf("snapshot %+v, want 1 deadline miss", st)
+	}
+}
