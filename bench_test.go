@@ -10,7 +10,10 @@
 package sti_test
 
 import (
+	"context"
 	"fmt"
+	"math"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -197,6 +200,100 @@ func BenchmarkBatchedServe(b *testing.B) {
 		b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "req/s")
 		b.ReportMetric(float64(bytes)/float64(b.N*batch), "bytes/req")
 	})
+}
+
+// BenchmarkTieredServe drives a mixed-SLO workload through the full
+// scheduler→fleet→tier-ladder path: a tight class (25ms SLO), a
+// relaxed class (100ms SLO) and a best-effort class (model default,
+// Priority < 0) hammer one model through a deliberately shallow queue
+// so congestion downgrades occur. Reported metrics: p50/p99 latency
+// per tier class and the downgrade rate across completed requests.
+func BenchmarkTieredServe(b *testing.B) {
+	dir := b.TempDir()
+	w := sti.NewRandomModel(sti.TinyConfig(), 77)
+	if _, err := sti.Preprocess(dir, w, nil); err != nil {
+		b.Fatal(err)
+	}
+	sys, err := sti.Load(dir, sti.Odroid(), 64<<10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fleet := sti.NewFleet(64 << 10)
+	if err := fleet.Add("m", sys, 50*time.Millisecond, 1); err != nil {
+		b.Fatal(err)
+	}
+	if err := fleet.Replan(); err != nil {
+		b.Fatal(err)
+	}
+	sched := sti.NewScheduler(fleet, sti.ServeOptions{
+		QueueDepth: 4, Workers: 1, Slack: 1000, MaxBatch: 4,
+	})
+	defer sched.Close()
+
+	classes := []struct {
+		name     string
+		target   time.Duration
+		priority int
+	}{
+		{"tight", 25 * time.Millisecond, 0},
+		{"relaxed", 100 * time.Millisecond, 0},
+		{"besteffort", 0, -1},
+	}
+	var mu sync.Mutex
+	latencies := make(map[string][]time.Duration)
+	var completed, downgraded, shed int64
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for c := 0; c < 6; c++ {
+			cl := classes[c%len(classes)]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := 0; k < 4; k++ {
+					start := time.Now()
+					res, err := sched.Submit(context.Background(), "m", sti.Request{
+						Task: sti.TaskClassify, Tokens: []int{1, 9, 8, 7, 2},
+						TargetLatency: cl.target, Priority: cl.priority,
+					})
+					mu.Lock()
+					if err != nil {
+						shed++
+					} else {
+						completed++
+						latencies[cl.name] = append(latencies[cl.name], time.Since(start))
+						if res.Tier != nil && res.Tier.Downgraded {
+							downgraded++
+						}
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+
+	quantile := func(lat []time.Duration, q float64) float64 {
+		if len(lat) == 0 {
+			return 0
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		i := int(math.Ceil(q*float64(len(lat)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return float64(lat[i].Microseconds()) / 1e3
+	}
+	for _, cl := range classes {
+		b.ReportMetric(quantile(latencies[cl.name], 0.50), cl.name+"_p50_ms")
+		b.ReportMetric(quantile(latencies[cl.name], 0.99), cl.name+"_p99_ms")
+	}
+	if completed > 0 {
+		b.ReportMetric(float64(downgraded)/float64(completed), "downgrade_rate")
+	}
+	b.ReportMetric(float64(shed), "shed")
 }
 
 // §7.2 energy overhead and the §2.1-2.2 lifetime simulation.

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -42,19 +43,21 @@ func main() {
 	cfg := sys.Store.Man.Config
 	tok := tokenizer.New(cfg.Vocab, cfg.MaxSeq)
 	tokens, mask := tok.Encode(*text, *textB)
-	logits, stats, err := sys.Infer(plan, tokens, mask)
+	resp, err := sys.Run(context.Background(), plan, sti.Request{
+		Task: sti.TaskClassify, Tokens: tokens, Mask: mask,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	best, bestV := 0, logits[0]
-	for i, v := range logits {
+	best, bestV := 0, resp.Logits[0]
+	for i, v := range resp.Logits {
 		if v > bestV {
 			best, bestV = i, v
 		}
 	}
 	fmt.Printf("plan: %s\n", plan)
-	fmt.Printf("class %d (logits %v)\n", best, logits)
+	fmt.Printf("class %d (logits %v)\n", best, resp.Logits)
 	fmt.Printf("read %d KB, %d cache hits, wall %v\n",
-		stats.BytesRead>>10, stats.CacheHits, stats.Total.Round(time.Microsecond))
+		resp.Stats.BytesRead>>10, resp.Stats.CacheHits, resp.Stats.Total.Round(time.Microsecond))
 }

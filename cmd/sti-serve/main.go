@@ -11,6 +11,10 @@
 //	curl -s localhost:8080/v2/infer -d '{"model":"sentiment","task":"classify","text":"wonderful gripping story"}'
 //	curl -sN localhost:8080/v2/infer -d '{"model":"sentiment","task":"generate","text":"once upon","max_new_tokens":8}'
 //
+//	# per-request SLO: target_ms rides the tightest plan tier that meets
+//	# it (the response's tier_ms/fidelity report which tier served it)
+//	curl -s localhost:8080/v2/infer -d '{"model":"sentiment","text":"quick check","target_ms":100}'
+//
 //	# v1 is served as a classify-pinned adapter over the v2 path
 //	curl -s localhost:8080/v1/infer -d '{"model":"sentiment","text":"wonderful gripping story"}'
 //	curl -s localhost:8080/v1/infer -d '{"model":"sentiment","inputs":[{"text":"loved it"},{"text":"dreadful"}]}'
@@ -145,6 +149,12 @@ func main() {
 		e, _ := fleet.Entry(name)
 		log.Printf("planned %q: %s (budget %d KB, preload %d KB)",
 			name, e.Plan, e.Budget>>10, e.Plan.PreloadUsed>>10)
+		for _, tier := range e.Tiers {
+			cfg := e.System.Store.Man.Config
+			log.Printf("  tier %v: %dx%d fidelity %.2f",
+				tier.Target, tier.Plan.Depth, tier.Plan.Width,
+				tier.Plan.Fidelity(cfg.Layers, cfg.Heads))
+		}
 	}
 
 	sched := sti.NewScheduler(fleet, sti.ServeOptions{

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	"sti"
 	"sti/internal/tokenizer"
@@ -80,6 +81,11 @@ const maxInputsPerBody = 64
 // many tokens it wants.
 const defaultMaxNewTokens = 16
 
+// maxTargetMS caps a request's target_ms at one hour: anything larger
+// is a client error, and unbounded values would overflow the
+// float→Duration conversion into a negative target.
+const maxTargetMS = 3_600_000
+
 // inferRequest is the v2 wire shape: a task-typed request carrying a
 // single inline input or a list of classify inputs the scheduler's
 // batch accumulator may serve with one shared IO/decompress stream.
@@ -91,11 +97,22 @@ type inferRequest struct {
 	// MaxNewTokens bounds greedy decoding (generate only; default 16,
 	// capped by the model's max sequence length).
 	MaxNewTokens int `json:"max_new_tokens,omitempty"`
-	// Priority < 0 marks the request best-effort: it is shed once the
-	// model's queue is half full.
+	// TargetMS is the request's own latency SLO in milliseconds: the
+	// fleet serves it from the tightest cached plan tier that meets
+	// it, planning a new tier on demand for off-ladder targets. 0 (or
+	// absent) means the model's default target.
+	TargetMS float64 `json:"target_ms,omitempty"`
+	// Priority < 0 marks the request best-effort: under congestion it
+	// is downgraded to a coarser plan tier (and only shed once the
+	// model's queue is entirely full).
 	Priority int `json:"priority,omitempty"`
 	inferInput
 	Inputs []inferInput `json:"inputs,omitempty"`
+}
+
+// targetLatency converts the wire SLO into the request field.
+func (r inferRequest) targetLatency() time.Duration {
+	return time.Duration(r.TargetMS * float64(time.Millisecond))
 }
 
 // inferResult is the outcome of one classify input. Batch is how many
@@ -109,7 +126,13 @@ type inferResult struct {
 	BytesRead int64     `json:"bytes_read"`
 	CacheHits int       `json:"cache_hits"`
 	Batch     int       `json:"batch,omitempty"`
-	Error     string    `json:"error,omitempty"`
+	// TierMS is the latency target of the plan tier that served the
+	// request; Fidelity its fidelity score in (0,1]; Downgraded whether
+	// congestion demoted the request to a coarser tier than its SLO.
+	TierMS     float64 `json:"tier_ms,omitempty"`
+	Fidelity   float64 `json:"fidelity,omitempty"`
+	Downgraded bool    `json:"downgraded,omitempty"`
+	Error      string  `json:"error,omitempty"`
 }
 
 type inferResponse struct {
@@ -139,6 +162,9 @@ type generateResult struct {
 	TotalMS      float64 `json:"total_ms"`
 	BytesRead    int64   `json:"bytes_read"`
 	CacheHits    int     `json:"cache_hits"`
+	TierMS       float64 `json:"tier_ms,omitempty"`
+	Fidelity     float64 `json:"fidelity,omitempty"`
+	Downgraded   bool    `json:"downgraded,omitempty"`
 }
 
 // encode validates one input against a model and returns its token ids
@@ -205,6 +231,11 @@ func resultFor(res *sti.ServeResult, err error) inferResult {
 			out.BytesRead /= int64(res.Batch) // amortized share of the stream
 		}
 	}
+	if res.Tier != nil {
+		out.TierMS = float64(res.Tier.Target.Microseconds()) / 1e3
+		out.Fidelity = res.Tier.Fidelity
+		out.Downgraded = res.Tier.Downgraded
+	}
 	return out
 }
 
@@ -242,6 +273,11 @@ func (s *server) serveInfer(w http.ResponseWriter, r *http.Request, req inferReq
 		httpError(w, http.StatusNotFound, fmt.Errorf("unknown model %q", req.Model))
 		return
 	}
+	if req.TargetMS < 0 || req.TargetMS > maxTargetMS {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("target_ms %v outside [0, %v]", req.TargetMS, float64(maxTargetMS)))
+		return
+	}
 	switch req.Task {
 	case "", "classify":
 		s.serveClassify(w, r, req, info)
@@ -262,7 +298,8 @@ func (s *server) serveClassify(w http.ResponseWriter, r *http.Request, req infer
 			return
 		}
 		res, err := s.sched.Submit(r.Context(), req.Model, sti.Request{
-			Task: sti.TaskClassify, Tokens: tokens, Mask: mask, Priority: req.Priority,
+			Task: sti.TaskClassify, Tokens: tokens, Mask: mask,
+			TargetLatency: req.targetLatency(), Priority: req.Priority,
 		})
 		if err != nil {
 			httpError(w, statusFor(err), err)
@@ -286,7 +323,10 @@ func (s *server) serveClassify(w http.ResponseWriter, r *http.Request, req infer
 			httpError(w, http.StatusBadRequest, fmt.Errorf("input %d: %w", i, err))
 			return
 		}
-		encoded[i] = sti.Request{Task: sti.TaskClassify, Tokens: tokens, Mask: mask, Priority: req.Priority}
+		encoded[i] = sti.Request{
+			Task: sti.TaskClassify, Tokens: tokens, Mask: mask,
+			TargetLatency: req.targetLatency(), Priority: req.Priority,
+		}
 	}
 	results := make([]inferResult, len(encoded))
 	errs := make([]error, len(encoded))
@@ -410,6 +450,7 @@ func (s *server) serveGenerate(w http.ResponseWriter, r *http.Request, req infer
 	res, err := s.sched.Submit(r.Context(), req.Model, sti.Request{
 		Task: sti.TaskGenerate, Tokens: prompt,
 		MaxNewTokens: maxNew, Priority: req.Priority,
+		TargetLatency: req.targetLatency(),
 		OnToken: func(step, token int) {
 			st.event("token", tokenEvent{Step: step, Token: token})
 		},
@@ -429,6 +470,11 @@ func (s *server) serveGenerate(w http.ResponseWriter, r *http.Request, req infer
 		out.NewTokens = res.Gen.NewTokens
 		out.BytesRead = res.Gen.Stream.BytesRead
 		out.CacheHits = res.Gen.Stream.CacheHits
+	}
+	if res.Tier != nil {
+		out.TierMS = float64(res.Tier.Target.Microseconds()) / 1e3
+		out.Fidelity = res.Tier.Fidelity
+		out.Downgraded = res.Tier.Downgraded
 	}
 	st.finish("done", out, nil)
 }

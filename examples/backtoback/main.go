@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -49,13 +50,15 @@ func main() {
 		{1, 12, 22, 32, 2},
 	}
 	for turn, q := range queries {
-		logits, stats, err := sys.Infer(plan, q, nil)
+		resp, err := sys.Run(context.Background(), plan, sti.Request{
+			Task: sti.TaskClassify, Tokens: q,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("turn %d: logits %v\n", turn+1, logits)
+		fmt.Printf("turn %d: logits %v\n", turn+1, resp.Logits)
 		fmt.Printf("        read %3d KB from flash, %2d shards served from buffer (%d KB cached)\n",
-			stats.BytesRead>>10, stats.CacheHits, sys.Engine.CacheBytes()>>10)
+			resp.Stats.BytesRead>>10, resp.Stats.CacheHits, sys.Engine.CacheBytes()>>10)
 
 		// Between turns: cache loaded shards bottom-up (§5.5 eviction)
 		// so the next execution skips their IO.

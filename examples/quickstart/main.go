@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -52,16 +53,20 @@ func main() {
 			l, plan.Slices[l], plan.Bits[l], plan.Preloaded[l])
 	}
 
-	// 4. Warm the preload buffer and run the pipeline.
+	// 4. Warm the preload buffer and run the pipeline through the
+	// task-typed API.
 	if err := sys.Warm(plan); err != nil {
 		log.Fatal(err)
 	}
 	tokens := []int{1, 17, 23, 42, 99, 2} // [CLS] w w w w [SEP]
-	logits, stats, err := sys.Infer(plan, tokens, nil)
+	resp, err := sys.Run(context.Background(), plan, sti.Request{
+		Task: sti.TaskClassify, Tokens: tokens,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("logits: %v\n", logits)
+	fmt.Printf("logits: %v\n", resp.Logits)
 	fmt.Printf("stats: read %d KB, %d cache hits, stall %v, total %v\n",
-		stats.BytesRead>>10, stats.CacheHits, stats.Stall.Round(time.Microsecond), stats.Total.Round(time.Microsecond))
+		resp.Stats.BytesRead>>10, resp.Stats.CacheHits,
+		resp.Stats.Stall.Round(time.Microsecond), resp.Stats.Total.Round(time.Microsecond))
 }

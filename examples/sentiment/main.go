@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -66,16 +67,18 @@ func main() {
 			target, plan.Depth, plan.Width, plan.PreloadUsed>>10)
 		for _, note := range notes {
 			tokens, mask := ds.Tok.Encode(note, "")
-			logits, stats, err := sys.Infer(plan, tokens, mask)
+			resp, err := sys.Run(context.Background(), plan, sti.Request{
+				Task: sti.TaskClassify, Tokens: tokens, Mask: mask,
+			})
 			if err != nil {
 				log.Fatal(err)
 			}
 			label := "negative"
-			if logits[1] > logits[0] {
+			if resp.Logits[1] > resp.Logits[0] {
 				label = "positive"
 			}
 			fmt.Printf("  %-50q -> %-8s (read %3dKB, %d hits)\n",
-				note, label, stats.BytesRead>>10, stats.CacheHits)
+				note, label, resp.Stats.BytesRead>>10, resp.Stats.CacheHits)
 		}
 	}
 }

@@ -7,7 +7,9 @@ import (
 	"sync"
 	"time"
 
+	"sti/internal/model"
 	"sti/internal/pipeline"
+	"sti/internal/planner"
 )
 
 // Fleet manages several expected models at once — the paper's
@@ -31,25 +33,51 @@ type Fleet struct {
 	entries map[string]*FleetEntry
 }
 
-// FleetEntry is one managed model with its planning inputs and current
-// plan. The snapshot returned by Entry is immutable; the fleet's live
-// entry is updated by Replan.
-type FleetEntry struct {
-	System *System
+// PlanTier is one rung of a model's plan ladder: an executable plan at
+// a graduated latency target. Tiers ascend by target; a larger target
+// buys a higher-fidelity plan.
+type PlanTier struct {
 	Target time.Duration
-	Weight float64 // expected engagement share (relative)
-
-	Budget int64 // preload bytes granted by the last Replan
 	Plan   *Plan
 }
+
+// FleetEntry is one managed model with its planning inputs and current
+// plan ladder. The snapshot returned by Entry is immutable; the
+// fleet's live entry is updated by Replan.
+type FleetEntry struct {
+	System *System
+	Target time.Duration // default latency target (requests with TargetLatency 0)
+	Weight float64       // expected engagement share (relative)
+
+	Budget int64 // preload bytes granted by the last Replan
+	// Plan is the default tier's plan — what a request with no
+	// TargetLatency of its own is served by.
+	Plan *Plan
+	// Tiers snapshots the entry's plan ladder (pinned graduated tiers
+	// plus any tiers planned on demand for off-ladder SLOs), ascending
+	// by target. Populated on Entry snapshots only.
+	Tiers []PlanTier
+
+	// cache is the live tier ladder: pinned graduated targets rebuilt
+	// by every replan plus an LRU-bounded set of on-demand tiers.
+	cache *planner.PlanCache
+}
+
+// tierCacheLimit bounds how many on-demand (off-ladder) plan tiers one
+// model may cache beyond its pinned ladder.
+const tierCacheLimit = 8
 
 // NewFleet creates a fleet with a total preload budget in bytes.
 func NewFleet(totalPreloadBudget int64) *Fleet {
 	return &Fleet{budget: totalPreloadBudget, entries: make(map[string]*FleetEntry)}
 }
 
-// Add registers a model under a name. Weight must be positive; call
-// Replan afterwards to allocate budgets and build plans.
+// Add registers a model under a name. target is the model's *default*
+// latency target — the tier requests ride when they carry no
+// TargetLatency of their own; per-request SLOs resolve against a
+// ladder of plans at graduated targets around it. Weight must be
+// positive; call Replan afterwards to allocate budgets and build the
+// ladders.
 func (f *Fleet) Add(name string, sys *System, target time.Duration, weight float64) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -59,7 +87,10 @@ func (f *Fleet) Add(name string, sys *System, target time.Duration, weight float
 	if weight <= 0 {
 		return fmt.Errorf("sti: non-positive weight %v for %q", weight, name)
 	}
-	f.entries[name] = &FleetEntry{System: sys, Target: target, Weight: weight}
+	f.entries[name] = &FleetEntry{
+		System: sys, Target: target, Weight: weight,
+		cache: planner.NewPlanCache(tierCacheLimit),
+	}
 	return nil
 }
 
@@ -85,7 +116,8 @@ func (f *Fleet) Remove(name string) error {
 	return nil
 }
 
-// Entry returns a snapshot of the managed entry for a model name.
+// Entry returns a snapshot of the managed entry for a model name,
+// including the current plan ladder in Tiers.
 func (f *Fleet) Entry(name string) (*FleetEntry, bool) {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
@@ -94,6 +126,11 @@ func (f *Fleet) Entry(name string) (*FleetEntry, bool) {
 		return nil, false
 	}
 	snap := *e
+	targets, plans := e.cache.Entries()
+	snap.Tiers = make([]PlanTier, len(targets))
+	for i := range targets {
+		snap.Tiers[i] = PlanTier{Target: targets[i], Plan: plans[i]}
+	}
 	return &snap, true
 }
 
@@ -151,12 +188,14 @@ func (f *Fleet) Replan() error {
 }
 
 // replanLocked replans the whole fleet atomically: every model's grant
-// and plan is staged before any entry or engine is touched, so a
-// planning failure for one model leaves every entry on its previous
-// consistent plan and budget (no partial commit whose grants no longer
-// sum to f.budget). A warming failure rolls already-warmed engines back
-// to their previous plans (best-effort — the caches are a performance
-// artifact, the entries stay untouched either way).
+// and plan *ladder* (graduated tier targets around its default, all
+// sharing the model's one preload grant) is staged before any entry or
+// engine is touched, so a planning failure for one model leaves every
+// entry on its previous consistent ladder and budget (no partial
+// commit whose grants no longer sum to f.budget). A warming failure
+// rolls already-warmed engines back to their previous ladders
+// (best-effort — the caches are a performance artifact, the entries
+// stay untouched either way).
 func (f *Fleet) replanLocked() error {
 	var totalWeight float64
 	for _, e := range f.entries {
@@ -164,41 +203,82 @@ func (f *Fleet) replanLocked() error {
 	}
 	names := f.namesLocked()
 
-	// Stage: compute all grants and plans without side effects.
+	// Stage: compute all grants and tier ladders without side effects.
 	grants := make([]int64, len(names))
-	plans := make([]*Plan, len(names))
+	targets := make([][]time.Duration, len(names))
+	ladders := make([][]*Plan, len(names))
 	for i, name := range names {
 		e := f.entries[name]
 		grants[i] = int64(float64(f.budget) * e.Weight / totalWeight)
-		plan, err := e.System.Plan(e.Target, grants[i])
-		if err != nil {
-			return fmt.Errorf("sti: replanning %q: %w", name, err)
+		targets[i] = planner.Ladder(e.Target)
+		for _, target := range targets[i] {
+			plan, err := e.System.Plan(target, grants[i])
+			if err != nil {
+				return fmt.Errorf("sti: replanning %q tier %v: %w", name, target, err)
+			}
+			ladders[i] = append(ladders[i], plan)
 		}
-		plans[i] = plan
 	}
 
-	// Warm the engines under their new budgets; on failure, restore the
-	// engines already touched to their committed plans.
+	// Warm the engines under their new budgets — each model's tiers
+	// share its one grant, so the engine warms the bottom-up union of
+	// the ladder's preload sets. On failure, restore the engines
+	// already touched to their committed ladders.
 	for i, name := range names {
 		e := f.entries[name]
 		e.System.Engine.SetCacheBudget(grants[i])
-		if err := e.System.Warm(plans[i]); err != nil {
+		if err := e.System.Engine.WarmSet(ladders[i]); err != nil {
 			for k := i; k >= 0; k-- {
 				prev := f.entries[names[k]]
 				prev.System.Engine.SetCacheBudget(prev.Budget)
-				if prev.Plan != nil {
-					_ = prev.System.Warm(prev.Plan)
+				if plans := prev.cache.Plans(); len(plans) > 0 {
+					_ = prev.System.Engine.WarmSet(plans)
 				}
 			}
 			return fmt.Errorf("sti: warming %q: %w", name, err)
 		}
 	}
 
-	// Commit: every Plan and Warm succeeded.
+	// Commit: every tier planned and every engine warmed. The old
+	// ladder (including on-demand tiers, which were planned under the
+	// old grants) is dropped; the new graduated tiers are pinned.
 	for i, name := range names {
 		e := f.entries[name]
-		e.Budget, e.Plan = grants[i], plans[i]
+		e.Budget = grants[i]
+		e.cache.Clear()
+		def := planner.TierKey(e.Target)
+		for j, target := range targets[i] {
+			e.cache.Pin(target, ladders[i][j])
+			if target == def {
+				e.Plan = ladders[i][j]
+			}
+		}
 	}
+	return nil
+}
+
+// planTierLocked plans and warms one on-demand tier for an off-ladder
+// SLO, caching it LRU-bounded. Callers hold the write lock (a tier
+// plan is a replan-class mutation: it resizes the shared warm set).
+func (f *Fleet) planTierLocked(name string, want time.Duration) error {
+	e, err := f.entryForServe(name)
+	if err != nil {
+		return err
+	}
+	if _, _, ok := e.cache.Resolve(want); ok {
+		return nil // another miss raced us here and already planned it
+	}
+	plan, err := e.System.Plan(want, e.Budget)
+	if err != nil {
+		return fmt.Errorf("sti: planning tier %v for %q: %w", want, name, err)
+	}
+	// Warm first, cache second (the same stage-then-commit rule as
+	// replanLocked): a tier whose warm failed must not sit in the
+	// cache masquerading as served-and-warmed.
+	if err := e.System.Engine.WarmSet(append(e.cache.Plans(), plan)); err != nil {
+		return fmt.Errorf("sti: warming tier %v for %q: %w", want, name, err)
+	}
+	e.cache.Put(want, plan)
 	return nil
 }
 
@@ -214,9 +294,101 @@ func (f *Fleet) entryForServe(name string) (*FleetEntry, error) {
 	return e, nil
 }
 
+// effectiveTarget resolves a request's SLO against the entry: zero
+// falls back to the model default.
+func (e *FleetEntry) effectiveTarget(req Request) time.Duration {
+	want := req.TargetLatency
+	if want <= 0 {
+		want = e.Target
+	}
+	return planner.TierKey(want)
+}
+
+// tierInfo builds the tier record a served response carries.
+func (e *FleetEntry) tierInfo(target time.Duration, p *Plan, cacheHit, downgraded bool) *pipeline.TierInfo {
+	cfg := e.System.Store.Man.Config
+	return &pipeline.TierInfo{
+		Target:     target,
+		Fidelity:   p.Fidelity(cfg.Layers, cfg.Heads),
+		CacheHit:   cacheHit,
+		Downgraded: downgraded,
+	}
+}
+
+// resolvedTier is the outcome of resolving one request (or one
+// batch's tightest member) against a model's plan ladder.
+type resolvedTier struct {
+	entry *FleetEntry
+	tier  time.Duration
+	plan  *Plan
+	// demoted reports that a congestion downgrade actually landed one
+	// rung coarser — false when the request already rode the coarsest
+	// cached tier, so responses never claim a demotion that didn't
+	// happen.
+	demoted  bool
+	cacheHit bool // resolved on the first attempt, without planning
+}
+
+// info builds the tier record responses carry.
+func (r resolvedTier) info() *pipeline.TierInfo {
+	return r.entry.tierInfo(r.tier, r.plan, r.cacheHit, r.demoted)
+}
+
+// resolveForServe is the resolve-or-plan loop shared by Serve and
+// ServeBatch: under the read lock it picks the tier-selecting request
+// via pick (which may consult the entry's default target), resolves
+// its effective target to the tightest cached tier that meets it, and
+// applies a congestion demotion one rung down the cached ladder. A
+// cache miss releases the lock, plans and warms the missing tier
+// under the write lock, and retries — bounded, so a replan storm
+// evicting freshly planned tiers degrades into an error instead of a
+// livelock.
+//
+// On success the read lock is HELD so the resolved plan cannot be
+// swapped mid-execution: the caller must f.mu.RUnlock() when done
+// with it. On error the lock is released.
+func (f *Fleet) resolveForServe(name string, pick func(*FleetEntry) Request) (resolvedTier, error) {
+	const maxAttempts = 3
+	for attempt := 0; ; attempt++ {
+		f.mu.RLock()
+		e, err := f.entryForServe(name)
+		if err != nil {
+			f.mu.RUnlock()
+			return resolvedTier{}, err
+		}
+		req := pick(e)
+		want := e.effectiveTarget(req)
+		tier, plan, ok := e.cache.Resolve(want)
+		if ok {
+			r := resolvedTier{entry: e, tier: tier, plan: plan, cacheHit: attempt == 0}
+			if req.Downgraded {
+				if below, coarser, okBelow := e.cache.ResolveBelow(tier); okBelow {
+					r.tier, r.plan, r.demoted = below, coarser, true
+				}
+			}
+			return r, nil
+		}
+		f.mu.RUnlock()
+		if attempt+1 >= maxAttempts {
+			return resolvedTier{}, fmt.Errorf("sti: model %q: plan tier %v evicted before serving (%d attempts)",
+				name, want, attempt+1)
+		}
+		f.mu.Lock()
+		err = f.planTierLocked(name, want)
+		f.mu.Unlock()
+		if err != nil {
+			return resolvedTier{}, err
+		}
+	}
+}
+
 // Serve runs one task-typed request (classify or generate) on the
-// named model using its current plan — the fleet's primary entry
-// point. Concurrent Serve calls proceed in parallel; a concurrent
+// named model — the fleet's primary entry point. The request's
+// TargetLatency (0 = the model default) is resolved to the tightest
+// cached plan tier that meets it; an off-ladder SLO plans and warms a
+// new tier on the miss (LRU-bounded per model), and the response's
+// Tier records the target, fidelity and cache outcome that actually
+// served it. Concurrent Serve calls proceed in parallel; a concurrent
 // Replan blocks until they drain. Cancelling ctx aborts the shard
 // stream between layers and a generate decode between tokens.
 //
@@ -230,57 +402,98 @@ func (f *Fleet) Serve(ctx context.Context, name string, req Request) (*Response,
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
-	if req.Task != TaskGenerate {
-		f.mu.RLock()
-		defer f.mu.RUnlock()
-		e, err := f.entryForServe(name)
-		if err != nil {
-			return nil, err
-		}
-		return e.System.Run(ctx, e.Plan, req)
+	r, err := f.resolveForServe(name, func(*FleetEntry) Request { return req })
+	if err != nil {
+		return nil, err
 	}
+	// resolveForServe returned with the read lock held. The locked
+	// stretch runs inside a closure whose defer releases it even if
+	// the engine panics on a poisoned request — a leaked read lock
+	// would wedge the next replan and, behind that pending writer,
+	// every model's traffic.
+	info := r.info()
 
-	f.mu.RLock()
-	e, err := f.entryForServe(name)
+	if req.Task != TaskGenerate {
+		resp, err := func() (*Response, error) {
+			defer f.mu.RUnlock()
+			return r.entry.System.Run(ctx, r.plan, req)
+		}()
+		if resp != nil {
+			resp.Tier = info
+		}
+		return resp, err
+	}
+	sm, stream, err := func() (*model.Submodel, *ExecStats, error) {
+		defer f.mu.RUnlock()
+		return r.entry.System.Engine.Materialize(ctx, r.plan)
+	}()
 	if err != nil {
-		f.mu.RUnlock()
 		return nil, err
 	}
-	sm, stream, err := e.System.Engine.Materialize(ctx, e.Plan)
-	f.mu.RUnlock()
-	if err != nil {
-		return nil, err
+	resp, err := pipeline.DecodeGenerate(ctx, sm, stream, req)
+	if resp != nil {
+		resp.Tier = info
 	}
-	return pipeline.DecodeGenerate(ctx, sm, stream, req)
+	return resp, err
 }
 
 // ServeBatch runs one batched classify on the named model: the model's
 // shard stream is read and decompressed once and fanned out across all
 // requests, so per-request IO is 1/len(reqs) of sequential Serve
 // calls. Per-request logits are byte-identical to separate Serves.
-// Every request must be TaskClassify — generate decodes are stateful
-// per sequence and run singly through Serve.
+// The batch executes on one plan tier — the tightest member's SLO
+// resolved against the ladder, so no request is served past its
+// target — and every response's Tier records it. Every request must
+// be TaskClassify: generate decodes are stateful per sequence and run
+// singly through Serve.
 func (f *Fleet) ServeBatch(ctx context.Context, name string, reqs []Request) ([]*Response, *BatchStats, error) {
+	if len(reqs) == 0 {
+		return nil, nil, fmt.Errorf("sti: ServeBatch with no requests")
+	}
 	inputs := make([]BatchInput, len(reqs))
 	for i, r := range reqs {
+		if err := r.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("sti: ServeBatch request %d: %w", i, err)
+		}
 		if r.Task != TaskClassify {
 			return nil, nil, fmt.Errorf("sti: ServeBatch request %d has task %v; only classify batches", i, r.Task)
 		}
 		inputs[i] = BatchInput{Tokens: r.Tokens, Mask: r.Mask}
 	}
-	f.mu.RLock()
+	// The whole batch rides one stream, so it executes on the tier of
+	// its tightest member (the min effective target meets every SLO),
+	// and is demoted only when *every* member was downgraded — a mixed
+	// batch must not serve undemoted requests a rung coarser than they
+	// asked for. (The scheduler's accumulator only groups jobs of one
+	// SLO class, so its batches are always homogeneous.)
+	r, err := f.resolveForServe(name, func(e *FleetEntry) Request {
+		tightest := reqs[0]
+		for _, req := range reqs[1:] {
+			if e.effectiveTarget(req) < e.effectiveTarget(tightest) {
+				tightest = req
+			}
+		}
+		for _, req := range reqs {
+			if !req.Downgraded {
+				tightest.Downgraded = false
+				break
+			}
+		}
+		return tightest
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	// resolveForServe returned with the read lock held.
 	defer f.mu.RUnlock()
-	e, err := f.entryForServe(name)
+	logits, bs, err := r.entry.System.Engine.ExecuteBatch(ctx, r.plan, inputs)
 	if err != nil {
 		return nil, nil, err
 	}
-	logits, bs, err := e.System.Engine.ExecuteBatch(ctx, e.Plan, inputs)
-	if err != nil {
-		return nil, nil, err
-	}
+	info := r.info() // one tier served the whole batch
 	resps := make([]*Response, len(logits))
 	for i := range logits {
-		resps[i] = &Response{Logits: logits[i], Stats: &bs.ExecStats}
+		resps[i] = &Response{Logits: logits[i], Stats: &bs.ExecStats, Tier: info}
 	}
 	return resps, bs, nil
 }

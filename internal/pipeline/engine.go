@@ -112,12 +112,27 @@ func (e *Engine) evictForLocked(need int64, floor *shard.Version) {
 // the engine's current byte budget (e.g. the budget shrank after the
 // plan was made), the buffer holds the bottom-most prefix that fits —
 // never more than the budget.
-func (e *Engine) Warm(p *planner.Plan) error {
+func (e *Engine) Warm(p *planner.Plan) error { return e.WarmSet([]*planner.Plan{p}) }
+
+// WarmSet warms the union of several plans' preload sets from one
+// shared byte budget — the warm-set management of a plan-tier ladder,
+// where a model keeps plans at graduated latency targets and every
+// tier's preloads compete for the same buffer. Versions no plan
+// preloads are evicted; the union is filled bottom layer first (then
+// slice, then ascending bitwidth), so under a tight budget the bottom
+// layers — needed earliest by every tier (§5.5) — win the buffer and
+// the engine never holds more than its budget.
+func (e *Engine) WarmSet(plans []*planner.Plan) error {
 	wanted := make(map[shard.Version]bool)
-	for l := 0; l < p.Depth; l++ {
-		for j, s := range p.Slices[l] {
-			if p.Preloaded[l][j] {
-				wanted[shard.Version{ID: shard.ID{Layer: l, Slice: s}, Bits: p.Bits[l][j]}] = true
+	for _, p := range plans {
+		if p == nil {
+			continue
+		}
+		for l := 0; l < p.Depth; l++ {
+			for j, s := range p.Slices[l] {
+				if p.Preloaded[l][j] {
+					wanted[shard.Version{ID: shard.ID{Layer: l, Slice: s}, Bits: p.Bits[l][j]}] = true
+				}
 			}
 		}
 	}
@@ -139,7 +154,10 @@ func (e *Engine) Warm(p *planner.Plan) error {
 		if versions[i].Layer != versions[j].Layer {
 			return versions[i].Layer < versions[j].Layer
 		}
-		return versions[i].Slice < versions[j].Slice
+		if versions[i].Slice != versions[j].Slice {
+			return versions[i].Slice < versions[j].Slice
+		}
+		return versions[i].Bits < versions[j].Bits
 	})
 	for _, v := range versions {
 		if e.cached(v) != nil {

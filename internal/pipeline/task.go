@@ -47,10 +47,26 @@ type Request struct {
 	// TaskClassify.
 	MaxNewTokens int
 
+	// TargetLatency is this request's own SLO: serving layers resolve
+	// it to the tightest cached plan tier that meets it, so interactive
+	// and batch callers of the same model ride different
+	// fidelity/latency points. Zero means the model's default target.
+	// Must be >= 0. The pipeline itself executes whatever plan it is
+	// handed; resolution happens above it.
+	TargetLatency time.Duration
+
 	// Priority is admission-control advice for schedulers: requests
-	// with Priority < 0 are best-effort and are shed earlier under
-	// load. The pipeline itself ignores it.
+	// with Priority < 0 are best-effort and are demoted to a coarser
+	// plan tier (or shed) earlier under load. The pipeline itself
+	// ignores it.
 	Priority int
+
+	// Downgraded marks a request a congestion-aware scheduler has
+	// demoted: tier resolution serves it one rung coarser down the
+	// already-cached plan ladder instead of shedding it, and the tier
+	// record in the Response carries the flag so callers can see the
+	// degraded fidelity. The pipeline itself ignores it.
+	Downgraded bool
 
 	// OnToken, when non-nil, is called synchronously from the decode
 	// loop after each generated token (step counts from 0). It is how
@@ -61,6 +77,9 @@ type Request struct {
 
 // Validate rejects requests no engine could execute.
 func (r Request) Validate() error {
+	if r.TargetLatency < 0 {
+		return fmt.Errorf("pipeline: negative TargetLatency %v", r.TargetLatency)
+	}
 	switch r.Task {
 	case TaskClassify:
 		if len(r.Tokens) == 0 {
@@ -102,6 +121,24 @@ type GenStats struct {
 	Total time.Duration
 }
 
+// TierInfo identifies the plan tier that served a request — how the
+// serving layer resolved the request's TargetLatency against the
+// model's plan ladder.
+type TierInfo struct {
+	// Target is the tier's planned latency target (≤ the request's
+	// effective target: the tightest cached tier that meets the SLO).
+	Target time.Duration `json:"target_ns"`
+	// Fidelity is the served plan's fidelity score in (0, 1]: the
+	// fraction of the full model's weight bits the submodel executes.
+	Fidelity float64 `json:"fidelity"`
+	// CacheHit reports whether the tier came from the plan cache;
+	// false means it was planned (and warmed) on demand for this SLO.
+	CacheHit bool `json:"cache_hit"`
+	// Downgraded reports that congestion demoted the request to a
+	// coarser tier than its SLO asked for — served degraded, not shed.
+	Downgraded bool `json:"downgraded"`
+}
+
 // Response is the unified outcome of one Request.
 type Response struct {
 	// Logits are class logits for TaskClassify, and the language-model
@@ -119,4 +156,9 @@ type Response struct {
 
 	// Gen holds per-step decoding stats; non-nil only for TaskGenerate.
 	Gen *GenStats
+
+	// Tier records the plan tier that served the request. Nil when the
+	// caller executed an explicit plan (System.Run) rather than
+	// resolving an SLO through a fleet's plan ladder.
+	Tier *TierInfo
 }

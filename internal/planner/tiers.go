@@ -1,0 +1,251 @@
+package planner
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"sti/internal/shard"
+)
+
+// Tiered planning: instead of freezing one plan per model at a single
+// target latency, a serving layer keeps a *ladder* of plans at
+// graduated targets and resolves every request's own SLO to the
+// tightest tier that meets it. The planner side of that machinery
+// lives here: the ladder targets, the cache-key quantization that
+// keeps per-request SLOs from minting unbounded plan variants, and an
+// LRU-bounded PlanCache with a pinned ladder.
+
+// tierGrid is the plan-cache quantization step: requested targets are
+// snapped to this grid so near-identical SLOs (199ms vs 201ms) share
+// one cached plan instead of each minting their own.
+const tierGrid = time.Millisecond
+
+// TierKey canonicalizes a target latency into a plan-cache key by
+// rounding to the cache grid. Sub-grid targets are kept verbatim —
+// rounding them would collapse distinct sub-millisecond SLOs to zero,
+// which no plan can be built for.
+func TierKey(target time.Duration) time.Duration {
+	if target < 2*tierGrid {
+		return target
+	}
+	return target.Round(tierGrid)
+}
+
+// Ladder returns the graduated tier targets planned eagerly for a
+// model whose default target is def: one tier at half the default for
+// latency-critical callers and congestion downgrades, the default
+// itself, and one at twice the default for fidelity-hungry relaxed
+// callers. Ascending order; targets are already cache keys.
+func Ladder(def time.Duration) []time.Duration {
+	return []time.Duration{TierKey(def / 2), TierKey(def), TierKey(2 * def)}
+}
+
+// Fidelity scores the plan against the full-fidelity model in (0, 1]:
+// the fraction of the full model's weight bits (layers × heads shards
+// at full bitwidth) the submodel actually executes. It is the scalar a
+// serving layer reports so callers can see what their latency target
+// bought — deeper/wider submodels and higher bitwidths both raise it.
+func (p *Plan) Fidelity(layers, heads int) float64 {
+	full := layers * heads * shard.FullBits
+	if full == 0 {
+		return 0
+	}
+	bits := 0
+	for l := range p.Bits {
+		for _, b := range p.Bits[l] {
+			bits += b
+		}
+	}
+	return float64(bits) / float64(full)
+}
+
+// PlanCache is a per-model cache of plans keyed by quantized target
+// latency. The ladder tiers are pinned (rebuilt on every replan, never
+// evicted); tiers planned on demand for off-ladder SLOs are bounded by
+// an LRU so adversarial targets cannot hoard memory. The cache is safe
+// for concurrent use — resolution happens on a fleet's read path.
+type PlanCache struct {
+	mu     sync.Mutex
+	limit  int
+	pinned map[time.Duration]*Plan
+	extra  map[time.Duration]*Plan
+	order  []time.Duration // extra keys, least recently used first
+}
+
+// NewPlanCache creates a cache holding at most limit unpinned tiers
+// (minimum 1).
+func NewPlanCache(limit int) *PlanCache {
+	if limit < 1 {
+		limit = 1
+	}
+	return &PlanCache{
+		limit:  limit,
+		pinned: make(map[time.Duration]*Plan),
+		extra:  make(map[time.Duration]*Plan),
+	}
+}
+
+// Pin inserts a ladder tier that is never evicted.
+func (c *PlanCache) Pin(target time.Duration, p *Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pinned[TierKey(target)] = p
+	c.dropExtraLocked(TierKey(target))
+}
+
+// Put inserts an on-demand tier, evicting the least recently used
+// unpinned tier beyond the limit.
+func (c *PlanCache) Put(target time.Duration, p *Plan) {
+	key := TierKey(target)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.pinned[key]; ok {
+		c.pinned[key] = p
+		return
+	}
+	c.dropExtraLocked(key)
+	c.extra[key] = p
+	c.order = append(c.order, key)
+	for len(c.extra) > c.limit {
+		victim := c.order[0]
+		c.order = c.order[1:]
+		delete(c.extra, victim)
+	}
+}
+
+// dropExtraLocked removes key from the unpinned set and its LRU order.
+func (c *PlanCache) dropExtraLocked(key time.Duration) {
+	if _, ok := c.extra[key]; !ok {
+		return
+	}
+	delete(c.extra, key)
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Clear drops every tier, pinned or not. A replan owns the cache: old
+// plans were built under old budget grants and must not survive.
+func (c *PlanCache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pinned = make(map[time.Duration]*Plan)
+	c.extra = make(map[time.Duration]*Plan)
+	c.order = nil
+}
+
+// Targets lists every cached tier target, ascending.
+func (c *PlanCache) Targets() []time.Duration {
+	targets, _ := c.Entries()
+	return targets
+}
+
+// Entries lists every cached tier as parallel slices, ascending by
+// target, read under one lock so the pair is always consistent.
+func (c *PlanCache) Entries() ([]time.Duration, []*Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	targets := make([]time.Duration, 0, len(c.pinned)+len(c.extra))
+	for t := range c.pinned {
+		targets = append(targets, t)
+	}
+	for t := range c.extra {
+		targets = append(targets, t)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+	plans := make([]*Plan, len(targets))
+	for i, t := range targets {
+		if p, ok := c.pinned[t]; ok {
+			plans[i] = p
+		} else {
+			plans[i] = c.extra[t]
+		}
+	}
+	return targets, plans
+}
+
+// Plans lists every cached plan, ascending by tier target — the warm
+// set a serving layer feeds to the engine so all tiers share one
+// preload budget.
+func (c *PlanCache) Plans() []*Plan {
+	_, plans := c.Entries()
+	return plans
+}
+
+// Resolve finds the tightest cached tier that meets a requested target:
+// the largest tier target ≤ want — the highest-fidelity plan that still
+// keeps the SLO — provided it is within 2× of the request (a 30ms SLO
+// must not silently ride a 1ms tier). ok is false on a miss; the caller
+// plans a tier at TierKey(want) and retries. Resolving an unpinned tier
+// refreshes its LRU position.
+func (c *PlanCache) Resolve(want time.Duration) (time.Duration, *Plan, bool) {
+	want = TierKey(want)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var best time.Duration = -1
+	var plan *Plan
+	for t, p := range c.pinned {
+		if t <= want && t > best {
+			best, plan = t, p
+		}
+	}
+	for t, p := range c.extra {
+		if t <= want && t > best {
+			best, plan = t, p
+		}
+	}
+	if plan == nil || 2*best <= want {
+		return 0, nil, false
+	}
+	if _, unpinned := c.extra[best]; unpinned {
+		c.dropExtraLocked(best)
+		c.extra[best] = plan
+		c.order = append(c.order, best)
+	}
+	return best, plan, true
+}
+
+// ResolveBelow finds the next rung down from a resolved tier: the
+// largest cached tier target strictly below it, bounded to within 2×
+// (the ladder's rung spacing) — a demotion steps one rung, it must not
+// fall onto an arbitrarily tight on-demand tier some other client
+// planted (the same fidelity guard Resolve applies upward). Congestion
+// downgrades use it — demotion must land on an already-planned,
+// already-warmed tier, never trigger planning at peak load. ok is
+// false when no such rung exists (the caller serves the tier as is).
+func (c *PlanCache) ResolveBelow(tier time.Duration) (time.Duration, *Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var best time.Duration = -1
+	var plan *Plan
+	for t, p := range c.pinned {
+		if t < tier && 2*t >= tier && t > best {
+			best, plan = t, p
+		}
+	}
+	for t, p := range c.extra {
+		if t < tier && 2*t >= tier && t > best {
+			best, plan = t, p
+		}
+	}
+	if plan == nil {
+		return 0, nil, false
+	}
+	if _, unpinned := c.extra[best]; unpinned {
+		c.dropExtraLocked(best)
+		c.extra[best] = plan
+		c.order = append(c.order, best)
+	}
+	return best, plan, true
+}
+
+// Len reports how many tiers are cached (pinned + unpinned).
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pinned) + len(c.extra)
+}

@@ -1,0 +1,157 @@
+package planner
+
+import (
+	"testing"
+	"time"
+
+	"sti/internal/device"
+	"sti/internal/importance"
+	"sti/internal/model"
+)
+
+func TestTierKeyQuantizes(t *testing.T) {
+	for _, tc := range []struct{ in, want time.Duration }{
+		{200 * time.Millisecond, 200 * time.Millisecond},
+		{199*time.Millisecond + 600*time.Microsecond, 200 * time.Millisecond},
+		{200*time.Millisecond + 400*time.Microsecond, 200 * time.Millisecond},
+		{3 * time.Millisecond, 3 * time.Millisecond},
+		// Sub-grid targets survive verbatim: rounding would zero them.
+		{500 * time.Microsecond, 500 * time.Microsecond},
+		{0, 0},
+	} {
+		if got := TierKey(tc.in); got != tc.want {
+			t.Errorf("TierKey(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestLadderGraduatedTargets(t *testing.T) {
+	got := Ladder(200 * time.Millisecond)
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond}
+	if len(got) != len(want) {
+		t.Fatalf("ladder %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ladder %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPlanCacheResolveTightestMeetingTier(t *testing.T) {
+	c := NewPlanCache(4)
+	mk := func(d time.Duration) *Plan { return &Plan{Target: d} }
+	for _, d := range Ladder(200 * time.Millisecond) {
+		c.Pin(d, mk(d))
+	}
+
+	// Exact tier: served at exactly the requested target.
+	if target, p, ok := c.Resolve(200 * time.Millisecond); !ok || target != 200*time.Millisecond || p.Target != target {
+		t.Fatalf("Resolve(200ms) = %v %v %v", target, p, ok)
+	}
+	// Between tiers: the tightest tier that still meets the SLO wins
+	// (largest target ≤ want), not the tier above it.
+	if target, _, ok := c.Resolve(300 * time.Millisecond); !ok || target != 200*time.Millisecond {
+		t.Fatalf("Resolve(300ms) = %v %v, want the 200ms tier", target, ok)
+	}
+	// Tighter than every tier: miss — a new tier must be planned.
+	if _, _, ok := c.Resolve(30 * time.Millisecond); ok {
+		t.Fatal("Resolve(30ms) hit with no tier ≤ 30ms")
+	}
+	// Far above every tier: miss — a 2s SLO must not silently ride the
+	// 400ms tier and throw away 5× of fidelity headroom.
+	if _, _, ok := c.Resolve(2 * time.Second); ok {
+		t.Fatal("Resolve(2s) hit a tier 5× tighter than asked")
+	}
+	// ...but within 2× it is a hit (the miss rule's tolerance).
+	if target, _, ok := c.Resolve(700 * time.Millisecond); !ok || target != 400*time.Millisecond {
+		t.Fatalf("Resolve(700ms) = %v %v, want the 400ms tier", target, ok)
+	}
+}
+
+// TestPlanCacheResolveBelow pins the downgrade rule: demotion steps to
+// the next cached rung down and parks at the coarsest — it must never
+// manufacture a tier (that would mean planning at peak load).
+func TestPlanCacheResolveBelow(t *testing.T) {
+	c := NewPlanCache(4)
+	for _, d := range Ladder(200 * time.Millisecond) {
+		c.Pin(d, &Plan{Target: d})
+	}
+	if target, _, ok := c.ResolveBelow(200 * time.Millisecond); !ok || target != 100*time.Millisecond {
+		t.Fatalf("ResolveBelow(200ms) = %v %v, want the 100ms rung", target, ok)
+	}
+	if _, _, ok := c.ResolveBelow(100 * time.Millisecond); ok {
+		t.Fatal("ResolveBelow at the coarsest rung must report no tier")
+	}
+	// The step is bounded to 2×: an arbitrarily tight on-demand tier
+	// another client planted is not a demotion target.
+	c.Put(5*time.Millisecond, &Plan{Target: 5 * time.Millisecond})
+	if target, _, ok := c.ResolveBelow(100 * time.Millisecond); ok {
+		t.Fatalf("ResolveBelow(100ms) landed on the %v tier, want no rung within 2x", target)
+	}
+	if target, _, ok := c.ResolveBelow(200 * time.Millisecond); !ok || target != 100*time.Millisecond {
+		t.Fatalf("ResolveBelow(200ms) = %v %v, want the 100ms rung", target, ok)
+	}
+}
+
+func TestPlanCacheLRUBoundsUnpinned(t *testing.T) {
+	c := NewPlanCache(2)
+	c.Pin(100*time.Millisecond, &Plan{Target: 100 * time.Millisecond})
+	for _, d := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
+		c.Put(d, &Plan{Target: d})
+	}
+	// Limit 2: the oldest on-demand tier (1s) was evicted; pins survive.
+	if c.Len() != 3 {
+		t.Fatalf("cache holds %d tiers, want 3 (1 pinned + 2 LRU)", c.Len())
+	}
+	if _, _, ok := c.Resolve(time.Second); ok {
+		t.Fatal("evicted 1s tier still resolves")
+	}
+	if _, _, ok := c.Resolve(2 * time.Second); !ok {
+		t.Fatal("2s tier missing")
+	}
+	// Resolving refreshes recency: 2s survives the next insert, 3s goes.
+	c.Put(4*time.Second, &Plan{Target: 4 * time.Second})
+	if _, _, ok := c.Resolve(2 * time.Second); !ok {
+		t.Fatal("recently used 2s tier was evicted")
+	}
+	for _, target := range c.Targets() {
+		if target == 3*time.Second {
+			t.Fatal("LRU victim 3s tier still cached")
+		}
+	}
+	// Clear drops everything, pinned included.
+	c.Clear()
+	if c.Len() != 0 {
+		t.Fatalf("cache holds %d tiers after Clear", c.Len())
+	}
+}
+
+// TestFidelityGrowsWithTarget pins the elastic trade the tier ladder
+// sells: a more relaxed target buys a strictly higher-fidelity plan
+// (deeper/wider submodel, higher bitwidths) and streams more bytes.
+func TestFidelityGrowsWithTarget(t *testing.T) {
+	cfg := model.BERTBase()
+	imp := importance.Synthetic("SST-2", cfg.Layers, cfg.Heads)
+	sizer := AnalyticSizer{Params: cfg.ShardParams()}
+	plan := func(d time.Duration) *Plan {
+		p, err := NewRequest(device.Odroid(), cfg, imp, sizer, d, 1<<20).Plan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	tight, relaxed := plan(100*time.Millisecond), plan(400*time.Millisecond)
+	ft := tight.Fidelity(cfg.Layers, cfg.Heads)
+	fr := relaxed.Fidelity(cfg.Layers, cfg.Heads)
+	if ft <= 0 || fr > 1 {
+		t.Fatalf("fidelities out of range: tight %v relaxed %v", ft, fr)
+	}
+	if ft >= fr {
+		t.Fatalf("tight tier fidelity %v not below relaxed %v", ft, fr)
+	}
+	if tight.TotalStreamBytes(sizer) >= relaxed.TotalStreamBytes(sizer) {
+		t.Fatalf("tight tier streams %d bytes, relaxed %d — tighter targets must stream less",
+			tight.TotalStreamBytes(sizer), relaxed.TotalStreamBytes(sizer))
+	}
+}

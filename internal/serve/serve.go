@@ -5,12 +5,16 @@
 // inference requests against per-model deadlines.
 //
 // Each managed model gets a bounded admission queue and a small pool
-// of worker goroutines. A request's deadline derives from the model's
-// planned latency target: the planner already promised target-latency
-// execution, so a request queued longer than a few targets can never
-// be served usefully and is shed instead of dragging the whole queue
-// past its deadlines (load shedding at admission keeps tail latency
-// bounded — the queue rejects rather than grows).
+// of worker goroutines. A request's deadline derives from its own
+// TargetLatency (SLO) — or the model's default target when it carries
+// none — so a request queued longer than a few targets can never be
+// served usefully and is shed instead of dragging the whole queue past
+// its deadlines (load shedding at admission keeps tail latency bounded
+// — the queue rejects rather than grows). Under congestion (queue
+// depth at the high-water mark) the scheduler prefers degrading to
+// shedding: best-effort and over-deadline requests are demoted to a
+// coarser plan tier — the backend serves them faster at lower fidelity
+// and records the downgrade in the response's tier.
 //
 // Requests are task-typed (pipeline.Request): classify jobs batch into
 // one shared IO/decompress stream exactly as before, while generate
@@ -33,6 +37,7 @@ import (
 	"time"
 
 	"sti/internal/pipeline"
+	"sti/internal/planner"
 )
 
 // Typed admission-control errors. HTTP frontends map these to status
@@ -40,8 +45,9 @@ import (
 // models); programmatic callers test with errors.Is.
 var (
 	// ErrQueueFull reports load shedding: the model's bounded
-	// admission queue was full at submit time (or, for best-effort
-	// requests with Priority < 0, at least half full).
+	// admission queue was full at submit time. (Best-effort requests
+	// with Priority < 0 are downgraded to a coarser tier, not shed,
+	// while any queue slot remains.)
 	ErrQueueFull = errors.New("serve: queue full, request shed")
 	// ErrDeadline reports that the request's deadline expired before a
 	// worker could start it (or was already expired at submit), or —
@@ -92,6 +98,12 @@ type Options struct {
 	// for more to accumulate before executing (only when MaxBatch > 1).
 	// Default 2ms.
 	BatchWindow time.Duration
+	// HighWater is the congestion mark as a fraction of QueueDepth: at
+	// or above it the scheduler downgrades best-effort (Priority < 0)
+	// and over-deadline requests to a coarser plan tier instead of
+	// shedding them — fidelity degrades before availability does.
+	// Default 0.5.
+	HighWater float64
 }
 
 func (o Options) withDefaults() Options {
@@ -113,6 +125,9 @@ func (o Options) withDefaults() Options {
 	if o.BatchWindow <= 0 {
 		o.BatchWindow = 2 * time.Millisecond
 	}
+	if o.HighWater <= 0 {
+		o.HighWater = 0.5
+	}
 	return o
 }
 
@@ -132,6 +147,10 @@ type Result struct {
 	// Batch is how many requests shared the execution stream (1 for an
 	// unbatched request).
 	Batch int
+	// Tier records the plan tier that served the request: its latency
+	// target, fidelity, plan-cache outcome and whether congestion
+	// downgraded the request. Nil when the backend resolves no tiers.
+	Tier *pipeline.TierInfo
 
 	Queued time.Duration // admission → worker pickup
 	Total  time.Duration // admission → completion
@@ -141,6 +160,9 @@ type job struct {
 	ctx      context.Context
 	req      pipeline.Request
 	deadline time.Time
+	window   time.Duration // Slack × the request's effective target
+	coarsest time.Duration // the model ladder's bottom rung (0.5×default)
+	demoted  bool          // downgraded over-deadline at dequeue
 	enqueued time.Time
 	done     chan outcome
 }
@@ -183,12 +205,21 @@ func New(backend Backend, opts Options) *Scheduler {
 	}
 }
 
+// congested reports whether a queue's depth is at or past the
+// high-water mark — the point where the scheduler starts trading
+// fidelity (tier downgrades) for availability.
+func (s *Scheduler) congested(q *modelQueue) bool {
+	return float64(len(q.jobs)) >= s.opts.HighWater*float64(cap(q.jobs))
+}
+
 // Submit admits one task-typed request for a model and blocks until it
 // completes, is shed, or ctx is done. The request's deadline is
-// admission time + Slack×(model target), tightened by any earlier ctx
-// deadline; generate requests keep checking it per decoded token.
-// Requests with Priority < 0 are best-effort: they shed once the
-// model's queue is half full, keeping headroom for normal traffic.
+// admission time + Slack×(its TargetLatency, or the model's default
+// target), tightened by any earlier ctx deadline; generate requests
+// keep checking it per decoded token. Requests with Priority < 0 are
+// best-effort: past the queue's high-water mark they are downgraded to
+// a coarser plan tier — served degraded instead of shed — and only a
+// full queue sheds them like everyone else.
 func (s *Scheduler) Submit(ctx context.Context, model string, req pipeline.Request) (*Result, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
@@ -197,8 +228,18 @@ func (s *Scheduler) Submit(ctx context.Context, model string, req pipeline.Reque
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, model)
 	}
+	// Canonicalize the SLO once at admission: fill in the model
+	// default and snap to the plan-cache grid, so the deadline window,
+	// the batch grouping below and the backend's tier resolution all
+	// agree on one effective target (and the backend is consulted
+	// exactly once).
+	if req.TargetLatency <= 0 {
+		req.TargetLatency = target
+	}
+	req.TargetLatency = planner.TierKey(req.TargetLatency)
+	window := time.Duration(s.opts.Slack * float64(req.TargetLatency))
 	now := time.Now()
-	deadline := now.Add(time.Duration(s.opts.Slack * float64(target)))
+	deadline := now.Add(window)
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
 	}
@@ -218,17 +259,20 @@ func (s *Scheduler) Submit(ctx context.Context, model string, req pipeline.Reque
 		q.stats.deadlineMiss()
 		return nil, fmt.Errorf("%w: model %q", ErrDeadline, model)
 	}
-	if req.Priority < 0 && 2*len(q.jobs) >= cap(q.jobs) {
-		s.mu.Unlock()
-		q.stats.shed()
-		return nil, fmt.Errorf("%w: model %q best-effort shed at depth %d/%d",
-			ErrQueueFull, model, len(q.jobs), cap(q.jobs))
+	if req.Priority < 0 && !req.Downgraded && s.congested(q) {
+		// Congestion: demote best-effort traffic to a coarser tier
+		// instead of shedding it — the tighter-target plan executes
+		// faster, so the queue drains harder while the caller still
+		// gets an answer (flagged Downgraded in the response's tier).
+		req.Downgraded = true
 	}
 
 	j := &job{
 		ctx: ctx, req: req,
-		deadline: deadline, enqueued: now,
-		done: make(chan outcome, 1),
+		deadline: deadline, window: window,
+		coarsest: planner.Ladder(target)[0],
+		enqueued: now,
+		done:     make(chan outcome, 1),
 	}
 	select {
 	case q.jobs <- j:
@@ -280,13 +324,28 @@ func (s *Scheduler) queueLocked(model string) *modelQueue {
 	return q
 }
 
+// batchKey partitions drained classify jobs by SLO class — the
+// canonicalized target plus downgrade state. A shared execution
+// stream runs on ONE plan, so batching a tight-SLO job with relaxed
+// ones would either blow the tight SLO or silently strip the relaxed
+// jobs' fidelity down to the tightest member. The key is a
+// conservative proxy for the tier the backend will resolve: distinct
+// SLO values that happen to land on the same tier run as separate
+// batches (correct, just unamortized) — resolving tiers here would
+// couple the scheduler to the fleet's ladder.
+type batchKey struct {
+	target     time.Duration
+	downgraded bool
+}
+
 // worker drains one model's queue until the queue closes. A generate
 // job runs singly, immediately — holding it back for a batch window
 // would only delay its first token. A classify job accumulates up to
-// MaxBatch queued jobs (waiting at most BatchWindow after the first)
-// and serves them with one batched backend call — one IO/decompress
-// stream for the whole batch; any generate jobs the accumulator
-// happened to drain run singly right after the batch.
+// MaxBatch queued jobs (waiting at most BatchWindow after the first),
+// partitions them by plan tier, and serves each tier group with one
+// batched backend call — one IO/decompress stream per group; any
+// generate jobs the accumulator happened to drain run singly right
+// after the batches.
 func (s *Scheduler) worker(model string, q *modelQueue) {
 	defer s.wg.Done()
 	for j := range q.jobs {
@@ -298,16 +357,23 @@ func (s *Scheduler) worker(model string, q *modelQueue) {
 		if s.opts.MaxBatch > 1 {
 			batch = append(batch, s.accumulate(q)...)
 		}
-		classify := batch[:0]
+		groups := make(map[batchKey][]*job)
+		var order []batchKey
 		var generate []*job
 		for _, b := range batch {
 			if b.req.Task == pipeline.TaskGenerate {
 				generate = append(generate, b)
-			} else {
-				classify = append(classify, b)
+				continue
 			}
+			k := batchKey{target: b.req.TargetLatency, downgraded: b.req.Downgraded}
+			if _, ok := groups[k]; !ok {
+				order = append(order, k)
+			}
+			groups[k] = append(groups[k], b)
 		}
-		s.runBatch(model, q, classify)
+		for _, k := range order {
+			s.runBatch(model, q, groups[k])
+		}
 		for _, g := range generate {
 			s.runSingle(model, q, g)
 		}
@@ -336,8 +402,12 @@ func (s *Scheduler) accumulate(q *modelQueue) []*job {
 }
 
 // admit checks a drained job's context and deadline at execution time:
-// an expired job sheds alone, never dragging its batchmates. It
-// reports whether the job is still worth executing.
+// an expired job sheds alone, never dragging its batchmates — unless
+// the queue is congested and the job was not already demoted, in which
+// case it is downgraded to a coarser tier with a fresh (halved)
+// deadline window: under pressure the scheduler degrades fidelity
+// before it sheds work it already queued. It reports whether the job
+// is still worth executing.
 func (s *Scheduler) admit(model string, q *modelQueue, j *job, now time.Time) bool {
 	if j.ctx.Err() != nil {
 		// Caller already gone; nothing is waiting on done. The job must
@@ -345,6 +415,16 @@ func (s *Scheduler) admit(model string, q *modelQueue, j *job, now time.Time) bo
 		return false
 	}
 	if now.After(j.deadline) {
+		// Demotion must actually buy a faster plan: a request already
+		// at (or below) the ladder's bottom rung has no coarser tier
+		// to land on, so "downgrading" it would just serve it past its
+		// deadline at full fidelity — it sheds like before.
+		if !j.req.Downgraded && s.congested(q) && j.req.TargetLatency > j.coarsest {
+			j.req.Downgraded = true
+			j.demoted = true
+			j.deadline = now.Add(j.window / 2)
+			return true
+		}
 		q.stats.deadlineMiss()
 		j.done <- outcome{err: fmt.Errorf("%w: model %q queued %v", ErrDeadline, model, now.Sub(j.enqueued).Round(time.Millisecond))}
 		return false
@@ -366,6 +446,27 @@ func (s *Scheduler) runBatch(model string, q *modelQueue, batch []*job) {
 	if len(live) == 0 {
 		return
 	}
+	// admit may have demoted over-deadline members to a coarser tier;
+	// run them apart so they don't drag their batchmates down with
+	// them (a batch executes on one plan — its tightest member's).
+	var normal, demoted []*job
+	for _, j := range live {
+		if j.req.Downgraded {
+			demoted = append(demoted, j)
+		} else {
+			normal = append(normal, j)
+		}
+	}
+	if len(normal) > 0 && len(demoted) > 0 {
+		s.executeBatch(model, q, normal, now)
+		s.executeBatch(model, q, demoted, now)
+		return
+	}
+	s.executeBatch(model, q, live, now)
+}
+
+// executeBatch serves one tier-consistent batch of admitted jobs.
+func (s *Scheduler) executeBatch(model string, q *modelQueue, live []*job, now time.Time) {
 	if len(live) == 1 {
 		s.execSingle(model, q, live[0])
 		return
@@ -384,8 +485,16 @@ func (s *Scheduler) runBatch(model string, q *modelQueue, batch []*job) {
 	for i, j := range live {
 		total := time.Since(j.enqueued)
 		q.stats.completed(total)
+		q.stats.servedTier(resps[i].Tier)
+		// An over-deadline job was admitted on the promise of a coarser
+		// tier; if the backend had no rung to demote to, the job was in
+		// fact served past its deadline — account for it.
+		if j.demoted && (resps[i].Tier == nil || !resps[i].Tier.Downgraded) {
+			q.stats.deadlineMiss()
+		}
 		j.done <- outcome{res: Result{
 			Logits: resps[i].Logits, Stats: &stats.ExecStats, Batch: stats.Batch,
+			Tier:   resps[i].Tier,
 			Queued: now.Sub(j.enqueued), Total: total,
 		}}
 	}
@@ -425,7 +534,7 @@ func (s *Scheduler) execSingle(model string, q *modelQueue, j *job) {
 		}
 		res = Result{
 			Logits: resp.Logits, GeneratedTokens: resp.GeneratedTokens,
-			Gen: resp.Gen, Stats: resp.Stats, Batch: 1,
+			Gen: resp.Gen, Stats: resp.Stats, Batch: 1, Tier: resp.Tier,
 			Queued: pickup.Sub(j.enqueued), Total: time.Since(j.enqueued),
 		}
 		if resp.Gen != nil {
@@ -437,6 +546,12 @@ func (s *Scheduler) execSingle(model string, q *modelQueue, j *job) {
 	case err == nil:
 		q.stats.executed(1, bytes)
 		q.stats.completed(res.Total)
+		q.stats.servedTier(res.Tier)
+		// A dequeue demotion that found no coarser rung at the backend
+		// means the job was served past its deadline — account for it.
+		if j.demoted && (res.Tier == nil || !res.Tier.Downgraded) {
+			q.stats.deadlineMiss()
+		}
 		j.done <- outcome{res: res}
 	case errors.Is(err, context.Canceled) && j.ctx.Err() != nil:
 		// Client went away mid-execution; nothing is waiting on done.

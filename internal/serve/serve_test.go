@@ -71,15 +71,33 @@ func (b *stubBackend) infer(tokens []int) ([]float32, *pipeline.ExecStats, error
 // not — so per-request amortization is observable in stats.
 const stubStreamBytes = 1000
 
+// tier fabricates the tier record a fleet would resolve: the request's
+// effective target (its own SLO or the model default), halved by a
+// congestion downgrade.
+func (b *stubBackend) tier(name string, req pipeline.Request) *pipeline.TierInfo {
+	target := req.TargetLatency
+	if target <= 0 {
+		target = b.targets[name]
+	}
+	if req.Downgraded {
+		target /= 2
+	}
+	return &pipeline.TierInfo{Target: target, Fidelity: 1, CacheHit: true, Downgraded: req.Downgraded}
+}
+
 func (b *stubBackend) Serve(ctx context.Context, name string, req pipeline.Request) (*pipeline.Response, error) {
 	if req.Task == pipeline.TaskGenerate {
-		return b.generate(ctx, req)
+		resp, err := b.generate(ctx, req)
+		if resp != nil {
+			resp.Tier = b.tier(name, req)
+		}
+		return resp, err
 	}
 	logits, stats, err := b.infer(req.Tokens)
 	if err != nil {
 		return nil, err
 	}
-	return &pipeline.Response{Logits: logits, Stats: stats}, nil
+	return &pipeline.Response{Logits: logits, Stats: stats, Tier: b.tier(name, req)}, nil
 }
 
 // generate fabricates a greedy decode: token s of step s, one
@@ -130,7 +148,7 @@ func (b *stubBackend) ServeBatch(ctx context.Context, name string, reqs []pipeli
 		if err != nil {
 			return nil, nil, err
 		}
-		out[i] = &pipeline.Response{Logits: logits, Stats: &bs.ExecStats}
+		out[i] = &pipeline.Response{Logits: logits, Stats: &bs.ExecStats, Tier: b.tier(name, req)}
 	}
 	return out, bs, nil
 }

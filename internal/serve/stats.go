@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"sti/internal/pipeline"
 )
 
 // ModelStats is one model's serving counters and latency distribution
@@ -33,6 +35,19 @@ type ModelStats struct {
 	P50             time.Duration `json:"p50_ns"`
 	P95             time.Duration `json:"p95_ns"`
 	Max             time.Duration `json:"max_ns"`
+
+	// PlanCacheHits/Misses count served requests by how their SLO
+	// resolved: a hit rode an already-cached plan tier, a miss planned
+	// (and warmed) a new tier on demand.
+	PlanCacheHits   uint64 `json:"plan_cache_hits"`
+	PlanCacheMisses uint64 `json:"plan_cache_misses"`
+	// Downgraded counts requests congestion demoted to a coarser plan
+	// tier instead of shedding (best-effort past the high-water mark,
+	// or over-deadline jobs at dequeue).
+	Downgraded uint64 `json:"downgraded"`
+	// ServedByTier counts completed requests per plan-tier target
+	// (key: the tier's latency target, e.g. "200ms").
+	ServedByTier map[string]uint64 `json:"served_by_tier,omitempty"`
 }
 
 // Stats is a point-in-time snapshot of the whole scheduler. Each
@@ -50,7 +65,12 @@ type Stats struct {
 	AvgBatch        float64       `json:"avg_batch"`
 	BytesRead       int64         `json:"bytes_read"`
 	GeneratedTokens uint64        `json:"generated_tokens"`
-	Models          []ModelStats  `json:"models"`
+	PlanCacheHits   uint64        `json:"plan_cache_hits"`
+	PlanCacheMisses uint64        `json:"plan_cache_misses"`
+	Downgraded      uint64        `json:"downgraded"`
+	// ServedByTier merges every model's per-tier served counts.
+	ServedByTier map[string]uint64 `json:"served_by_tier,omitempty"`
+	Models       []ModelStats      `json:"models"`
 }
 
 type modelStats struct {
@@ -62,6 +82,9 @@ type modelStats struct {
 	nDeadline    atomic.Uint64
 	nBatches     atomic.Uint64
 	nGenerated   atomic.Uint64
+	nCacheHit    atomic.Uint64
+	nCacheMiss   atomic.Uint64
+	nDowngraded  atomic.Uint64
 	maxBatch     atomic.Int64
 	bytesRead    atomic.Int64
 	maxLatencyNS atomic.Int64
@@ -70,10 +93,15 @@ type modelStats struct {
 	window  []time.Duration // ring buffer of recent total latencies
 	next    int
 	wrapped bool
+	byTier  map[time.Duration]uint64 // served requests per tier target
 }
 
 func newModelStats(model string, window int) *modelStats {
-	return &modelStats{model: model, window: make([]time.Duration, window)}
+	return &modelStats{
+		model:  model,
+		window: make([]time.Duration, window),
+		byTier: make(map[time.Duration]uint64),
+	}
 }
 
 func (m *modelStats) completed(total time.Duration) {
@@ -115,6 +143,27 @@ func (m *modelStats) generated(n int) {
 	}
 }
 
+// servedTier records which plan tier served one completed request, how
+// its SLO resolved against the plan cache, and whether congestion
+// demoted it. A nil tier (a backend that resolves no tiers) records
+// nothing.
+func (m *modelStats) servedTier(ti *pipeline.TierInfo) {
+	if ti == nil {
+		return
+	}
+	if ti.CacheHit {
+		m.nCacheHit.Add(1)
+	} else {
+		m.nCacheMiss.Add(1)
+	}
+	if ti.Downgraded {
+		m.nDowngraded.Add(1)
+	}
+	m.mu.Lock()
+	m.byTier[ti.Target]++
+	m.mu.Unlock()
+}
+
 func (m *modelStats) shed()         { m.nShed.Add(1) }
 func (m *modelStats) deadlineMiss() { m.nDeadline.Add(1) }
 
@@ -125,6 +174,13 @@ func (m *modelStats) snapshot() ModelStats {
 		n = len(m.window)
 	}
 	lat := append([]time.Duration(nil), m.window[:n]...)
+	var byTier map[string]uint64
+	if len(m.byTier) > 0 {
+		byTier = make(map[string]uint64, len(m.byTier))
+		for target, count := range m.byTier {
+			byTier[target.String()] = count
+		}
+	}
 	m.mu.Unlock()
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 	ms := ModelStats{
@@ -135,6 +191,10 @@ func (m *modelStats) snapshot() ModelStats {
 		DeadlineMiss:    m.nDeadline.Load(),
 		Batches:         m.nBatches.Load(),
 		GeneratedTokens: m.nGenerated.Load(),
+		PlanCacheHits:   m.nCacheHit.Load(),
+		PlanCacheMisses: m.nCacheMiss.Load(),
+		Downgraded:      m.nDowngraded.Load(),
+		ServedByTier:    byTier,
 		MaxBatch:        int(m.maxBatch.Load()),
 		BytesRead:       m.bytesRead.Load(),
 		P50:             percentile(lat, 0.50),
@@ -189,6 +249,15 @@ func (s *Scheduler) Snapshot() Stats {
 		st.Batches += ms.Batches
 		st.BytesRead += ms.BytesRead
 		st.GeneratedTokens += ms.GeneratedTokens
+		st.PlanCacheHits += ms.PlanCacheHits
+		st.PlanCacheMisses += ms.PlanCacheMisses
+		st.Downgraded += ms.Downgraded
+		for tier, count := range ms.ServedByTier {
+			if st.ServedByTier == nil {
+				st.ServedByTier = make(map[string]uint64)
+			}
+			st.ServedByTier[tier] += count
+		}
 		st.Models = append(st.Models, ms)
 	}
 	sort.Slice(st.Models, func(i, j int) bool { return st.Models[i].Model < st.Models[j].Model })

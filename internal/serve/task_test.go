@@ -146,9 +146,11 @@ func TestSchedulerGenerateRunsSingly(t *testing.T) {
 	}
 }
 
-// TestSchedulerBestEffortSheds: Priority < 0 requests are admission-
-// controlled at half queue depth, keeping headroom for normal traffic.
-func TestSchedulerBestEffortSheds(t *testing.T) {
+// TestSchedulerBestEffortDowngradesNotSheds: past the high-water mark
+// a Priority < 0 request is demoted to a coarser plan tier — admitted
+// and served degraded (Downgraded recorded in its tier) — instead of
+// shed; only a genuinely full queue sheds it like everyone else.
+func TestSchedulerBestEffortDowngradesNotSheds(t *testing.T) {
 	gate := make(chan struct{})
 	b := &stubBackend{targets: twoModels(), gate: gate}
 	s := New(b, Options{QueueDepth: 2, Workers: 1, Slack: 1000})
@@ -168,30 +170,42 @@ func TestSchedulerBestEffortSheds(t *testing.T) {
 	}()
 	waitUntil(t, "one queued", func() bool { return queueDepth(s, "sentiment") == 1 })
 
-	// Queue is half full (1/2): best-effort sheds, normal still admits.
+	// Queue is at the high-water mark (1/2): best-effort is admitted
+	// but demoted to a coarser tier, not shed.
+	bestEffort := make(chan *Result, 1)
+	bestEffortErr := make(chan error, 1)
+	go func() {
+		res, err := s.Submit(context.Background(), "sentiment", pipeline.Request{
+			Task: pipeline.TaskClassify, Tokens: []int{1}, Priority: -1,
+		})
+		bestEffort <- res
+		bestEffortErr <- err
+	}()
+	waitUntil(t, "two queued", func() bool { return queueDepth(s, "sentiment") == 2 })
+
+	// Queue is now truly full: best-effort AND normal traffic shed.
 	_, err := s.Submit(context.Background(), "sentiment", pipeline.Request{
 		Task: pipeline.TaskClassify, Tokens: []int{1}, Priority: -1,
 	})
 	if !errors.Is(err, ErrQueueFull) {
-		t.Fatalf("best-effort at half depth got %v, want ErrQueueFull", err)
+		t.Fatalf("best-effort at full depth got %v, want ErrQueueFull", err)
 	}
-	third := make(chan error, 1)
-	go func() {
-		_, err := s.Do(context.Background(), "sentiment", []int{1}, nil)
-		third <- err
-	}()
-	waitUntil(t, "two queued", func() bool { return queueDepth(s, "sentiment") == 2 })
 	releaseGate()
 	for i := 0; i < 2; i++ {
 		if err := <-results; err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := <-third; err != nil {
-		t.Fatal(err)
+	res := <-bestEffort
+	if err := <-bestEffortErr; err != nil {
+		t.Fatalf("congested best-effort must be served degraded, got %v", err)
 	}
-	if st := s.Snapshot(); st.Shed != 1 || st.Completed != 3 {
-		t.Fatalf("snapshot %+v, want 1 shed + 3 completed", st)
+	if res.Tier == nil || !res.Tier.Downgraded {
+		t.Fatalf("downgraded request's tier %+v must record Downgraded", res.Tier)
+	}
+	st := s.Snapshot()
+	if st.Shed != 1 || st.Completed != 3 || st.Downgraded != 1 {
+		t.Fatalf("snapshot %+v, want 1 shed + 3 completed + 1 downgraded", st)
 	}
 }
 
