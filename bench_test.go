@@ -15,6 +15,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -294,6 +295,77 @@ func BenchmarkTieredServe(b *testing.B) {
 		b.ReportMetric(float64(downgraded)/float64(completed), "downgrade_rate")
 	}
 	b.ReportMetric(float64(shed), "shed")
+}
+
+// BenchmarkReplicatedServe measures elastic multi-engine serving: the
+// same classify workload hammers one model through the full
+// scheduler→fleet path at replicas ∈ {1, 2, 4}, with scheduler
+// workers scaled 2× the replica count (the sti-serve default) and
+// batching disabled so every request is one dispatch. Reported
+// metrics: completed req/s, real flash bytes per request (reads the
+// single-flight shard cache did NOT absorb — flat as replicas grow is
+// the win), and the cache's dedup hit rate.
+func BenchmarkReplicatedServe(b *testing.B) {
+	dir := b.TempDir()
+	w := sti.NewRandomModel(sti.TinyConfig(), 77)
+	if _, err := sti.Preprocess(dir, w, nil); err != nil {
+		b.Fatal(err)
+	}
+	for _, replicas := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("replicas=%d", replicas), func(b *testing.B) {
+			sys, err := sti.Load(dir, sti.Odroid(), 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fleet := sti.NewFleet(96 << 10)
+			if err := fleet.Add("m", sys, 100*time.Millisecond, 1); err != nil {
+				b.Fatal(err)
+			}
+			if err := fleet.SetReplicas("m", replicas); err != nil {
+				b.Fatal(err)
+			}
+			if err := fleet.Replan(); err != nil {
+				b.Fatal(err)
+			}
+			sched := sti.NewScheduler(fleet, sti.ServeOptions{
+				QueueDepth: 64, Workers: 2 * replicas, Slack: 1000, MaxBatch: 1,
+			})
+			defer sched.Close()
+
+			before, _ := fleet.SharedCacheStats("m")
+			var completed int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				const submitters = 8
+				var wg sync.WaitGroup
+				for c := 0; c < submitters; c++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for k := 0; k < 2; k++ {
+							_, err := sched.Submit(context.Background(), "m", sti.Request{
+								Task: sti.TaskClassify, Tokens: []int{1, 9, 8, 7, 2},
+							})
+							if err == nil {
+								atomic.AddInt64(&completed, 1)
+							}
+						}
+					}()
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+
+			after, _ := fleet.SharedCacheStats("m")
+			if completed > 0 {
+				b.ReportMetric(float64(completed)/b.Elapsed().Seconds(), "req/s")
+				b.ReportMetric(float64(after.BytesRead-before.BytesRead)/float64(completed), "flashbytes/req")
+			}
+			if reads := after.Requests - before.Requests; reads > 0 {
+				b.ReportMetric(float64(after.Hits()-before.Hits())/float64(reads), "sf_hit_rate")
+			}
+		})
+	}
 }
 
 // §7.2 energy overhead and the §2.1-2.2 lifetime simulation.

@@ -36,6 +36,18 @@
 //
 //	sti-serve -model sentiment=/tmp/sst2,target=150ms,weight=2 \
 //	          -model nextword=/tmp/qnli,target=300ms,weight=1
+//
+// -replicas N serves every model from an elastic pool of N pipeline
+// engines: each replica owns a slice (grant/N) of the model's preload
+// budget, requests dispatch least-loaded, and all replicas stream
+// shards through one single-flight cache so concurrent executions of
+// the same plan cost ~1× flash IO. Queue pressure past the high-water
+// mark regrows a drained pool up to N; a sustained idle queue drains
+// replicas (in-flight work finishes first) and returns their bytes.
+// /v1/stats reports replicas, per-replica served counters
+// (replica_served) and the dedup counters (singleflight_hits,
+// flash_reads, singleflight_bytes_saved). -workers must be at least
+// -replicas; when unset it defaults to 2× replicas.
 package main
 
 import (
@@ -53,6 +65,32 @@ import (
 
 	"sti"
 )
+
+// concurrencyFor resolves the scheduler worker count against the
+// replica count. Each replica only ever receives traffic from a
+// scheduler worker, so fewer workers than replicas would leave
+// replicas permanently idle while their preload buffers hold budget:
+// an explicit -workers below -replicas is a configuration error, and
+// an unset -workers defaults to 2 workers per replica so dispatch can
+// keep every replica busy and still overlap queue drains.
+func concurrencyFor(workers int, workersSet bool, replicas int) (int, error) {
+	if replicas < 1 {
+		return 0, fmt.Errorf("-replicas %d: need at least one replica", replicas)
+	}
+	if !workersSet {
+		if w := 2 * replicas; w > workers {
+			return w, nil
+		}
+		return workers, nil
+	}
+	if workers < 1 {
+		return 0, fmt.Errorf("-workers %d: need at least one worker", workers)
+	}
+	if workers < replicas {
+		return 0, fmt.Errorf("-workers %d < -replicas %d: every replica needs at least one scheduler worker to receive traffic", workers, replicas)
+	}
+	return workers, nil
+}
 
 // modelSpec is one parsed -model flag: name=dir[,target=D][,weight=W].
 type modelSpec struct {
@@ -112,7 +150,8 @@ func main() {
 	deviceName := flag.String("device", "odroid", "device profile: odroid or jetson")
 	budget := flag.Int64("budget", 256<<10, "fleet-wide preload budget in bytes")
 	queue := flag.Int("queue", 64, "admission queue depth per model")
-	workers := flag.Int("workers", 2, "worker goroutines per model")
+	workers := flag.Int("workers", 2, "scheduler worker goroutines per model (default 2, or 2x -replicas when -replicas is set; must be >= -replicas)")
+	replicas := flag.Int("replicas", 1, "pipeline-engine replicas per model: each gets its own preload-buffer slice, all share one single-flight shard cache; also the elastic ceiling queue pressure can scale up to")
 	slack := flag.Float64("slack", 4, "request deadline = slack x model target")
 	maxBatch := flag.Int("maxbatch", 8, "max queued requests drained into one batched execution (1 disables batching)")
 	batchWindow := flag.Duration("batchwindow", 2*time.Millisecond, "how long a worker waits for a batch to fill")
@@ -120,6 +159,17 @@ func main() {
 	if len(models) == 0 {
 		log.Fatal("sti-serve: at least one -model is required")
 	}
+	workersSet := false
+	flag.Visit(func(fl *flag.Flag) {
+		if fl.Name == "workers" {
+			workersSet = true
+		}
+	})
+	w, err := concurrencyFor(*workers, workersSet, *replicas)
+	if err != nil {
+		log.Fatalf("sti-serve: %v", err)
+	}
+	*workers = w
 
 	var dev *sti.Device
 	switch *deviceName {
@@ -140,15 +190,20 @@ func main() {
 		if err := fleet.Add(spec.name, sys, spec.target, spec.weight); err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("loaded %q from %s (target %v, weight %v)", spec.name, spec.dir, spec.target, spec.weight)
+		if err := fleet.SetReplicas(spec.name, *replicas); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded %q from %s (target %v, weight %v, %d replica(s))",
+			spec.name, spec.dir, spec.target, spec.weight, *replicas)
 	}
 	if err := fleet.Replan(); err != nil {
 		log.Fatalf("sti-serve: initial replan: %v", err)
 	}
 	for _, name := range fleet.Names() {
 		e, _ := fleet.Entry(name)
-		log.Printf("planned %q: %s (budget %d KB, preload %d KB)",
-			name, e.Plan, e.Budget>>10, e.Plan.PreloadUsed>>10)
+		ps, _ := fleet.ReplicaStats(name)
+		log.Printf("planned %q: %s (budget %d KB across %d replica(s) = %d KB each, preload %d KB)",
+			name, e.Plan, e.Budget>>10, e.Replicas, ps.PerReplica>>10, e.Plan.PreloadUsed>>10)
 		for _, tier := range e.Tiers {
 			cfg := e.System.Store.Man.Config
 			log.Printf("  tier %v: %dx%d fidelity %.2f",

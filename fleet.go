@@ -10,6 +10,8 @@ import (
 	"sti/internal/model"
 	"sti/internal/pipeline"
 	"sti/internal/planner"
+	"sti/internal/replica"
+	"sti/internal/store"
 )
 
 // Fleet manages several expected models at once — the paper's
@@ -23,7 +25,16 @@ import (
 // exactly the replanning rule of §3.2 (only T or |S| changes require
 // replanning).
 //
-// A Fleet is safe for concurrent use: Infer calls run in parallel
+// Each managed model is served by an elastic pool of replica engines
+// (internal/replica): N pipeline engines, each with its own preload
+// buffer carved from the model's grant (Budget/N), dispatched
+// least-loaded. All replicas of a model stream shard payloads through
+// one single-flight cache (store.SharedCache), so concurrent replicas
+// executing the same plan cost ~1× flash IO. SetReplicas provisions
+// the pool; Pressure lets a scheduler's queue-pressure signal scale it
+// up under congestion and drain it when idle.
+//
+// A Fleet is safe for concurrent use: Serve calls run in parallel
 // (including on the same model), while Add, Remove, SetBudget and
 // Replan take exclusive ownership — an in-flight replan quiesces
 // inference so a plan is never swapped out from under an execution.
@@ -49,7 +60,7 @@ type FleetEntry struct {
 	Target time.Duration // default latency target (requests with TargetLatency 0)
 	Weight float64       // expected engagement share (relative)
 
-	Budget int64 // preload bytes granted by the last Replan
+	Budget int64 // preload bytes granted to this model by the last Replan
 	// Plan is the default tier's plan — what a request with no
 	// TargetLatency of its own is served by.
 	Plan *Plan
@@ -57,15 +68,33 @@ type FleetEntry struct {
 	// plus any tiers planned on demand for off-ladder SLOs), ascending
 	// by target. Populated on Entry snapshots only.
 	Tiers []PlanTier
+	// Replicas is the model's live replica count. Populated on Entry
+	// snapshots only.
+	Replicas int
 
 	// cache is the live tier ladder: pinned graduated targets rebuilt
 	// by every replan plus an LRU-bounded set of on-demand tiers.
 	cache *planner.PlanCache
+
+	// pool is the model's elastic replica set: N pipeline engines, each
+	// holding a per-replica slice (Budget/N) of the model grant, with
+	// least-loaded dispatch. Replica 0 is System.Engine.
+	pool *replica.Pool
+	// shared is the model's single-flight payload cache — every replica
+	// streams shards through it, so K replicas executing the same plan
+	// cost ~1× flash IO.
+	shared *store.SharedCache
 }
 
 // tierCacheLimit bounds how many on-demand (off-ladder) plan tiers one
 // model may cache beyond its pinned ladder.
 const tierCacheLimit = 8
+
+// sharedRetainBytes bounds each model's single-flight payload cache:
+// beyond coalescing truly concurrent reads, completed payloads are
+// retained LRU up to this many bytes so replicas whose layer streams
+// run a few layers apart still dedupe their flash IO.
+const sharedRetainBytes = 1 << 20
 
 // NewFleet creates a fleet with a total preload budget in bytes.
 func NewFleet(totalPreloadBudget int64) *Fleet {
@@ -87,9 +116,248 @@ func (f *Fleet) Add(name string, sys *System, target time.Duration, weight float
 	if weight <= 0 {
 		return fmt.Errorf("sti: non-positive weight %v for %q", weight, name)
 	}
+	shared := store.NewSharedCache(sys.Store, sharedRetainBytes)
+	sys.Engine.SetPayloadSource(shared)
+	pool, err := replica.New(func(id int) (*pipeline.Engine, error) {
+		if id == 0 {
+			return sys.Engine, nil
+		}
+		// Later replicas share the loaded resident weights (read-only
+		// during execution) and the single-flight cache; each owns its
+		// own preload buffer, granted by the next replan.
+		return pipeline.NewReplicaEngine(sys.Store, sys.Engine.Resident, shared, 0), nil
+	}, replica.Options{Min: 1, Max: 1})
+	if err != nil {
+		return fmt.Errorf("sti: building replica pool for %q: %w", name, err)
+	}
 	f.entries[name] = &FleetEntry{
 		System: sys, Target: target, Weight: weight,
-		cache: planner.NewPlanCache(tierCacheLimit),
+		cache:  planner.NewPlanCache(tierCacheLimit),
+		pool:   pool,
+		shared: shared,
+	}
+	return nil
+}
+
+// SetReplicas provisions a model's replica pool: n engines serve the
+// model immediately (each granted Budget/n preload bytes once planned)
+// and n becomes the pool's elastic ceiling — queue pressure can regrow
+// a drained pool up to it, idleness can shrink it back toward the
+// pool's Min floor (1 unless raised via ConfigureReplicas).
+// Call before Replan for a fresh model, or any time after: the model's
+// plan ladder is restaged under the new per-replica grant.
+func (f *Fleet) SetReplicas(name string, n int) error {
+	if n < 1 {
+		return fmt.Errorf("sti: SetReplicas(%q, %d): need at least one replica", name, n)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e, ok := f.entries[name]
+	if !ok {
+		return fmt.Errorf("sti: fleet has no model %q", name)
+	}
+	// Raise the ceiling without stomping a Min floor the operator set
+	// via ConfigureReplicas (clamped to n — a floor above the ceiling
+	// is meaningless).
+	min, _ := e.pool.Limits()
+	if min > n {
+		min = n
+	}
+	e.pool.SetLimits(min, n)
+	return f.scaleEntryLocked(name, e, n)
+}
+
+// ConfigureReplicas overrides a model's replica-pool tuning (bounds,
+// drain wait, pressure thresholds). Zero-valued fields keep their
+// current setting, so tuning one knob never resets the others — in
+// particular, it never collapses a SetReplicas ceiling.
+func (f *Fleet) ConfigureReplicas(name string, opts ReplicaOptions) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e, ok := f.entries[name]
+	if !ok {
+		return fmt.Errorf("sti: fleet has no model %q", name)
+	}
+	e.pool.Configure(opts)
+	return nil
+}
+
+// SetSharedCacheRetain bounds a model's single-flight payload cache:
+// beyond coalescing concurrent reads it retains up to bytes of
+// completed payloads (LRU) as the cross-replica dedup window. 0 keeps
+// pure single-flight coalescing only. The default is sharedRetainBytes
+// (1 MiB) per model — dedup memory distinct from (and reported
+// separately to) the preload budget, via ShardCacheStats.RetainedBytes.
+func (f *Fleet) SetSharedCacheRetain(name string, bytes int64) error {
+	f.mu.RLock()
+	e, ok := f.entries[name]
+	f.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("sti: fleet has no model %q", name)
+	}
+	e.shared.SetRetain(bytes)
+	return nil
+}
+
+// Replicas returns a model's live replica count.
+func (f *Fleet) Replicas(name string) (int, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	e, ok := f.entries[name]
+	if !ok {
+		return 0, false
+	}
+	return e.pool.Size(), true
+}
+
+// ReplicaStats snapshots a model's replica pool.
+func (f *Fleet) ReplicaStats(name string) (replica.PoolStats, bool) {
+	f.mu.RLock()
+	e, ok := f.entries[name]
+	f.mu.RUnlock()
+	if !ok {
+		return replica.PoolStats{}, false
+	}
+	return e.pool.Stats(), true
+}
+
+// SharedCacheStats snapshots a model's single-flight payload cache.
+func (f *Fleet) SharedCacheStats(name string) (store.CacheStats, bool) {
+	f.mu.RLock()
+	e, ok := f.entries[name]
+	f.mu.RUnlock()
+	if !ok {
+		return store.CacheStats{}, false
+	}
+	return e.shared.Stats(), true
+}
+
+// Pressure consumes the scheduler's queue-pressure signal for one
+// model: depth and capacity of its admission queue at an observation.
+// Past the pool's high-water mark an extra replica is brought up (to
+// the SetReplicas ceiling); after a sustained idle stretch one is
+// drained — its in-flight work finishes, then its preload bytes are
+// reclaimed and re-granted to the survivors. Scaling runs on a
+// background goroutine behind the fleet's write lock, and the entry
+// lookup itself only try-locks, so Pressure never blocks the serving
+// path — an observation arriving while a replan or scale holds the
+// fleet is simply dropped (the signal is advisory and periodic).
+func (f *Fleet) Pressure(name string, depth, capacity int) {
+	if !f.mu.TryRLock() {
+		return
+	}
+	e, ok := f.entries[name]
+	f.mu.RUnlock()
+	if !ok {
+		return
+	}
+	delta := e.pool.Advise(depth, capacity)
+	if delta == 0 || !e.pool.BeginScale() {
+		return
+	}
+	go func() {
+		defer e.pool.EndScale()
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.entries[name] != e {
+			return // model removed or replaced while we queued for the lock
+		}
+		// Best-effort: a failed elastic scale leaves the pool at its
+		// previous size, and re-arms the cooldown so sustained pressure
+		// retries at Cooldown pace — not on every observation, each of
+		// which would stall serving behind this write lock.
+		if err := f.scaleEntryLocked(name, e, e.pool.Size()+delta); err != nil {
+			e.pool.NoteScaleFailure()
+		}
+	}()
+}
+
+// scaleEntryLocked resizes one model's pool and restages its plan
+// ladder under the new per-replica grant (§3.2's budget arbitration,
+// extended per-replica). The ladder is staged against the target size
+// BEFORE the pool is touched — a planning failure must leave both the
+// pool and the committed ladder exactly as they were, never a resized
+// pool whose cached plans assume the old buffer slices. f.mu must be
+// held for writing — which also guarantees no replica has requests in
+// flight, so a scale-down's drain completes immediately.
+func (f *Fleet) scaleEntryLocked(name string, e *FleetEntry, n int) error {
+	n = e.pool.Clamp(n)
+	if e.Plan == nil {
+		// Not planned yet; just provision — the first Replan arbitrates.
+		if err := e.pool.ScaleTo(n); err != nil {
+			return fmt.Errorf("sti: scaling %q: %w", name, err)
+		}
+		return nil
+	}
+	targets, ladder, err := f.stageLadderLocked(name, e, replica.PerReplica(e.Budget, n))
+	if err != nil {
+		return err
+	}
+	// Resize (membership only — the single warm happens in the commit's
+	// Apply, never twice), then commit the staged ladder. If the warm
+	// fails, undo the resize too: pool size and committed ladder must
+	// agree, whichever way the scale ends, and the rollback warm runs
+	// once, at the restored size.
+	prev := e.pool.Size()
+	if _, err := e.pool.Resize(n); err != nil {
+		return fmt.Errorf("sti: scaling %q: %w", name, err)
+	}
+	if err := f.commitLadderLocked(name, e, targets, ladder); err != nil {
+		if _, backErr := e.pool.Resize(prev); backErr == nil {
+			_ = e.pool.Apply(e.Budget, e.cache.Plans()) // restore the committed ladder's warm set
+		}
+		return err
+	}
+	return nil
+}
+
+// replanEntryLocked restages one model's plan ladder under its current
+// grant and replica count; a warming failure rolls the pool back onto
+// the committed ladder.
+func (f *Fleet) replanEntryLocked(name string, e *FleetEntry) error {
+	targets, ladder, err := f.stageLadderLocked(name, e, replica.PerReplica(e.Budget, e.pool.Size()))
+	if err != nil {
+		return err
+	}
+	if err := f.commitLadderLocked(name, e, targets, ladder); err != nil {
+		_ = e.pool.Apply(e.Budget, e.cache.Plans()) // best-effort rollback
+		return err
+	}
+	return nil
+}
+
+// stageLadderLocked plans one model's graduated tier ladder against a
+// per-replica buffer slice, without side effects.
+func (f *Fleet) stageLadderLocked(name string, e *FleetEntry, per int64) ([]time.Duration, []*Plan, error) {
+	targets := planner.Ladder(e.Target)
+	ladder := make([]*Plan, 0, len(targets))
+	for _, target := range targets {
+		plan, err := e.System.Plan(target, per)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sti: replanning %q tier %v: %w", name, target, err)
+		}
+		ladder = append(ladder, plan)
+	}
+	return targets, ladder, nil
+}
+
+// commitLadderLocked warms the pool with a staged ladder and, on
+// success, commits it as the model's pinned tiers. It does NOT roll
+// back on failure — each caller restores the consistent prior state
+// itself (replanEntry re-applies the committed ladder; scaleEntry
+// additionally undoes the resize first, so the rollback warm runs once
+// at the right pool size).
+func (f *Fleet) commitLadderLocked(name string, e *FleetEntry, targets []time.Duration, ladder []*Plan) error {
+	if err := e.pool.Apply(e.Budget, ladder); err != nil {
+		return fmt.Errorf("sti: warming %q: %w", name, err)
+	}
+	e.cache.Clear()
+	def := planner.TierKey(e.Target)
+	for i, target := range targets {
+		e.cache.Pin(target, ladder[i])
+		if target == def {
+			e.Plan = ladder[i]
+		}
 	}
 	return nil
 }
@@ -109,7 +377,8 @@ func (f *Fleet) Remove(name string) error {
 		return nil
 	}
 	delete(f.entries, name)
-	e.System.Engine.SetCacheBudget(0)
+	e.pool.Retire()
+	e.shared.Drop() // retained dedup payloads go with the model
 	if err := f.replanLocked(); err != nil {
 		return fmt.Errorf("sti: replanning after removing %q: %w", name, err)
 	}
@@ -131,6 +400,7 @@ func (f *Fleet) Entry(name string) (*FleetEntry, bool) {
 	for i := range targets {
 		snap.Tiers[i] = PlanTier{Target: targets[i], Plan: plans[i]}
 	}
+	snap.Replicas = e.pool.Size()
 	return &snap, true
 }
 
@@ -204,15 +474,19 @@ func (f *Fleet) replanLocked() error {
 	names := f.namesLocked()
 
 	// Stage: compute all grants and tier ladders without side effects.
+	// Each model's plans are built against its *per-replica* buffer
+	// slice — the grant arbitration of §3.2 extended one level down, so
+	// every replica's preload set fits the buffer it actually owns.
 	grants := make([]int64, len(names))
 	targets := make([][]time.Duration, len(names))
 	ladders := make([][]*Plan, len(names))
 	for i, name := range names {
 		e := f.entries[name]
 		grants[i] = int64(float64(f.budget) * e.Weight / totalWeight)
+		per := replica.PerReplica(grants[i], e.pool.Size())
 		targets[i] = planner.Ladder(e.Target)
 		for _, target := range targets[i] {
-			plan, err := e.System.Plan(target, grants[i])
+			plan, err := e.System.Plan(target, per)
 			if err != nil {
 				return fmt.Errorf("sti: replanning %q tier %v: %w", name, target, err)
 			}
@@ -220,20 +494,16 @@ func (f *Fleet) replanLocked() error {
 		}
 	}
 
-	// Warm the engines under their new budgets — each model's tiers
-	// share its one grant, so the engine warms the bottom-up union of
-	// the ladder's preload sets. On failure, restore the engines
+	// Warm every model's replica pool under its new grant — each
+	// replica gets its slice of the grant and warms the bottom-up union
+	// of the ladder's preload sets. On failure, restore the pools
 	// already touched to their committed ladders.
 	for i, name := range names {
 		e := f.entries[name]
-		e.System.Engine.SetCacheBudget(grants[i])
-		if err := e.System.Engine.WarmSet(ladders[i]); err != nil {
+		if err := e.pool.Apply(grants[i], ladders[i]); err != nil {
 			for k := i; k >= 0; k-- {
 				prev := f.entries[names[k]]
-				prev.System.Engine.SetCacheBudget(prev.Budget)
-				if plans := prev.cache.Plans(); len(plans) > 0 {
-					_ = prev.System.Engine.WarmSet(plans)
-				}
+				_ = prev.pool.Apply(prev.Budget, prev.cache.Plans())
 			}
 			return fmt.Errorf("sti: warming %q: %w", name, err)
 		}
@@ -268,14 +538,15 @@ func (f *Fleet) planTierLocked(name string, want time.Duration) error {
 	if _, _, ok := e.cache.Resolve(want); ok {
 		return nil // another miss raced us here and already planned it
 	}
-	plan, err := e.System.Plan(want, e.Budget)
+	plan, err := e.System.Plan(want, replica.PerReplica(e.Budget, e.pool.Size()))
 	if err != nil {
 		return fmt.Errorf("sti: planning tier %v for %q: %w", want, name, err)
 	}
 	// Warm first, cache second (the same stage-then-commit rule as
 	// replanLocked): a tier whose warm failed must not sit in the
-	// cache masquerading as served-and-warmed.
-	if err := e.System.Engine.WarmSet(append(e.cache.Plans(), plan)); err != nil {
+	// cache masquerading as served-and-warmed. Every replica's buffer
+	// absorbs the new tier's preload set.
+	if err := e.pool.Warm(append(e.cache.Plans(), plan)); err != nil {
 		return fmt.Errorf("sti: warming tier %v for %q: %w", want, name, err)
 	}
 	e.cache.Put(want, plan)
@@ -410,13 +681,26 @@ func (f *Fleet) Serve(ctx context.Context, name string, req Request) (*Response,
 	// stretch runs inside a closure whose defer releases it even if
 	// the engine panics on a poisoned request — a leaked read lock
 	// would wedge the next replan and, behind that pending writer,
-	// every model's traffic.
+	// every model's traffic. The request executes on the least-loaded
+	// replica of the model's pool; the replica is released before the
+	// read lock (defer order), so whenever a writer holds the fleet no
+	// replica has work in flight and scale-downs drain instantly.
 	info := r.info()
 
 	if req.Task != TaskGenerate {
 		resp, err := func() (*Response, error) {
 			defer f.mu.RUnlock()
-			return r.entry.System.Run(ctx, r.plan, req)
+			rep, err := r.entry.pool.Acquire()
+			if err != nil {
+				return nil, err
+			}
+			served := 0
+			defer func() { r.entry.pool.Release(rep, served) }()
+			resp, err := rep.Engine.Run(ctx, r.plan, req)
+			if err == nil {
+				served = 1
+			}
+			return resp, err
 		}()
 		if resp != nil {
 			resp.Tier = info
@@ -425,7 +709,17 @@ func (f *Fleet) Serve(ctx context.Context, name string, req Request) (*Response,
 	}
 	sm, stream, err := func() (*model.Submodel, *ExecStats, error) {
 		defer f.mu.RUnlock()
-		return r.entry.System.Engine.Materialize(ctx, r.plan)
+		rep, err := r.entry.pool.Acquire()
+		if err != nil {
+			return nil, nil, err
+		}
+		served := 0
+		defer func() { r.entry.pool.Release(rep, served) }()
+		sm, stream, err := rep.Engine.Materialize(ctx, r.plan)
+		if err == nil {
+			served = 1
+		}
+		return sm, stream, err
 	}()
 	if err != nil {
 		return nil, err
@@ -484,12 +778,21 @@ func (f *Fleet) ServeBatch(ctx context.Context, name string, reqs []Request) ([]
 	if err != nil {
 		return nil, nil, err
 	}
-	// resolveForServe returned with the read lock held.
+	// resolveForServe returned with the read lock held. The whole
+	// batch rides one replica — its single shared IO/decompress stream
+	// is the point — released before the read lock (defer order).
 	defer f.mu.RUnlock()
-	logits, bs, err := r.entry.System.Engine.ExecuteBatch(ctx, r.plan, inputs)
+	rep, err := r.entry.pool.Acquire()
 	if err != nil {
 		return nil, nil, err
 	}
+	served := 0
+	defer func() { r.entry.pool.Release(rep, served) }()
+	logits, bs, err := rep.Engine.ExecuteBatch(ctx, r.plan, inputs)
+	if err != nil {
+		return nil, nil, err
+	}
+	served = len(inputs)
 	info := r.info() // one tier served the whole batch
 	resps := make([]*Response, len(logits))
 	for i := range logits {
@@ -533,13 +836,13 @@ func (f *Fleet) InferBatch(name string, inputs []BatchInput) ([][]float32, *Batc
 }
 
 // PreloadBytes reports the total preload memory currently held across
-// all managed engines.
+// all managed engines — every replica of every model.
 func (f *Fleet) PreloadBytes() int64 {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	var total int64
 	for _, e := range f.entries {
-		total += e.System.Engine.CacheBytes()
+		total += e.pool.CacheBytes()
 	}
 	return total
 }

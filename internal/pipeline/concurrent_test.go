@@ -1,0 +1,125 @@
+package pipeline
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestEngineExecuteBatchConcurrent is the replica-safety regression
+// test: two goroutines hammering ExecuteBatch on ONE engine must (a)
+// produce logits byte-identical to a sequential run, and (b) never
+// corrupt the preload-buffer accounting — CacheBytes stays within the
+// byte budget throughout, while a third goroutine watches. Run under
+// -race (CI does) this also proves the engine's execution path shares
+// no unsynchronized state, which is what lets a pool dispatch many
+// in-flight requests across replicas without a per-engine lock.
+func TestEngineExecuteBatchConcurrent(t *testing.T) {
+	const budget = 32 << 10
+	eng, _, st := buildTinyEngine(t, budget)
+	p, _ := tinyPlan(t, st, 100*time.Millisecond, budget)
+	if err := eng.Warm(p); err != nil {
+		t.Fatal(err)
+	}
+
+	inputs := [][]BatchInput{
+		{{Tokens: []int{1, 2, 3, 4, 5}}, {Tokens: []int{9, 8, 7}}},
+		{{Tokens: []int{4, 4, 4, 4}}},
+	}
+	// Sequential reference, one per goroutine's input set.
+	want := make([][][]float32, len(inputs))
+	for i, in := range inputs {
+		logits, _, err := eng.ExecuteBatch(ctxbg, p, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = logits
+	}
+
+	const iters = 8
+	var stop atomic.Bool
+	watcherDone := make(chan struct{})
+	go func() {
+		// Accounting watcher: the budget invariant must hold at every
+		// instant, not just at rest.
+		defer close(watcherDone)
+		for !stop.Load() {
+			if got := eng.CacheBytes(); got > budget {
+				t.Errorf("CacheBytes %d exceeded budget %d mid-execution", got, budget)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := range inputs {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < iters; k++ {
+				logits, _, err := eng.ExecuteBatch(ctxbg, p, inputs[g])
+				if err != nil {
+					t.Errorf("goroutine %d iter %d: %v", g, k, err)
+					return
+				}
+				for b := range logits {
+					for j := range logits[b] {
+						if math.Float32bits(logits[b][j]) != math.Float32bits(want[g][b][j]) {
+							t.Errorf("goroutine %d iter %d input %d logit %d: %v != sequential %v",
+								g, k, b, j, logits[b][j], want[g][b][j])
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	stop.Store(true)
+	<-watcherDone
+
+	if got := eng.CacheBytes(); got > budget {
+		t.Fatalf("CacheBytes %d over budget %d after concurrent executions", got, budget)
+	}
+}
+
+// TestEngineConcurrentExecuteWithRetain interleaves executions with the
+// cache-mutating Retain path: accounting must stay within budget and
+// executions must keep succeeding (Retain and ExecuteBatch synchronize
+// on the engine's internal lock, not on the caller).
+func TestEngineConcurrentExecuteWithRetain(t *testing.T) {
+	const budget = 16 << 10
+	eng, _, st := buildTinyEngine(t, budget)
+	p, _ := tinyPlan(t, st, 100*time.Millisecond, budget)
+	if err := eng.Warm(p); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for k := 0; k < 6; k++ {
+			if _, _, err := eng.ExecuteBatch(ctxbg, p, []BatchInput{{Tokens: []int{1, 2, 3}}}); err != nil {
+				t.Errorf("execute %d: %v", k, err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for k := 0; k < 6; k++ {
+			if err := eng.Retain(p); err != nil {
+				t.Errorf("retain %d: %v", k, err)
+				return
+			}
+			if got := eng.CacheBytes(); got > budget {
+				t.Errorf("CacheBytes %d over budget %d after retain", got, budget)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}

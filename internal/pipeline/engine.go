@@ -26,6 +26,11 @@ type Engine struct {
 	Store    *store.Store
 	Resident *model.Weights
 
+	// src is where shard payloads are read from: the store itself by
+	// default, or a store.SharedCache when many replica engines of one
+	// model dedupe their flash reads through a single-flight cache.
+	src store.PayloadReader
+
 	mu          sync.Mutex
 	cache       map[shard.Version][]byte
 	cacheBytes  int64
@@ -43,10 +48,34 @@ func NewEngine(st *store.Store, cacheBudget int64) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NewReplicaEngine(st, res, st, cacheBudget), nil
+}
+
+// NewReplicaEngine builds an engine over an already-loaded resident
+// weight set, streaming shard payloads through src. This is the
+// constructor replica pools use: N engines of one model share a single
+// resident copy (it is read-only during execution) and one
+// store.SharedCache, so concurrent replicas cost ~1× flash IO instead
+// of N×. Each engine still owns its own preload buffer under its own
+// byte budget.
+func NewReplicaEngine(st *store.Store, res *model.Weights, src store.PayloadReader, cacheBudget int64) *Engine {
+	if src == nil {
+		src = st
+	}
 	return &Engine{
-		Store: st, Resident: res,
+		Store: st, Resident: res, src: src,
 		cache: make(map[shard.Version][]byte), cacheBudget: cacheBudget,
-	}, nil
+	}
+}
+
+// SetPayloadSource redirects the engine's shard reads (e.g. through a
+// shared single-flight cache). It must be called before the engine
+// serves traffic — the source is not synchronized with executions.
+func (e *Engine) SetPayloadSource(src store.PayloadReader) {
+	if src == nil {
+		src = e.Store
+	}
+	e.src = src
 }
 
 // CacheBytes returns the bytes currently held in the preload buffer.
@@ -163,7 +192,7 @@ func (e *Engine) WarmSet(plans []*planner.Plan) error {
 		if e.cached(v) != nil {
 			continue
 		}
-		payload, err := e.Store.ReadShardPayload(v.Layer, v.Slice, v.Bits)
+		payload, err := e.src.ReadShardPayload(v.Layer, v.Slice, v.Bits)
 		if err != nil {
 			return fmt.Errorf("pipeline: warm %v: %w", v, err)
 		}
@@ -374,7 +403,7 @@ func (e *Engine) ioWorker(ctx context.Context, p *planner.Plan, out chan<- layer
 				d.hits++
 				continue
 			}
-			payload, err := e.Store.ReadShardPayload(l, s, v.Bits)
+			payload, err := e.src.ReadShardPayload(l, s, v.Bits)
 			if err != nil {
 				d.err = fmt.Errorf("pipeline: layer %d shard %v: %w", l, v, err)
 				out <- d
@@ -455,7 +484,7 @@ retain:
 		if _, ok := e.cache[v]; ok {
 			continue
 		}
-		payload, err := e.Store.ReadShardPayload(v.Layer, v.Slice, v.Bits)
+		payload, err := e.src.ReadShardPayload(v.Layer, v.Slice, v.Bits)
 		if err != nil {
 			return err
 		}

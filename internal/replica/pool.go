@@ -1,0 +1,610 @@
+// Package replica implements per-model elastic pools of pipeline
+// engines — the scaling layer between the fleet's budget arbitration
+// and the paper's single-engagement execution machinery.
+//
+// STI plans one IO/compute pipeline per model (§3.2); a Pool runs N of
+// them as replicas of one model, each with its own preload buffer
+// carved from the model's byte grant (the §3.2 budget arbitration
+// extended from per-tier to per-replica: a grant of B over n replicas
+// gives each ⌊B/n⌋). Requests dispatch to the least-loaded live
+// replica; all replicas of a model stream shard payloads through one
+// store.SharedCache, so n replicas executing the same plan cost ~1×
+// flash IO, not n×.
+//
+// The pool is elastic: Advise consumes the scheduler's queue-pressure
+// signal and recommends scaling up past the high-water mark or
+// draining down when the queue has been idle. Scale-down retires a
+// replica gracefully — it stops receiving new work, its in-flight
+// requests finish (bounded wait, never shed), and only then are its
+// preload bytes reclaimed and re-granted to the survivors.
+//
+// Concurrency contract: Acquire/Release/CacheBytes/Stats/Advise are
+// safe for concurrent use at any time. The mutating operations —
+// Apply, Warm, ScaleTo, Retire — re-split budgets and warm engines and
+// must be externally serialized with each other and with executions on
+// the pool's engines (the fleet runs them under its write lock, which
+// quiesces serving).
+package replica
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sti/internal/pipeline"
+	"sti/internal/planner"
+)
+
+// Replica is one pipeline engine of a pool plus its dispatch state.
+type Replica struct {
+	ID     int
+	Engine *pipeline.Engine
+
+	// Guarded by the pool's mutex.
+	inflight int
+	served   uint64
+	draining bool
+}
+
+// Options tunes a pool.
+type Options struct {
+	// Min and Max bound the live replica count. Defaults 1 and 1 —
+	// a pool is inelastic until given headroom.
+	Min, Max int
+	// DrainWait bounds how long a scale-down waits for a retiring
+	// replica's in-flight requests. On timeout the retirement is
+	// aborted (the replica returns to service) — in-flight work is
+	// never shed. Default 5s.
+	DrainWait time.Duration
+	// HighWater is the queue-pressure fraction (depth/capacity) at or
+	// above which Advise recommends scaling up. Default 0.5.
+	HighWater float64
+	// IdleAfter is how long the queue must stay empty before Advise
+	// recommends draining a replica. Default 2s.
+	IdleAfter time.Duration
+	// Cooldown spaces scaling actions so bursty pressure cannot thrash
+	// the pool up and down. Default 250ms.
+	Cooldown time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Min <= 0 {
+		o.Min = 1
+	}
+	if o.Max < o.Min {
+		o.Max = o.Min
+	}
+	if o.DrainWait <= 0 {
+		o.DrainWait = 5 * time.Second
+	}
+	if o.HighWater <= 0 {
+		o.HighWater = 0.5
+	}
+	if o.IdleAfter <= 0 {
+		o.IdleAfter = 2 * time.Second
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 250 * time.Millisecond
+	}
+	return o
+}
+
+// PoolStats is a point-in-time snapshot of a pool's replicas.
+type PoolStats struct {
+	Replicas int   `json:"replicas"`
+	Draining int   `json:"draining"`
+	Min      int   `json:"min"`
+	Max      int   `json:"max"`
+	IDs      []int `json:"ids"`
+	// Served[i] counts requests completed by replica IDs[i].
+	Served   []uint64 `json:"served"`
+	Inflight []int    `json:"inflight"`
+	// Budget is the model grant split across replicas; PerReplica the
+	// slice each live replica's preload buffer runs under.
+	Budget     int64  `json:"budget"`
+	PerReplica int64  `json:"per_replica"`
+	CacheBytes int64  `json:"cache_bytes"`
+	ScaleUps   uint64 `json:"scale_ups"`
+	ScaleDowns uint64 `json:"scale_downs"`
+}
+
+// Pool is an elastic set of replica engines for one model.
+type Pool struct {
+	factory func(id int) (*pipeline.Engine, error)
+	opts    Options
+
+	mu       sync.Mutex
+	cond     *sync.Cond // signalled on Release, for drain waits
+	replicas []*Replica
+	nextID   int
+	budget   int64           // model grant, split across live replicas
+	plans    []*planner.Plan // current warm set (ladder + on-demand tiers)
+
+	lastScale  time.Time
+	idleSince  time.Time
+	scaling    bool // a background scale decision is in progress
+	scaleUps   uint64
+	scaleDowns uint64
+}
+
+// New creates a pool with opts.Min replicas built by factory (engines
+// should start with a zero budget; Apply grants bytes after planning).
+// The factory is retained for elastic scale-ups.
+func New(factory func(id int) (*pipeline.Engine, error), opts Options) (*Pool, error) {
+	p := &Pool{factory: factory, opts: opts.withDefaults()}
+	p.cond = sync.NewCond(&p.mu)
+	for i := 0; i < p.opts.Min; i++ {
+		if err := p.spawnLocked(); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// spawnLocked builds one replica and appends it. p.mu need not be held
+// during New (no concurrency yet); ScaleTo calls it with mu held only
+// for the slice append.
+func (p *Pool) spawnLocked() error {
+	eng, err := p.factory(p.nextID)
+	if err != nil {
+		return fmt.Errorf("replica: building replica %d: %w", p.nextID, err)
+	}
+	p.replicas = append(p.replicas, &Replica{ID: p.nextID, Engine: eng})
+	p.nextID++
+	return nil
+}
+
+// Size returns the number of live (non-draining) replicas.
+func (p *Pool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.liveLocked()
+}
+
+func (p *Pool) liveLocked() int {
+	n := 0
+	for _, r := range p.replicas {
+		if !r.draining {
+			n++
+		}
+	}
+	return n
+}
+
+// Acquire picks the least-loaded live replica and marks one request in
+// flight on it. Callers must Release it exactly once.
+func (p *Pool) Acquire() (*Replica, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var best *Replica
+	for _, r := range p.replicas {
+		if r.draining {
+			continue
+		}
+		if best == nil || r.inflight < best.inflight {
+			best = r
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("replica: pool has no live replicas")
+	}
+	best.inflight++
+	return best, nil
+}
+
+// Release returns a replica after served completed requests rode the
+// acquisition (0 for a failed execution; a batch counts each member).
+func (p *Pool) Release(r *Replica, served int) {
+	p.mu.Lock()
+	r.inflight--
+	if served > 0 {
+		r.served += uint64(served)
+	}
+	p.mu.Unlock()
+	p.cond.Broadcast() // wake any drain waiting on this replica
+}
+
+// Apply re-arbitrates the model grant across the live replicas and
+// warms every replica's preload buffer with the given plan set: each
+// replica's budget becomes ⌊budget/n⌋ and its buffer the bottom-up
+// union of the plans' preload sets that fits it. Part of the mutating
+// API — callers serialize it with executions.
+func (p *Pool) Apply(budget int64, plans []*planner.Plan) error {
+	p.mu.Lock()
+	p.budget = budget
+	p.plans = plans
+	live := p.liveReplicasLocked()
+	p.mu.Unlock()
+	return warmAll(live, PerReplica(budget, len(live)), plans)
+}
+
+// Warm re-warms every live replica with a new plan set under the
+// already-granted budget (e.g. after an on-demand tier joined the
+// ladder). Part of the mutating API.
+func (p *Pool) Warm(plans []*planner.Plan) error {
+	p.mu.Lock()
+	budget := p.budget
+	p.plans = plans
+	live := p.liveReplicasLocked()
+	p.mu.Unlock()
+	return warmAll(live, PerReplica(budget, len(live)), plans)
+}
+
+func (p *Pool) liveReplicasLocked() []*Replica {
+	live := make([]*Replica, 0, len(p.replicas))
+	for _, r := range p.replicas {
+		if !r.draining {
+			live = append(live, r)
+		}
+	}
+	return live
+}
+
+// PerReplica is the §3.2 grant arbitration extended one level down: a
+// model grant of budget over n replicas gives each ⌊budget/n⌋ (0 for
+// an empty pool — no replicas, no bytes). The fleet stages plan
+// ladders against this same split, so the two layers can never
+// disagree about a replica's buffer slice.
+func PerReplica(budget int64, n int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return budget / int64(n)
+}
+
+func warmAll(live []*Replica, per int64, plans []*planner.Plan) error {
+	for _, r := range live {
+		r.Engine.SetCacheBudget(per)
+		if err := r.Engine.WarmSet(plans); err != nil {
+			return fmt.Errorf("replica: warming replica %d: %w", r.ID, err)
+		}
+	}
+	return nil
+}
+
+// Budget returns the model grant the pool currently splits.
+func (p *Pool) Budget() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.budget
+}
+
+// Clamp returns n bounded to the pool's [Min, Max] — the size ScaleTo
+// would actually land on, so callers can stage plans against the real
+// target before committing a resize.
+func (p *Pool) Clamp(n int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n < p.opts.Min {
+		return p.opts.Min
+	}
+	if n > p.opts.Max {
+		return p.opts.Max
+	}
+	return n
+}
+
+// ScaleTo grows or shrinks the pool to n live replicas (clamped to
+// [Min, Max]) and re-arbitrates the grant across the new count. Growth
+// warms the new replicas; shrinkage retires the youngest replicas
+// gracefully — each stops receiving new work, its in-flight requests
+// finish (bounded by DrainWait; on timeout the retirement aborts and
+// the replica returns to service), and only then are its preload bytes
+// reclaimed. Part of the mutating API.
+func (p *Pool) ScaleTo(n int) error {
+	resized, err := p.Resize(n)
+	if err != nil || !resized {
+		return err
+	}
+	p.mu.Lock()
+	budget, plans := p.budget, p.plans
+	p.mu.Unlock()
+	return p.Apply(budget, plans)
+}
+
+// Resize changes the live replica count WITHOUT re-warming buffers —
+// the membership half of ScaleTo, for callers that immediately Apply a
+// freshly staged plan set and must not pay (or observe) an interim
+// warm against the old one. Shrinkage drains and reclaims retirees
+// exactly as ScaleTo; growth leaves newcomers budget-less until the
+// following Apply, and survivors keep their old slices meanwhile (the
+// sum stays within the model grant either way). It reports whether the
+// count actually changed. Part of the mutating API.
+func (p *Pool) Resize(n int) (bool, error) {
+	if n < p.opts.Min {
+		n = p.opts.Min
+	}
+	if n > p.opts.Max {
+		n = p.opts.Max
+	}
+	p.mu.Lock()
+	cur := p.liveLocked()
+	switch {
+	case n == cur:
+		p.mu.Unlock()
+		return false, nil
+	case n > cur:
+		before := len(p.replicas)
+		for cur < n {
+			if err := p.spawnLocked(); err != nil {
+				// Unwind the replicas this call already spawned: a
+				// failed growth must leave the pool exactly as it was,
+				// never holding live but budget-less, never-warmed
+				// engines that Acquire would dispatch to.
+				p.replicas = p.replicas[:before]
+				p.mu.Unlock()
+				return false, err
+			}
+			cur++
+		}
+		p.lastScale = time.Now()
+		p.scaleUps++
+		p.mu.Unlock()
+		return true, nil
+	default:
+		victims := p.markDrainingLocked(cur - n)
+		if err := p.awaitDrainLocked(victims); err != nil {
+			p.mu.Unlock()
+			return false, err
+		}
+		p.removeLocked(victims)
+		p.lastScale = time.Now()
+		p.scaleDowns++
+		p.mu.Unlock()
+		// Reclaim the retirees' bytes; survivors regrow on the next
+		// Apply/Warm.
+		for _, v := range victims {
+			v.Engine.SetCacheBudget(0)
+		}
+		return true, nil
+	}
+}
+
+// markDrainingLocked excludes the k youngest live replicas from
+// dispatch and returns them.
+func (p *Pool) markDrainingLocked(k int) []*Replica {
+	var victims []*Replica
+	for i := len(p.replicas) - 1; i >= 0 && len(victims) < k; i-- {
+		if !p.replicas[i].draining {
+			p.replicas[i].draining = true
+			victims = append(victims, p.replicas[i])
+		}
+	}
+	return victims
+}
+
+// awaitDrainLocked waits (bounded by DrainWait) for every victim's
+// in-flight work to finish. On timeout the victims are un-drained and
+// an error returned: a retirement never sheds running requests.
+//
+// The deadline is enforced by a periodic broadcaster, not a one-shot
+// timer: a single wakeup can fire in the window where this goroutine
+// holds the lock between its deadline check and cond.Wait — lost, with
+// no later Release to rescue the wait — whereas a periodic one always
+// re-delivers.
+func (p *Pool) awaitDrainLocked(victims []*Replica) error {
+	busyCount := func() int {
+		busy := 0
+		for _, v := range victims {
+			busy += v.inflight
+		}
+		return busy
+	}
+	// Fast path: under the fleet's write lock no replica ever has work
+	// in flight, so every fleet-driven drain completes here without
+	// spawning the waker.
+	if busyCount() == 0 {
+		return nil
+	}
+	deadline := time.Now().Add(p.opts.DrainWait)
+	stopWake := make(chan struct{})
+	defer close(stopWake)
+	interval := p.opts.DrainWait / 10
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopWake:
+				return
+			case <-tick.C:
+				p.cond.Broadcast()
+			}
+		}
+	}()
+	for {
+		busy := busyCount()
+		if busy == 0 {
+			return nil
+		}
+		if !time.Now().Before(deadline) {
+			for _, v := range victims {
+				v.draining = false
+			}
+			return fmt.Errorf("replica: %d request(s) still in flight after %v drain wait; retirement aborted",
+				busy, p.opts.DrainWait)
+		}
+		p.cond.Wait()
+	}
+}
+
+func (p *Pool) removeLocked(victims []*Replica) {
+	dead := make(map[*Replica]bool, len(victims))
+	for _, v := range victims {
+		dead[v] = true
+	}
+	kept := p.replicas[:0]
+	for _, r := range p.replicas {
+		if !dead[r] {
+			kept = append(kept, r)
+		}
+	}
+	p.replicas = kept
+}
+
+// Configure overrides the pool's tuning (count bounds, drain wait,
+// pressure thresholds). Zero-valued fields keep their current setting,
+// so callers can adjust one knob without re-stating — or accidentally
+// resetting — the rest (e.g. tuning DrainWait must not collapse a
+// SetLimits ceiling back to 1). It does not scale by itself.
+func (p *Pool) Configure(opts Options) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if opts.Min <= 0 {
+		opts.Min = p.opts.Min
+	}
+	if opts.Max <= 0 {
+		opts.Max = p.opts.Max
+	}
+	if opts.DrainWait <= 0 {
+		opts.DrainWait = p.opts.DrainWait
+	}
+	if opts.HighWater <= 0 {
+		opts.HighWater = p.opts.HighWater
+	}
+	if opts.IdleAfter <= 0 {
+		opts.IdleAfter = p.opts.IdleAfter
+	}
+	if opts.Cooldown <= 0 {
+		opts.Cooldown = p.opts.Cooldown
+	}
+	p.opts = opts.withDefaults()
+}
+
+// Limits returns the pool's current replica-count bounds.
+func (p *Pool) Limits() (min, max int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.opts.Min, p.opts.Max
+}
+
+// SetLimits changes the pool's replica-count bounds (e.g. the
+// -replicas flag raising Max). It does not scale by itself.
+func (p *Pool) SetLimits(min, max int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if min <= 0 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	p.opts.Min, p.opts.Max = min, max
+}
+
+// Retire zeroes every replica's budget, releasing all preload bytes —
+// the pool's shutdown when its model leaves the fleet. Part of the
+// mutating API.
+func (p *Pool) Retire() {
+	p.mu.Lock()
+	replicas := append([]*Replica(nil), p.replicas...)
+	p.budget = 0
+	p.plans = nil
+	p.mu.Unlock()
+	for _, r := range replicas {
+		r.Engine.SetCacheBudget(0)
+	}
+}
+
+// Advise consumes one queue-pressure observation (current depth and
+// capacity of the model's admission queue) and returns the recommended
+// replica delta: +1 past the high-water mark, -1 after a sustained
+// idle stretch, 0 otherwise. It is cheap and safe to call on every
+// scheduler event; cooldown and the [Min, Max] bounds are applied
+// here so callers can act on any non-zero answer.
+func (p *Pool) Advise(depth, capacity int) int {
+	now := time.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if depth > 0 {
+		p.idleSince = time.Time{}
+	} else if p.idleSince.IsZero() {
+		p.idleSince = now
+	}
+	if p.scaling || now.Sub(p.lastScale) < p.opts.Cooldown {
+		return 0
+	}
+	live := p.liveLocked()
+	if capacity > 0 && float64(depth) >= p.opts.HighWater*float64(capacity) && live < p.opts.Max {
+		return 1
+	}
+	if depth == 0 && live > p.opts.Min && !p.idleSince.IsZero() && now.Sub(p.idleSince) >= p.opts.IdleAfter {
+		return -1
+	}
+	return 0
+}
+
+// NoteScaleFailure re-arms the scaling cooldown after a failed scale
+// attempt, so sustained pressure retries at Cooldown pace instead of
+// re-acquiring the fleet write lock (and re-planning a ladder) on
+// every queue observation while the failure persists.
+func (p *Pool) NoteScaleFailure() {
+	p.mu.Lock()
+	p.lastScale = time.Now()
+	p.mu.Unlock()
+}
+
+// BeginScale claims the single background-scaling slot; the caller
+// must EndScale when its scaling action (or decision not to) is done.
+// It keeps one pressure observation from spawning many concurrent
+// scalers.
+func (p *Pool) BeginScale() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.scaling {
+		return false
+	}
+	p.scaling = true
+	return true
+}
+
+// EndScale releases the background-scaling slot.
+func (p *Pool) EndScale() {
+	p.mu.Lock()
+	p.scaling = false
+	p.mu.Unlock()
+}
+
+// CacheBytes sums the preload bytes currently held across all
+// replicas (draining ones included — their bytes are reclaimed only
+// when retirement completes).
+func (p *Pool) CacheBytes() int64 {
+	p.mu.Lock()
+	replicas := append([]*Replica(nil), p.replicas...)
+	p.mu.Unlock()
+	var total int64
+	for _, r := range replicas {
+		total += r.Engine.CacheBytes()
+	}
+	return total
+}
+
+// Stats snapshots the pool.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	st := PoolStats{
+		Min: p.opts.Min, Max: p.opts.Max,
+		Budget:   p.budget,
+		ScaleUps: p.scaleUps, ScaleDowns: p.scaleDowns,
+	}
+	replicas := append([]*Replica(nil), p.replicas...)
+	for _, r := range replicas {
+		st.IDs = append(st.IDs, r.ID)
+		st.Served = append(st.Served, r.served)
+		st.Inflight = append(st.Inflight, r.inflight)
+		if r.draining {
+			st.Draining++
+		} else {
+			st.Replicas++
+		}
+	}
+	st.PerReplica = PerReplica(p.budget, st.Replicas)
+	p.mu.Unlock()
+	for _, r := range replicas {
+		st.CacheBytes += r.Engine.CacheBytes()
+	}
+	return st
+}

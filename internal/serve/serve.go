@@ -38,6 +38,8 @@ import (
 
 	"sti/internal/pipeline"
 	"sti/internal/planner"
+	"sti/internal/replica"
+	"sti/internal/store"
 )
 
 // Typed admission-control errors. HTTP frontends map these to status
@@ -73,6 +75,25 @@ type Backend interface {
 	// ServeBatch runs one batched classify whose single IO/decompress
 	// stream serves every request; it must be safe for concurrent use.
 	ServeBatch(ctx context.Context, name string, reqs []pipeline.Request) ([]*pipeline.Response, *pipeline.BatchStats, error)
+}
+
+// Elastic is the optional backend surface for replica elasticity. A
+// backend that also implements it (the fleet's per-model replica pools
+// do) receives the scheduler's queue-pressure signal — queue depth and
+// capacity at each admission and each completion — and may scale a
+// model's serving capacity up past the high-water mark or drain it
+// when the queue stays idle. Pressure must be cheap and non-blocking:
+// it is called on the serving path.
+type Elastic interface {
+	Pressure(model string, depth, capacity int)
+}
+
+// ReplicaReporter is the optional backend surface for replica-aware
+// stats: per-model pool snapshots and shared shard-cache counters,
+// surfaced through Snapshot into ModelStats.
+type ReplicaReporter interface {
+	ReplicaStats(model string) (replica.PoolStats, bool)
+	SharedCacheStats(model string) (store.CacheStats, bool)
 }
 
 // Options tunes the scheduler.
@@ -184,24 +205,79 @@ type modelQueue struct {
 // observe with Snapshot, stop with Close.
 type Scheduler struct {
 	backend Backend
-	opts    Options
-	start   time.Time
+	// elastic and reporter are the backend's optional replica surfaces,
+	// resolved once at construction.
+	elastic  Elastic
+	reporter ReplicaReporter
+	opts     Options
+	start    time.Time
 
 	mu     sync.Mutex
 	queues map[string]*modelQueue
 	closed bool
 	wg     sync.WaitGroup
+	stop   chan struct{} // closes the idle-pressure ticker; nil without an elastic backend
 }
+
+// idlePressureInterval paces the background pressure ticker: without
+// it an elastic backend would only observe queue depth on traffic
+// events, so a pool scaled up during a burst could never drain once
+// traffic stops entirely (workers park on the queue and emit nothing).
+const idlePressureInterval = 250 * time.Millisecond
 
 // New starts a scheduler over a backend. Queues and workers for each
 // model spin up lazily on its first request, so models added to the
 // fleet later are picked up without restarting the scheduler.
 func New(backend Backend, opts Options) *Scheduler {
-	return &Scheduler{
+	s := &Scheduler{
 		backend: backend,
 		opts:    opts.withDefaults(),
 		start:   time.Now(),
 		queues:  make(map[string]*modelQueue),
+	}
+	s.elastic, _ = backend.(Elastic)
+	s.reporter, _ = backend.(ReplicaReporter)
+	if s.elastic != nil {
+		s.stop = make(chan struct{})
+		s.wg.Add(1)
+		go s.idlePressure()
+	}
+	return s
+}
+
+// idlePressure periodically reports every known queue's depth to the
+// elastic backend, so sustained idleness is observed (and surplus
+// replicas drained, their preload bytes reclaimed) even when no
+// traffic events arrive at all.
+func (s *Scheduler) idlePressure() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(idlePressureInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+		}
+		s.mu.Lock()
+		models := make([]string, 0, len(s.queues))
+		queues := make([]*modelQueue, 0, len(s.queues))
+		for m, q := range s.queues {
+			models = append(models, m)
+			queues = append(queues, q)
+		}
+		s.mu.Unlock()
+		for i := range models {
+			s.pressure(models[i], queues[i])
+		}
+	}
+}
+
+// pressure feeds one queue observation to an elastic backend, which
+// may scale the model's replica pool in the background.
+func (s *Scheduler) pressure(model string, q *modelQueue) {
+	if s.elastic != nil {
+		s.elastic.Pressure(model, len(q.jobs), cap(q.jobs))
 	}
 }
 
@@ -284,6 +360,10 @@ func (s *Scheduler) Submit(ctx context.Context, model string, req pipeline.Reque
 			}
 		}
 		s.mu.Unlock()
+		// Every admission is a pressure observation: an elastic backend
+		// scales the model's replica pool up when the queue crosses its
+		// high-water mark.
+		s.pressure(model, q)
 	default:
 		s.mu.Unlock()
 		q.stats.shed()
@@ -377,6 +457,10 @@ func (s *Scheduler) worker(model string, q *modelQueue) {
 		for _, g := range generate {
 			s.runSingle(model, q, g)
 		}
+		// Every drain is a pressure observation too: it is how an
+		// elastic backend sees the queue go (and stay) idle and drains
+		// surplus replicas, reclaiming their preload bytes.
+		s.pressure(model, q)
 	}
 }
 
@@ -621,5 +705,8 @@ func (s *Scheduler) Close() {
 		close(q.jobs)
 	}
 	s.mu.Unlock()
+	if s.stop != nil {
+		close(s.stop)
+	}
 	s.wg.Wait()
 }

@@ -48,6 +48,23 @@ type ModelStats struct {
 	// ServedByTier counts completed requests per plan-tier target
 	// (key: the tier's latency target, e.g. "200ms").
 	ServedByTier map[string]uint64 `json:"served_by_tier,omitempty"`
+
+	// Replicas is the model's live replica count and ReplicaServed the
+	// completed-request counter of each replica (pool order), when the
+	// backend serves the model from an elastic replica pool.
+	Replicas      int      `json:"replicas,omitempty"`
+	ReplicaServed []uint64 `json:"replica_served,omitempty"`
+	// ScaleUps/ScaleDowns count the pool's elastic scaling actions.
+	ScaleUps   uint64 `json:"scale_ups,omitempty"`
+	ScaleDowns uint64 `json:"scale_downs,omitempty"`
+	// SingleflightHits counts shard reads the model's shared payload
+	// cache absorbed (coalesced onto an in-flight read or served from
+	// retained payloads) instead of re-reading flash; FlashReads is
+	// what actually hit flash, and SingleflightBytesSaved the IO the
+	// dedup avoided.
+	SingleflightHits       uint64 `json:"singleflight_hits"`
+	FlashReads             uint64 `json:"flash_reads,omitempty"`
+	SingleflightBytesSaved int64  `json:"singleflight_bytes_saved,omitempty"`
 }
 
 // Stats is a point-in-time snapshot of the whole scheduler. Each
@@ -68,6 +85,11 @@ type Stats struct {
 	PlanCacheHits   uint64        `json:"plan_cache_hits"`
 	PlanCacheMisses uint64        `json:"plan_cache_misses"`
 	Downgraded      uint64        `json:"downgraded"`
+	// Replicas sums every model's live replica count;
+	// SingleflightHits sums the shard reads the shared payload caches
+	// absorbed across models.
+	Replicas         int    `json:"replicas,omitempty"`
+	SingleflightHits uint64 `json:"singleflight_hits"`
 	// ServedByTier merges every model's per-tier served counts.
 	ServedByTier map[string]uint64 `json:"served_by_tier,omitempty"`
 	Models       []ModelStats      `json:"models"`
@@ -242,6 +264,20 @@ func (s *Scheduler) Snapshot() Stats {
 	for _, q := range queues {
 		ms := q.stats.snapshot()
 		ms.QueueDepth = len(q.jobs)
+		if s.reporter != nil {
+			if ps, ok := s.reporter.ReplicaStats(ms.Model); ok {
+				ms.Replicas = ps.Replicas
+				ms.ReplicaServed = ps.Served
+				ms.ScaleUps, ms.ScaleDowns = ps.ScaleUps, ps.ScaleDowns
+			}
+			if cs, ok := s.reporter.SharedCacheStats(ms.Model); ok {
+				ms.SingleflightHits = cs.Hits()
+				ms.FlashReads = cs.FlashReads
+				ms.SingleflightBytesSaved = cs.BytesSaved
+			}
+		}
+		st.Replicas += ms.Replicas
+		st.SingleflightHits += ms.SingleflightHits
 		st.Completed += ms.Completed
 		st.Failed += ms.Failed
 		st.Shed += ms.Shed

@@ -1,0 +1,222 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+)
+
+// PayloadReader is the read surface execution engines stream shard
+// payloads through. *Store implements it by reading flash directly;
+// SharedCache implements it by deduplicating reads across many engines
+// of the same store.
+type PayloadReader interface {
+	// ReadShardPayload reads the serialized payload of one shard
+	// version. The returned bytes are shared and must be treated as
+	// immutable by every caller.
+	ReadShardPayload(layer, slice, bits int) ([]byte, error)
+}
+
+var (
+	_ PayloadReader = (*Store)(nil)
+	_ PayloadReader = (*SharedCache)(nil)
+)
+
+// payloadKey addresses one shard payload. A store directory is
+// immutable after Preprocess (every payload carries a CRC32 and the
+// manifest records its exact size), so the (layer, slice, bits)
+// coordinate is a stable content address within one store.
+type payloadKey struct {
+	Layer, Slice, Bits int
+}
+
+// flight is one in-progress flash read that concurrent callers of the
+// same key coalesce onto.
+type flight struct {
+	done    chan struct{}
+	payload []byte
+	err     error
+}
+
+// CacheStats is a point-in-time snapshot of a SharedCache's
+// deduplication counters. BytesRead is actual flash IO; BytesSaved is
+// IO the cache absorbed (coalesced or retained hits).
+type CacheStats struct {
+	Requests         uint64 `json:"requests"`
+	FlashReads       uint64 `json:"flash_reads"`
+	SingleflightHits uint64 `json:"singleflight_hits"` // coalesced onto an in-flight read
+	RetainedHits     uint64 `json:"retained_hits"`     // served from the retained-payload LRU
+	BytesRead        int64  `json:"bytes_read"`
+	BytesSaved       int64  `json:"bytes_saved"`
+	RetainedBytes    int64  `json:"retained_bytes"` // current LRU residency
+	Evictions        uint64 `json:"evictions"`
+}
+
+// Hits is the total number of reads the cache absorbed without
+// touching flash.
+func (s CacheStats) Hits() uint64 { return s.SingleflightHits + s.RetainedHits }
+
+// SharedCache is a read-through, content-addressed payload cache that
+// fronts one store for many concurrent readers — the replica pools of
+// internal/replica all stream through one SharedCache so K engines
+// executing the same plan cost ~1× flash IO, not K×.
+//
+// Two mechanisms stack:
+//
+//   - Single-flight: concurrent ReadShardPayload calls for the same
+//     shard version coalesce onto one flash read; every waiter gets the
+//     same (shared, immutable) byte slice.
+//   - Retention: completed payloads are kept in a byte-bounded LRU so
+//     near-concurrent readers — replicas whose layer streams are a few
+//     layers apart — still dedupe. retainBytes 0 disables retention,
+//     leaving pure single-flight semantics.
+//
+// A SharedCache is safe for concurrent use. Failed reads are never
+// cached: every waiter of a failed flight observes the error and the
+// next call retries the flash.
+type SharedCache struct {
+	src PayloadReader
+
+	mu      sync.Mutex
+	retain  int64
+	flights map[payloadKey]*flight
+	cache   map[payloadKey]*list.Element
+	lru     *list.List // of *cacheEntry; front = least recently used
+	bytes   int64
+	stats   CacheStats
+}
+
+// cacheEntry is one retained payload on the LRU list.
+type cacheEntry struct {
+	key     payloadKey
+	payload []byte
+}
+
+// NewSharedCache fronts src with a single-flight payload cache
+// retaining up to retainBytes of completed payloads (0 = coalesce
+// concurrent reads only, retain nothing).
+func NewSharedCache(src PayloadReader, retainBytes int64) *SharedCache {
+	if retainBytes < 0 {
+		retainBytes = 0
+	}
+	return &SharedCache{
+		src:     src,
+		retain:  retainBytes,
+		flights: make(map[payloadKey]*flight),
+		cache:   make(map[payloadKey]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// SetRetain resizes the retention budget, evicting least recently used
+// payloads to fit. 0 drops every retained payload, leaving pure
+// single-flight coalescing.
+func (c *SharedCache) SetRetain(retainBytes int64) {
+	if retainBytes < 0 {
+		retainBytes = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.retain = retainBytes
+	c.evictToLocked(c.retain)
+}
+
+// Drop releases every retained payload (the cache's shutdown when its
+// model leaves a fleet); in-flight coalescing keeps working.
+func (c *SharedCache) Drop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.evictToLocked(0)
+}
+
+// evictToLocked evicts least-recently-used payloads until at most
+// limit bytes remain retained.
+func (c *SharedCache) evictToLocked(limit int64) {
+	for c.bytes > limit {
+		el := c.lru.Front()
+		if el == nil {
+			return
+		}
+		c.removeLocked(el)
+	}
+}
+
+func (c *SharedCache) removeLocked(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	c.lru.Remove(el)
+	delete(c.cache, e.key)
+	c.bytes -= int64(len(e.payload))
+	c.stats.Evictions++
+}
+
+// ReadShardPayload serves one shard payload: from the retained LRU,
+// by joining an in-flight read of the same shard, or by reading the
+// backing store (becoming the flight others join).
+func (c *SharedCache) ReadShardPayload(layer, slice, bits int) ([]byte, error) {
+	k := payloadKey{Layer: layer, Slice: slice, Bits: bits}
+	c.mu.Lock()
+	c.stats.Requests++
+	if el, ok := c.cache[k]; ok {
+		c.lru.MoveToBack(el)
+		p := el.Value.(*cacheEntry).payload
+		c.stats.RetainedHits++
+		c.stats.BytesSaved += int64(len(p))
+		c.mu.Unlock()
+		return p, nil
+	}
+	if f, ok := c.flights[k]; ok {
+		c.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			// A failed flight is not a dedup win: every waiter saw the
+			// error and nothing was read on their behalf, so counting
+			// it would overstate the hit rate under IO errors.
+			return nil, f.err
+		}
+		c.mu.Lock()
+		c.stats.SingleflightHits++
+		c.stats.BytesSaved += int64(len(f.payload))
+		c.mu.Unlock()
+		return f.payload, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[k] = f
+	c.mu.Unlock()
+
+	f.payload, f.err = c.src.ReadShardPayload(layer, slice, bits)
+	close(f.done)
+
+	c.mu.Lock()
+	delete(c.flights, k)
+	if f.err == nil {
+		c.stats.FlashReads++
+		c.stats.BytesRead += int64(len(f.payload))
+		c.insertLocked(k, f.payload)
+	}
+	c.mu.Unlock()
+	return f.payload, f.err
+}
+
+// insertLocked retains one completed payload, evicting least recently
+// used entries until it fits. Payloads larger than the whole retention
+// budget are not retained (they would evict everything for one entry).
+func (c *SharedCache) insertLocked(k payloadKey, p []byte) {
+	need := int64(len(p))
+	if need == 0 || need > c.retain {
+		return
+	}
+	if _, ok := c.cache[k]; ok {
+		return // a racing flight of the same key already retained it
+	}
+	c.evictToLocked(c.retain - need)
+	c.cache[k] = c.lru.PushBack(&cacheEntry{key: k, payload: p})
+	c.bytes += need
+}
+
+// Stats snapshots the cache's counters.
+func (c *SharedCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.RetainedBytes = c.bytes
+	return s
+}

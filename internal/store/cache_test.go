@@ -1,0 +1,229 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"sti/internal/model"
+)
+
+// countingReader is a PayloadReader that counts real reads and can
+// block them so tests control flight overlap.
+type countingReader struct {
+	reads   atomic.Int64
+	gate    chan struct{} // when non-nil, reads block until closed
+	err     error
+	payload []byte
+}
+
+func (r *countingReader) ReadShardPayload(layer, slice, bits int) ([]byte, error) {
+	r.reads.Add(1)
+	if r.gate != nil {
+		<-r.gate
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.payload != nil {
+		return r.payload, nil
+	}
+	// Distinct payload per key so callers can verify routing.
+	return []byte{byte(layer), byte(slice), byte(bits)}, nil
+}
+
+func TestSharedCacheSingleFlightCoalesces(t *testing.T) {
+	src := &countingReader{gate: make(chan struct{})}
+	c := NewSharedCache(src, 0) // retention off: pure single-flight
+
+	const callers = 8
+	results := make([][]byte, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.ReadShardPayload(1, 2, 4)
+		}(i)
+	}
+	// Release the gate only once every follower has registered on the
+	// leader's flight (the leader is parked inside the store, so the
+	// flight cannot complete underneath them). Requests is counted at
+	// entry, before a follower parks on the flight.
+	for c.Stats().Requests < callers {
+		runtime.Gosched()
+	}
+	close(src.gate)
+	wg.Wait()
+
+	if got := src.reads.Load(); got != 1 {
+		t.Fatalf("store read %d times for %d concurrent callers, want 1", got, callers)
+	}
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(results[i], []byte{1, 2, 4}) {
+			t.Fatalf("caller %d got %v", i, results[i])
+		}
+	}
+	st := c.Stats()
+	if st.FlashReads != 1 || st.SingleflightHits != callers-1 {
+		t.Fatalf("stats %+v: want 1 flash read, %d singleflight hits", st, callers-1)
+	}
+	if st.BytesSaved != int64((callers-1)*3) {
+		t.Fatalf("BytesSaved %d, want %d", st.BytesSaved, (callers-1)*3)
+	}
+
+	// Retention is off: a later read goes back to the store.
+	if _, err := c.ReadShardPayload(1, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := src.reads.Load(); got != 2 {
+		t.Fatalf("zero-retention cache re-read %d times, want 2", got)
+	}
+}
+
+func TestSharedCacheRetainsWithinBudget(t *testing.T) {
+	src := &countingReader{}
+	c := NewSharedCache(src, 8) // room for two 3-byte payloads, not three
+
+	read := func(l int) {
+		t.Helper()
+		if _, err := c.ReadShardPayload(l, 0, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	read(0)
+	read(0) // retained hit
+	if got := src.reads.Load(); got != 1 {
+		t.Fatalf("store read %d times, want 1 (second read retained)", got)
+	}
+	read(1)
+	read(2) // evicts the LRU entry (layer 0)
+	st := c.Stats()
+	if st.RetainedBytes > 8 {
+		t.Fatalf("retained %d bytes over budget 8", st.RetainedBytes)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("expected an LRU eviction past the retention budget")
+	}
+	read(0) // evicted: back to the store
+	if got := src.reads.Load(); got != 4 {
+		t.Fatalf("store read %d times, want 4 (layer 0 was evicted)", got)
+	}
+}
+
+func TestSharedCacheLRUTouchOnHit(t *testing.T) {
+	src := &countingReader{}
+	c := NewSharedCache(src, 6) // exactly two 3-byte payloads
+
+	mustRead := func(l int) {
+		t.Helper()
+		if _, err := c.ReadShardPayload(l, 0, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustRead(0)
+	mustRead(1)
+	mustRead(0) // touch: layer 0 becomes most recent
+	mustRead(2) // must evict layer 1, not layer 0
+	before := src.reads.Load()
+	mustRead(0)
+	if src.reads.Load() != before {
+		t.Fatal("layer 0 was evicted despite being most recently used")
+	}
+}
+
+// TestSharedCacheSetRetainAndDrop: the retention window is resizable
+// downward (evicting to fit) and Drop releases every retained byte
+// while coalescing keeps working.
+func TestSharedCacheSetRetainAndDrop(t *testing.T) {
+	src := &countingReader{}
+	c := NewSharedCache(src, 1<<10)
+	for l := 0; l < 4; l++ {
+		if _, err := c.ReadShardPayload(l, 0, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.RetainedBytes != 12 {
+		t.Fatalf("retained %d bytes, want 12 (4x3)", st.RetainedBytes)
+	}
+	c.SetRetain(6)
+	if st := c.Stats(); st.RetainedBytes > 6 {
+		t.Fatalf("retained %d bytes after SetRetain(6)", st.RetainedBytes)
+	}
+	c.Drop()
+	if st := c.Stats(); st.RetainedBytes != 0 {
+		t.Fatalf("retained %d bytes after Drop, want 0", st.RetainedBytes)
+	}
+	// Still serves (and re-retains under the smaller window).
+	if _, err := c.ReadShardPayload(0, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.RetainedBytes != 3 {
+		t.Fatalf("retained %d bytes after post-Drop read, want 3", st.RetainedBytes)
+	}
+}
+
+func TestSharedCacheErrorNotCached(t *testing.T) {
+	boom := errors.New("flash died")
+	src := &countingReader{err: boom}
+	c := NewSharedCache(src, 1<<10)
+
+	if _, err := c.ReadShardPayload(0, 0, 4); !errors.Is(err, boom) {
+		t.Fatalf("err %v, want %v", err, boom)
+	}
+	src.err = nil
+	p, err := c.ReadShardPayload(0, 0, 4)
+	if err != nil {
+		t.Fatalf("retry after transient error: %v", err)
+	}
+	if !bytes.Equal(p, []byte{0, 0, 4}) {
+		t.Fatalf("retry payload %v", p)
+	}
+	if got := src.reads.Load(); got != 2 {
+		t.Fatalf("store read %d times, want 2 (error must not be cached)", got)
+	}
+}
+
+// TestSharedCacheServesRealStore is the integration check: payloads
+// through the cache are byte-identical to direct store reads.
+func TestSharedCacheServesRealStore(t *testing.T) {
+	dir := t.TempDir()
+	w := model.NewRandom(model.Tiny(), 11)
+	if _, err := Preprocess(dir, w, []int{2, 4}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewSharedCache(st, 1<<20)
+	for pass := 0; pass < 2; pass++ {
+		for l := 0; l < st.Man.Config.Layers; l++ {
+			for s := 0; s < st.Man.Config.Heads; s++ {
+				direct, err := st.ReadShardPayload(l, s, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cached, err := c.ReadShardPayload(l, s, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(direct, cached) {
+					t.Fatalf("pass %d shard (%d,%d): cached payload differs from store", pass, l, s)
+				}
+			}
+		}
+	}
+	stats := c.Stats()
+	shards := uint64(st.Man.Config.Layers * st.Man.Config.Heads)
+	if stats.FlashReads != shards || stats.RetainedHits != shards {
+		t.Fatalf("stats %+v: want %d flash reads and %d retained hits", stats, shards, shards)
+	}
+}
