@@ -368,6 +368,103 @@ func BenchmarkReplicatedServe(b *testing.B) {
 	}
 }
 
+// BenchmarkContinuousGenerate measures the continuous batcher's
+// iteration-level scheduling at 1/8/64 concurrent generate streams on
+// one replica: aggregate decoded tokens per second, p99 inter-token
+// latency across all streams, and flash bytes per decode step (which
+// must not scale with stream count — every stream rides one
+// materialized submodel).
+func BenchmarkContinuousGenerate(b *testing.B) {
+	dir := b.TempDir()
+	w := sti.NewRandomModel(sti.TinyConfig(), 77)
+	if _, err := sti.Preprocess(dir, w, nil); err != nil {
+		b.Fatal(err)
+	}
+	const newTokens = 12
+	for _, streams := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("streams=%d", streams), func(b *testing.B) {
+			sys, err := sti.Load(dir, sti.Odroid(), 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// The grant must hold every stream's KV pages alongside the
+			// preload set, or high stream counts measure KV starvation
+			// instead of scheduling (§3.2: one budget arbitrates both).
+			fleet := sti.NewFleet(4 << 20)
+			if err := fleet.Add("m", sys, 100*time.Millisecond, 1); err != nil {
+				b.Fatal(err)
+			}
+			if err := fleet.SetReplicas("m", 1); err != nil {
+				b.Fatal(err)
+			}
+			if err := fleet.ConfigureReplicas("m", sti.ReplicaOptions{MaxStreams: streams}); err != nil {
+				b.Fatal(err)
+			}
+			if err := fleet.Replan(); err != nil {
+				b.Fatal(err)
+			}
+
+			var tokens int64
+			var mu sync.Mutex
+			var gaps []time.Duration
+			before, _ := fleet.SharedCacheStats("m")
+			stepsBefore, _ := fleet.GenerateStats("m")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for s := 0; s < streams; s++ {
+					wg.Add(1)
+					go func(s int) {
+						defer wg.Done()
+						var last time.Time
+						var local []time.Duration
+						_, err := fleet.Serve(context.Background(), "m", sti.Request{
+							Task:         sti.TaskGenerate,
+							Tokens:       []int{1 + s%30, 9, 8},
+							MaxNewTokens: newTokens,
+							OnToken: func(step, token int) {
+								// Gaps between tokens only: the first
+								// token's wait is TTFT (admission +
+								// prefill), a different metric.
+								now := time.Now()
+								if step > 0 {
+									local = append(local, now.Sub(last))
+								}
+								last = now
+								atomic.AddInt64(&tokens, 1)
+							},
+						})
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						mu.Lock()
+						gaps = append(gaps, local...)
+						mu.Unlock()
+					}(s)
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+
+			if tokens > 0 {
+				b.ReportMetric(float64(tokens)/b.Elapsed().Seconds(), "tok/s")
+			}
+			if len(gaps) > 0 {
+				sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
+				p99 := gaps[len(gaps)*99/100]
+				b.ReportMetric(float64(p99.Nanoseconds())/1e6, "p99_intertoken_ms")
+			}
+			after, _ := fleet.SharedCacheStats("m")
+			stepsAfter, _ := fleet.GenerateStats("m")
+			if steps := stepsAfter.Steps - stepsBefore.Steps; steps > 0 {
+				b.ReportMetric(float64(after.BytesRead-before.BytesRead)/float64(steps), "flashbytes/step")
+				b.ReportMetric(stepsAfter.AvgStreamsPerStep, "streams/step")
+			}
+		})
+	}
+}
+
 // §7.2 energy overhead and the §2.1-2.2 lifetime simulation.
 func BenchmarkEnergyOverhead(b *testing.B)     { benchExperiment(b, "energy") }
 func BenchmarkLifetimeSimulation(b *testing.B) { benchExperiment(b, "lifetime") }

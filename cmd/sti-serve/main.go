@@ -48,6 +48,15 @@
 // (replica_served) and the dedup counters (singleflight_hits,
 // flash_reads, singleflight_bytes_saved). -workers must be at least
 // -replicas; when unset it defaults to 2× replicas.
+//
+// Generate traffic is continuously batched: each replica runs a step
+// loop that admits new streams between decode steps and serves every
+// in-flight sequence with one batched forward per step, with KV state
+// in paged blocks charged against the model's preload grant.
+// -maxstreams caps the concurrently decoding streams (scheduler-wide
+// and per replica step loop); /v1/stats reports the step-loop counters
+// under each model's "gen" object (gen_steps, gen_streams,
+// gen_avg_streams_per_step, gen_preempted, gen_kv_bytes, ...).
 package main
 
 import (
@@ -155,6 +164,7 @@ func main() {
 	slack := flag.Float64("slack", 4, "request deadline = slack x model target")
 	maxBatch := flag.Int("maxbatch", 8, "max queued requests drained into one batched execution (1 disables batching)")
 	batchWindow := flag.Duration("batchwindow", 2*time.Millisecond, "how long a worker waits for a batch to fill")
+	maxStreams := flag.Int("maxstreams", 64, "max concurrently decoding generate streams, scheduler-wide and per replica step loop (continuous batching admits up to this many sequences per batched decode step)")
 	flag.Parse()
 	if len(models) == 0 {
 		log.Fatal("sti-serve: at least one -model is required")
@@ -193,6 +203,9 @@ func main() {
 		if err := fleet.SetReplicas(spec.name, *replicas); err != nil {
 			log.Fatal(err)
 		}
+		if err := fleet.ConfigureReplicas(spec.name, sti.ReplicaOptions{MaxStreams: *maxStreams}); err != nil {
+			log.Fatal(err)
+		}
 		log.Printf("loaded %q from %s (target %v, weight %v, %d replica(s))",
 			spec.name, spec.dir, spec.target, spec.weight, *replicas)
 	}
@@ -215,6 +228,7 @@ func main() {
 	sched := sti.NewScheduler(fleet, sti.ServeOptions{
 		QueueDepth: *queue, Workers: *workers, Slack: *slack,
 		MaxBatch: *maxBatch, BatchWindow: *batchWindow,
+		MaxStreams: *maxStreams,
 	})
 
 	// Graceful shutdown: SIGINT/SIGTERM stops accepting connections,

@@ -7,7 +7,6 @@ import (
 	"sync"
 	"time"
 
-	"sti/internal/model"
 	"sti/internal/pipeline"
 	"sti/internal/planner"
 	"sti/internal/replica"
@@ -278,8 +277,10 @@ func (f *Fleet) Pressure(name string, depth, capacity int) {
 // BEFORE the pool is touched — a planning failure must leave both the
 // pool and the committed ladder exactly as they were, never a resized
 // pool whose cached plans assume the old buffer slices. f.mu must be
-// held for writing — which also guarantees no replica has requests in
-// flight, so a scale-down's drain completes immediately.
+// held for writing — no new work can be admitted, so a scale-down's
+// drain only has to wait out already-running generate streams (their
+// acquisitions are held to the terminal token; classify work never
+// outlives the read lock), bounded by the pool's DrainWait.
 func (f *Fleet) scaleEntryLocked(name string, e *FleetEntry, n int) error {
 	n = e.pool.Clamp(n)
 	if e.Plan == nil {
@@ -663,12 +664,13 @@ func (f *Fleet) resolveForServe(name string, pick func(*FleetEntry) Request) (re
 // Replan blocks until they drain. Cancelling ctx aborts the shard
 // stream between layers and a generate decode between tokens.
 //
-// The read lock — which a Replan must wait out — is held only for the
-// plan's one shard-stream pass, never for a generate's many decode
-// steps: the decode runs on the materialized submodel, which is
-// immutable and needs no synchronization with replans, so one long
-// generation cannot stall budget changes (or, behind a pending
-// writer, every other model's traffic).
+// The read lock — which a Replan must wait out — is held only long
+// enough to enqueue the work, never for a generate's many decode
+// steps: a generate request joins the acquired replica's
+// continuous-batching step loop (one batched forward per step across
+// every in-flight stream, over the plan's once-materialized immutable
+// submodel), so one long generation cannot stall budget changes (or,
+// behind a pending writer, every other model's traffic).
 func (f *Fleet) Serve(ctx context.Context, name string, req Request) (*Response, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
@@ -707,28 +709,55 @@ func (f *Fleet) Serve(ctx context.Context, name string, req Request) (*Response,
 		}
 		return resp, err
 	}
-	sm, stream, err := func() (*model.Submodel, *ExecStats, error) {
+	// Generate joins the acquired replica's continuous-batching step
+	// loop: Submit only enqueues (the loop admits between decode steps
+	// and shares one batched forward — and one shard stream per plan —
+	// across every in-flight sequence), so the read lock is released
+	// the moment the stream is queued. The replica acquisition, by
+	// contrast, is held until the stream's terminal result: it is what
+	// makes least-loaded dispatch count live decodes and what a
+	// scale-down's drain waits on, so a draining replica never has its
+	// batcher closed under an active stream.
+	var rep *replica.Replica
+	ch, err := func() (<-chan pipeline.StreamResult, error) {
 		defer f.mu.RUnlock()
-		rep, err := r.entry.pool.Acquire()
+		var err error
+		rep, err = r.entry.pool.Acquire()
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		served := 0
-		defer func() { r.entry.pool.Release(rep, served) }()
-		sm, stream, err := rep.Engine.Materialize(ctx, r.plan)
-		if err == nil {
-			served = 1
+		ch, err := rep.Batcher.Submit(ctx, r.plan, req)
+		if err != nil {
+			r.entry.pool.Release(rep, 0)
+			return nil, err
 		}
-		return sm, stream, err
+		return ch, nil
 	}()
 	if err != nil {
 		return nil, err
 	}
-	resp, err := pipeline.DecodeGenerate(ctx, sm, stream, req)
-	if resp != nil {
-		resp.Tier = info
+	out := <-ch
+	served := 0
+	if out.Resp != nil {
+		served = 1 // partial decodes served tokens too
 	}
-	return resp, err
+	r.entry.pool.Release(rep, served)
+	if out.Resp != nil {
+		out.Resp.Tier = info
+	}
+	return out.Resp, out.Err
+}
+
+// GenerateStats aggregates a model's continuous-batching step loops
+// (one per replica) into a single snapshot.
+func (f *Fleet) GenerateStats(name string) (pipeline.StepLoopStats, bool) {
+	f.mu.RLock()
+	e, ok := f.entries[name]
+	f.mu.RUnlock()
+	if !ok {
+		return pipeline.StepLoopStats{}, false
+	}
+	return e.pool.GenStats(), true
 }
 
 // ServeBatch runs one batched classify on the named model: the model's

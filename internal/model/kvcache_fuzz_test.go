@@ -1,0 +1,158 @@
+package model
+
+import (
+	"testing"
+)
+
+// FuzzKVBlockAllocator drives random alloc/reserve/free/readmit
+// sequences against a budgeted BlockAllocator and checks the paging
+// invariants the continuous batcher depends on:
+//
+//   - charged bytes never exceed the budget, and the allocator's live
+//     bytes always equal the sum over live sequences;
+//   - blocks never alias: every live sequence's rows hold exactly the
+//     pattern written into them, even though freed blocks are pooled
+//     and recycled across sequences;
+//   - readmission after eviction (free + fresh PagedKV + rewrite, the
+//     recompute path) restores byte-identical row contents.
+func FuzzKVBlockAllocator(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x80, 0x13, 0xff, 0x07})
+	f.Add([]byte{0x00, 0x00, 0x01, 0x01, 0x02, 0x02, 0x03, 0x03})
+	f.Add([]byte{0xaa, 0x55, 0xaa, 0x55, 0xaa, 0x55, 0xaa, 0x55, 0xaa})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		// Full-state verification after every op is quadratic; cap the
+		// program length so the fuzzer explores breadth, not length.
+		if len(ops) > 128 {
+			ops = ops[:128]
+		}
+		const blockTokens = 4
+		var budgetBytes int64 = 4096
+		budget := NewKVBudget(budgetBytes)
+		alloc := NewBlockAllocator(budget, blockTokens)
+
+		// One live entry per sequence: its PagedKV, widths, the number
+		// of tokens reserved AND written, and the pattern seed its rows
+		// were filled from.
+		type seq struct {
+			kv     *PagedKV
+			widths []int
+			tokens int
+			seed   byte
+		}
+		var live []*seq
+		var nextSeed byte
+
+		fill := func(s *seq) {
+			for l, w := range s.widths {
+				for pos := 0; pos < s.tokens; pos++ {
+					k, v := s.kv.kRow(l, pos), s.kv.vRow(l, pos)
+					for i := 0; i < w; i++ {
+						k[i] = float32(int(s.seed)*1000003 + l*10007 + pos*101 + i)
+						v[i] = -float32(int(s.seed)*999983 + l*10009 + pos*103 + i)
+					}
+				}
+			}
+		}
+		verify := func(s *seq) {
+			for l, w := range s.widths {
+				for pos := 0; pos < s.tokens; pos++ {
+					k, v := s.kv.kRow(l, pos), s.kv.vRow(l, pos)
+					for i := 0; i < w; i++ {
+						wantK := float32(int(s.seed)*1000003 + l*10007 + pos*101 + i)
+						wantV := -float32(int(s.seed)*999983 + l*10009 + pos*103 + i)
+						if k[i] != wantK || v[i] != wantV {
+							t.Fatalf("seq seed %d layer %d pos %d col %d: k=%v v=%v, want k=%v v=%v (aliased or clobbered block)",
+								s.seed, l, pos, i, k[i], v[i], wantK, wantV)
+						}
+					}
+				}
+			}
+		}
+		check := func() {
+			if used := budget.Used(); used > budgetBytes {
+				t.Fatalf("budget exceeded: used %d > %d", used, budgetBytes)
+			}
+			var want int64
+			for _, s := range live {
+				want += s.kv.Bytes()
+			}
+			if got := alloc.LiveBytes(); got != want {
+				t.Fatalf("allocator live bytes %d != sum of live sequences %d", got, want)
+			}
+			if got := alloc.LiveBytes(); got != budget.Used() {
+				t.Fatalf("allocator live bytes %d != budget used %d", got, budget.Used())
+			}
+			for _, s := range live {
+				verify(s)
+			}
+		}
+
+		for _, op := range ops {
+			switch op % 4 {
+			case 0: // admit a new sequence
+				nw := 1 + int(op/4)%3
+				widths := make([]int, nw)
+				for i := range widths {
+					widths[i] = 2 + (int(op/16)+i)%3
+				}
+				s := &seq{kv: alloc.NewKV(widths), widths: widths, seed: nextSeed}
+				nextSeed++
+				live = append(live, s)
+			case 1: // grow a live sequence by a few tokens
+				if len(live) == 0 {
+					continue
+				}
+				s := live[int(op/4)%len(live)]
+				grow := 1 + int(op/16)%5
+				if s.kv.Reserve(s.tokens + grow) {
+					s.tokens += grow
+					fill(s)
+				}
+				// A refused reserve must leave existing pages intact —
+				// check() below verifies s's rows either way.
+			case 2: // retire a sequence (its blocks return to the pool)
+				if len(live) == 0 {
+					continue
+				}
+				i := int(op/4) % len(live)
+				live[i].kv.Free()
+				if b := live[i].kv.Bytes(); b != 0 {
+					t.Fatalf("freed sequence still reports %d bytes", b)
+				}
+				live = append(live[:i], live[i+1:]...)
+			case 3: // evict + readmit: the recompute-on-readmission path
+				if len(live) == 0 {
+					continue
+				}
+				s := live[int(op/4)%len(live)]
+				s.kv.Free()
+				if s.kv.Reserve(s.tokens + 1) {
+					t.Fatal("Reserve succeeded on a freed PagedKV")
+				}
+				s.kv = alloc.NewKV(s.widths)
+				if !s.kv.Reserve(s.tokens) {
+					// Pool contention after readmission: the sequence
+					// could not get its pages back; drop it.
+					s.kv.Free()
+					for i, v := range live {
+						if v == s {
+							live = append(live[:i], live[i+1:]...)
+							break
+						}
+					}
+					continue
+				}
+				// Recompute: rewriting the same tokens must restore
+				// byte-identical rows (verified by check).
+				fill(s)
+			}
+			check()
+		}
+		for _, s := range live {
+			s.kv.Free()
+		}
+		if alloc.LiveBytes() != 0 || budget.Used() != 0 {
+			t.Fatalf("after freeing all: live %d, used %d", alloc.LiveBytes(), budget.Used())
+		}
+	})
+}

@@ -1,0 +1,595 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"sti/internal/model"
+	"sti/internal/planner"
+)
+
+// Continuous batching for generation (ROADMAP item 1): instead of each
+// generate request running its own decode loop, a per-model Batcher
+// owns one step loop that admits new requests between decode steps,
+// runs a single batched forward per step across every in-flight
+// sequence (model.StepLogits over ragged per-sequence positions), and
+// retires finished sequences without stalling the rest — the
+// iteration-level scheduling of Orca/vLLM, applied to STI's elastic
+// submodels. Each plan's shard stream is materialized once and shared
+// by every stream riding it, so flash bytes per step do not scale with
+// stream count; KV state lives in paged blocks charged against the
+// engine's §3.2 grant, with best-effort streams preempted (KV evicted,
+// resumable via recompute) before any tiered stream is starved.
+
+// ErrBatcherClosed is returned for streams rejected or cut off because
+// the batcher shut down.
+var ErrBatcherClosed = errors.New("pipeline: batcher closed")
+
+// ErrKVBudget fails a tiered stream that cannot reserve even its first
+// KV page with nothing left to preempt or wait for — the engine grant
+// is too small to decode at all.
+var ErrKVBudget = errors.New("pipeline: kv budget exhausted")
+
+// DefaultMaxStreams bounds a batcher's concurrently decoding sequences
+// when BatcherOptions leaves MaxStreams zero.
+const DefaultMaxStreams = 64
+
+// BatcherOptions configures a Batcher.
+type BatcherOptions struct {
+	// MaxStreams caps concurrently decoding sequences; admissions
+	// beyond it queue until a stream retires. <= 0 means
+	// DefaultMaxStreams.
+	MaxStreams int
+	// BlockTokens is the KV page size in positions; <= 0 means
+	// model.DefaultBlockTokens.
+	BlockTokens int
+}
+
+// StreamResult is the single terminal outcome of one submitted stream,
+// delivered on the channel Submit returns. Mirrors the
+// (Response, error) contract of ExecuteGenerate: a cancelled stream
+// carries its partial Response alongside ctx.Err().
+type StreamResult struct {
+	Resp *Response
+	Err  error
+}
+
+// StepLoopStats is a point-in-time snapshot of a batcher's step loop.
+type StepLoopStats struct {
+	// Steps counts batched forwards executed; StepSequences sums their
+	// batch sizes, so AvgStreamsPerStep = StepSequences/Steps is the
+	// decode amortization factor.
+	Steps             uint64  `json:"gen_steps"`
+	StepSequences     uint64  `json:"gen_step_sequences"`
+	AvgStreamsPerStep float64 `json:"gen_avg_streams_per_step"`
+
+	Streams     int `json:"gen_streams"`      // decoding right now
+	PeakStreams int `json:"gen_peak_streams"` // high-water mark
+	Pending     int `json:"gen_pending"`      // admitted queue depth
+	MaxStreams  int `json:"gen_max_streams"`
+
+	Admitted  uint64 `json:"gen_admitted"`
+	Finished  uint64 `json:"gen_finished"`
+	Cancelled uint64 `json:"gen_cancelled"`
+	// Preempted counts best-effort streams whose KV was evicted under
+	// budget pressure; RecomputedTokens the tokens replayed to restore
+	// evicted KV on readmission.
+	Preempted        uint64 `json:"gen_preempted"`
+	RecomputedTokens uint64 `json:"gen_recomputed_tokens"`
+	TokensOut        uint64 `json:"gen_tokens_out"`
+	// KVBytes is the paged KV cache held live by this batcher, charged
+	// against the engine's preload grant.
+	KVBytes int64 `json:"gen_kv_bytes"`
+}
+
+// stream is one in-flight generate request's decode state. seq is the
+// full decoded sequence (prompt + generated); consumed counts tokens
+// fed through the decoder, so consumed == len(seq) is the emission
+// point — exactly the loop head of DecodeGenerate. A preempted stream
+// keeps seq and NewTokens but resets consumed to 0 over a fresh
+// decoder: greedy decode is deterministic, so the replay regenerates
+// identical KV bytes, and emission (OnToken) never repeats because it
+// only happens at consumed == len(seq).
+type stream struct {
+	ctx  context.Context
+	req  Request
+	plan *planner.Plan
+	res  chan StreamResult
+
+	gen  *GenStats
+	resp *Response
+
+	dec         *model.Decoder
+	seq         []int
+	consumed    int
+	logits      []float32
+	decodeStart time.Time
+}
+
+func (s *stream) finishTotal() {
+	s.gen.Total = s.gen.Stream.Total
+	if !s.decodeStart.IsZero() {
+		s.gen.Total += time.Since(s.decodeStart)
+	}
+}
+
+// planGroup is the per-plan share of a batcher: the submodel its shard
+// stream materialized once, ridden by every stream decoding that plan.
+type planGroup struct {
+	plan    *planner.Plan
+	sm      *model.Submodel
+	streams []*stream
+}
+
+// Batcher is a per-model continuous-batching step loop over one
+// engine. Submit enqueues a generate request; the loop admits it
+// between decode steps and delivers its terminal StreamResult when it
+// finishes, is cancelled, or fails.
+type Batcher struct {
+	eng   *Engine
+	alloc *model.BlockAllocator
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	pending    []*stream
+	maxStreams int
+	closed     bool
+
+	// Owned by the loop goroutine; never touched elsewhere.
+	groups map[*planner.Plan]*planGroup
+	active int
+
+	// Counters, under mu.
+	nSteps      uint64
+	nStepSeqs   uint64
+	nAdmitted   uint64
+	nFinished   uint64
+	nCancelled  uint64
+	nPreempted  uint64
+	nRecomputed uint64
+	nTokens     uint64
+	peak        int
+
+	loopDone chan struct{}
+}
+
+// NewBatcher starts a step loop over the engine. The engine itself is
+// the KV charger: paged blocks and preload shards arbitrate for one
+// §3.2 grant.
+func NewBatcher(eng *Engine, opt BatcherOptions) *Batcher {
+	if opt.MaxStreams <= 0 {
+		opt.MaxStreams = DefaultMaxStreams
+	}
+	b := &Batcher{
+		eng:        eng,
+		alloc:      model.NewBlockAllocator(eng, opt.BlockTokens),
+		maxStreams: opt.MaxStreams,
+		groups:     make(map[*planner.Plan]*planGroup),
+		loopDone:   make(chan struct{}),
+	}
+	b.cond = sync.NewCond(&b.mu)
+	go b.loop()
+	return b
+}
+
+// SetMaxStreams resizes the concurrency cap; lowering it below the
+// live count stops admissions but evicts nothing.
+func (b *Batcher) SetMaxStreams(n int) {
+	if n <= 0 {
+		n = DefaultMaxStreams
+	}
+	b.mu.Lock()
+	b.maxStreams = n
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// Submit enqueues a generate request for the plan and returns the
+// channel its single terminal StreamResult will arrive on. The request
+// joins the step loop at the next inter-step admission point; OnToken
+// fires from the loop as tokens decode. Cancelling ctx retires the
+// stream within one step, freeing its KV blocks, and delivers the
+// partial Response with ctx.Err() — the ExecuteGenerate contract.
+func (b *Batcher) Submit(ctx context.Context, p *planner.Plan, req Request) (<-chan StreamResult, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if req.Task != TaskGenerate {
+		return nil, fmt.Errorf("pipeline: batcher submit with task %v", req.Task)
+	}
+	if p == nil {
+		return nil, fmt.Errorf("pipeline: batcher submit with nil plan")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	gen := &GenStats{PromptTokens: len(req.Tokens)}
+	seq := append([]int(nil), req.Tokens...)
+	s := &stream{
+		ctx: ctx, req: req, plan: p,
+		res:  make(chan StreamResult, 1),
+		gen:  gen,
+		resp: &Response{Gen: gen, Stats: &gen.Stream, GeneratedTokens: seq},
+		seq:  seq,
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrBatcherClosed
+	}
+	b.pending = append(b.pending, s)
+	b.cond.Broadcast()
+	b.mu.Unlock()
+	return s.res, nil
+}
+
+// Close shuts the loop down: pending and in-flight streams are failed
+// with ErrBatcherClosed (in-flight ones deliver their partial
+// Response), KV blocks are freed, and the loop goroutine exits before
+// Close returns. Callers drain in-flight work first (replica pools
+// already do, via their drain protocol).
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		<-b.loopDone
+		return
+	}
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+	<-b.loopDone
+}
+
+// Stats snapshots the step loop.
+func (b *Batcher) Stats() StepLoopStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := StepLoopStats{
+		Steps:            b.nSteps,
+		StepSequences:    b.nStepSeqs,
+		Streams:          b.active,
+		PeakStreams:      b.peak,
+		Pending:          len(b.pending),
+		MaxStreams:       b.maxStreams,
+		Admitted:         b.nAdmitted,
+		Finished:         b.nFinished,
+		Cancelled:        b.nCancelled,
+		Preempted:        b.nPreempted,
+		RecomputedTokens: b.nRecomputed,
+		TokensOut:        b.nTokens,
+		KVBytes:          b.alloc.LiveBytes(),
+	}
+	if st.Steps > 0 {
+		st.AvgStreamsPerStep = float64(st.StepSequences) / float64(st.Steps)
+	}
+	return st
+}
+
+// KVBytes returns the live paged KV bytes held by this batcher.
+func (b *Batcher) KVBytes() int64 { return b.alloc.LiveBytes() }
+
+func (b *Batcher) loop() {
+	defer close(b.loopDone)
+	for {
+		b.mu.Lock()
+		for !b.closed && len(b.pending) == 0 && b.active == 0 {
+			b.cond.Wait()
+		}
+		if b.closed {
+			pending := b.pending
+			b.pending = nil
+			b.mu.Unlock()
+			for _, s := range pending {
+				s.res <- StreamResult{Err: ErrBatcherClosed}
+			}
+			for _, g := range b.groups {
+				for _, s := range g.streams {
+					s.dec.Release()
+					s.finishTotal()
+					s.res <- StreamResult{Resp: s.resp, Err: ErrBatcherClosed}
+				}
+				g.streams = nil
+			}
+			return
+		}
+		b.admitLocked()
+		b.mu.Unlock()
+
+		// Yield once per step so waiting submitters get scheduled: on
+		// a single-P runtime the compute-bound loop would otherwise
+		// monopolize the CPU and decode whole streams serially —
+		// admitting "between decode steps" has to include handing the
+		// scheduler a chance to run the goroutines doing the admitting.
+		runtime.Gosched()
+
+		progress := b.stepOnce()
+		if !progress && b.liveStreams() > 0 {
+			// Every live stream is KV-starved: budget held elsewhere
+			// (preload warming, another batcher's engine sharing the
+			// host). Poll until bytes free up or contexts cancel.
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func (b *Batcher) liveStreams() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.active
+}
+
+// admitLocked moves pending streams into the step loop up to
+// maxStreams, materializing each plan's shard stream once (the first
+// rider pays — and records — the one-time IO; joiners ride for free).
+// Cancelled pending streams are culled regardless of capacity. b.mu is
+// held; materialization drops it (the shard stream is long and needs
+// no batcher state).
+func (b *Batcher) admitLocked() {
+	// Detach the pending queue first: materialization below drops the
+	// lock, and Submit must be free to append new arrivals meanwhile.
+	work := b.pending
+	b.pending = nil
+	var kept []*stream
+	for i, s := range work {
+		if err := s.ctx.Err(); err != nil {
+			s.finishTotal()
+			b.nCancelled++
+			s.res <- StreamResult{Resp: s.resp, Err: err}
+			continue
+		}
+		if b.active >= b.maxStreams {
+			kept = append(kept, work[i:]...)
+			break
+		}
+		plan := s.plan
+		g := b.groups[plan]
+		if g == nil {
+			// A new plan displaces idle groups (replans leave stale
+			// plan pointers behind; their materialized submodels are
+			// only worth keeping while streams ride them or the plan
+			// may recur — keep the newest idle one as a warm cache).
+			for p, old := range b.groups {
+				if len(old.streams) == 0 && p != plan {
+					delete(b.groups, p)
+				}
+			}
+			g = &planGroup{plan: plan}
+			b.groups[plan] = g
+		}
+		if g.sm == nil {
+			b.mu.Unlock()
+			sm, es, err := b.eng.Materialize(s.ctx, plan)
+			b.mu.Lock()
+			if err != nil {
+				if len(g.streams) == 0 {
+					delete(b.groups, plan)
+				}
+				s.res <- StreamResult{Err: err}
+				continue
+			}
+			g.sm = sm
+			s.gen.Stream = *es
+			s.resp.Stats = &s.gen.Stream
+		}
+		s.dec = model.NewPagedDecoder(g.sm, b.alloc)
+		s.decodeStart = time.Now()
+		g.streams = append(g.streams, s)
+		b.active++
+		b.nAdmitted++
+		if b.active > b.peak {
+			b.peak = b.active
+		}
+	}
+	// Leftovers keep their place ahead of anything Submit enqueued
+	// while the lock was down.
+	b.pending = append(kept, b.pending...)
+}
+
+// stepOnce runs one iteration of the step loop: per plan group, retire
+// cancelled streams, advance each live stream's DecodeGenerate state
+// machine by one token (emit at the loop head, then feed), reserve KV
+// for every participant — preempting best-effort KV before letting a
+// tiered stream starve — and run one batched forward for the group.
+// Reports whether any stream made progress.
+func (b *Batcher) stepOnce() bool {
+	progress := false
+	for _, g := range b.groups {
+		if len(g.streams) == 0 {
+			continue
+		}
+		maxSeq := g.sm.Cfg.MaxSeq
+		// Phase 1: advance each stream's emission state and collect the
+		// ones that want to feed a token this step.
+		var cands []*stream
+		for _, s := range append([]*stream(nil), g.streams...) {
+			// Mirrors DecodeGenerate's per-iteration ctx check: a
+			// cancelled stream retires with its partial Response and
+			// frees its KV blocks before the next forward.
+			if err := s.ctx.Err(); err != nil {
+				b.retire(g, s, s.resp, err, true)
+				progress = true
+				continue
+			}
+			if s.consumed == len(s.seq) {
+				// Emission point — the head of DecodeGenerate's decode
+				// loop, byte for byte.
+				if s.gen.NewTokens >= s.req.MaxNewTokens || len(s.seq) >= maxSeq {
+					s.resp.Logits = s.logits
+					b.retire(g, s, s.resp, nil, false)
+					progress = true
+					continue
+				}
+				best := 0
+				for i, v := range s.logits {
+					if v > s.logits[best] {
+						best = i
+					}
+				}
+				s.seq = append(s.seq, best)
+				s.resp.GeneratedTokens = s.seq
+				s.gen.NewTokens++
+				b.mu.Lock()
+				b.nTokens++
+				b.mu.Unlock()
+				if s.req.OnToken != nil {
+					// The callback is caller code running on the shared
+					// step loop; a panic must fail this stream alone,
+					// not take down every other in-flight sequence.
+					if err := callOnToken(s.req.OnToken, s.gen.NewTokens-1, best); err != nil {
+						b.retire(g, s, nil, err, false)
+						progress = true
+						continue
+					}
+				}
+				if len(s.seq) >= maxSeq {
+					s.resp.Logits = s.logits
+					b.retire(g, s, s.resp, nil, false)
+					progress = true
+					continue
+				}
+			}
+			if s.dec.Len() >= maxSeq {
+				// Prompt longer than the model window; DecodeGenerate
+				// surfaces the decoder's error the same way.
+				b.retire(g, s, nil, fmt.Errorf("model: decoder exceeded MaxSeq %d", maxSeq), false)
+				progress = true
+				continue
+			}
+			cands = append(cands, s)
+		}
+		// Phase 2: reserve KV, tiered streams first — a tiered stream
+		// may preempt a best-effort holder, and ordering the reserves
+		// this way guarantees the victim has not yet joined this step
+		// (preempting a stream already in parts would corrupt the
+		// batch). inStep protects only streams committed to the
+		// forward about to run.
+		sort.SliceStable(cands, func(i, j int) bool {
+			ti, tj := cands[i].req.Priority >= 0, cands[j].req.Priority >= 0
+			return ti && !tj
+		})
+		var parts []*stream
+		var decs []*model.Decoder
+		var toks []int
+		inStep := make(map[*stream]bool)
+		for _, s := range cands {
+			if !s.dec.Reserve() && !b.preemptFor(s, inStep) {
+				// Starved. A tiered stream holding nothing, with no KV
+				// anywhere to wait on, can never start — fail it;
+				// otherwise skip this step and retry after the poll.
+				if s.dec.KVBytes() == 0 && b.alloc.LiveBytes() == 0 {
+					b.retire(g, s, nil, ErrKVBudget, false)
+					progress = true
+				}
+				continue
+			}
+			inStep[s] = true
+			parts = append(parts, s)
+			decs = append(decs, s.dec)
+			toks = append(toks, s.seq[s.consumed])
+		}
+		if len(parts) == 0 {
+			continue
+		}
+		stepStart := time.Now()
+		logits, err := model.StepLogits(decs, toks)
+		if err != nil {
+			for _, s := range parts {
+				b.retire(g, s, nil, err, false)
+			}
+			progress = true
+			continue
+		}
+		dur := time.Since(stepStart)
+		for i, s := range parts {
+			s.logits = logits.Row(i)
+			s.gen.StepCompute = append(s.gen.StepCompute, dur)
+			s.consumed++
+		}
+		b.mu.Lock()
+		b.nSteps++
+		b.nStepSeqs += uint64(len(parts))
+		b.mu.Unlock()
+		progress = true
+	}
+	return progress
+}
+
+// preemptFor evicts best-effort KV to make room for a tiered stream:
+// victims are Priority<0 streams (largest KV footprint first, never
+// one already stepping this round), whose pages are freed and whose
+// decode state rewinds to replay-from-zero — resumable because greedy
+// decode recomputes identical KV bytes, and OnToken never re-fires
+// because emission only happens once per position. Best-effort
+// beneficiaries preempt nobody (evicting one best-effort stream for
+// another just thrashes). Reports whether the reserve now succeeds.
+func (b *Batcher) preemptFor(s *stream, inStep map[*stream]bool) bool {
+	if s.req.Priority >= 0 {
+		for {
+			var victim *stream
+			var victimGroup *planGroup
+			for _, g := range b.groups {
+				for _, v := range g.streams {
+					if v == s || v.req.Priority >= 0 || inStep[v] || v.dec.KVBytes() == 0 {
+						continue
+					}
+					if victim == nil || v.dec.KVBytes() > victim.dec.KVBytes() {
+						victim, victimGroup = v, g
+					}
+				}
+			}
+			if victim == nil {
+				return false
+			}
+			victim.dec.Release()
+			victim.dec = model.NewPagedDecoder(victimGroup.sm, b.alloc)
+			b.mu.Lock()
+			b.nPreempted++
+			b.nRecomputed += uint64(victim.consumed)
+			b.mu.Unlock()
+			victim.consumed = 0
+			victim.logits = nil
+			if s.dec.Reserve() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func callOnToken(fn func(step, token int), step, token int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("pipeline: OnToken panicked: %v", r)
+		}
+	}()
+	fn(step, token)
+	return nil
+}
+
+// retire removes a stream from its group, frees its KV pages, and
+// delivers its terminal result exactly once.
+func (b *Batcher) retire(g *planGroup, s *stream, resp *Response, err error, cancelled bool) {
+	s.dec.Release()
+	for i, v := range g.streams {
+		if v == s {
+			g.streams = append(g.streams[:i], g.streams[i+1:]...)
+			break
+		}
+	}
+	s.finishTotal()
+	b.mu.Lock()
+	b.active--
+	if cancelled {
+		b.nCancelled++
+	} else if err == nil {
+		b.nFinished++
+	}
+	b.mu.Unlock()
+	s.res <- StreamResult{Resp: resp, Err: err}
+}

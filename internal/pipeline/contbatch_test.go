@@ -1,0 +1,349 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"sti/internal/model"
+)
+
+// refGenerate runs one request through the single-stream path on a
+// fresh cold engine and returns its response. Model weights are
+// seeded, so every engine over the same store decodes identically —
+// the batcher must be byte-for-byte equal to these references.
+func refGenerate(t *testing.T, reqs []Request) []*Response {
+	t.Helper()
+	eng, _, st := buildTinyEngine(t, 0)
+	p, _ := tinyPlan(t, st, 100*time.Millisecond, 0)
+	out := make([]*Response, len(reqs))
+	for i, req := range reqs {
+		resp, err := eng.ExecuteGenerate(ctxbg, p, req)
+		if err != nil {
+			t.Fatalf("reference %d: %v", i, err)
+		}
+		out[i] = resp
+	}
+	return out
+}
+
+func sameTokens(t *testing.T, label string, got, want []int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %v, want %v", label, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: token %d = %d, want %d (%v vs %v)",
+				label, i, got[i], want[i], got, want)
+		}
+	}
+}
+
+// TestBatcherMatchesSingleStream pins the equivalence claim: N
+// concurrent generate requests pushed through the continuous batcher —
+// including two admitted only after the first streams have started
+// decoding — produce byte-identical token sequences to singly-run
+// ExecuteGenerate, and the whole cohort pays for exactly one shard
+// materialization (flash bytes do not scale with stream count).
+func TestBatcherMatchesSingleStream(t *testing.T) {
+	prompts := [][]int{
+		{1, 17, 23},
+		{4, 9},
+		{2, 2, 7, 11},
+		{30, 5, 1},
+		{8, 19, 3, 12, 6},
+		{13},
+	}
+	steps := []int{8, 6, 5, 7, 4, 9}
+	reqs := make([]Request, len(prompts))
+	for i := range prompts {
+		reqs[i] = Request{Task: TaskGenerate, Tokens: prompts[i], MaxNewTokens: steps[i]}
+	}
+	want := refGenerate(t, reqs)
+
+	eng, _, st := buildTinyEngine(t, 1<<20)
+	p, _ := tinyPlan(t, st, 100*time.Millisecond, 0)
+	b := NewBatcher(eng, BatcherOptions{MaxStreams: 8})
+	defer b.Close()
+
+	// Streams 0..3 enter together; 4..5 are admitted late, only after
+	// stream 0 has demonstrably produced a token mid-flight.
+	started := make(chan struct{})
+	var once sync.Once
+	onTok := make([][]int, len(reqs))
+	chans := make([]<-chan StreamResult, len(reqs))
+	for i := range reqs {
+		i := i
+		reqs[i].OnToken = func(step, token int) {
+			onTok[i] = append(onTok[i], token)
+			if i == 0 {
+				once.Do(func() { close(started) })
+			}
+		}
+		if i == 4 {
+			<-started
+		}
+		ch, err := b.Submit(ctxbg, p, reqs[i])
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		chans[i] = ch
+	}
+
+	var totalBytes int64
+	paid := 0
+	for i, ch := range chans {
+		out := <-ch
+		if out.Err != nil {
+			t.Fatalf("stream %d: %v", i, out.Err)
+		}
+		sameTokens(t, "stream tokens", out.Resp.GeneratedTokens, want[i].GeneratedTokens)
+		sameTokens(t, "OnToken stream", onTok[i], want[i].GeneratedTokens[len(prompts[i]):])
+		if out.Resp.Gen.NewTokens != steps[i] {
+			t.Fatalf("stream %d: NewTokens %d, want %d", i, out.Resp.Gen.NewTokens, steps[i])
+		}
+		if out.Resp.Stats.BytesRead > 0 {
+			paid++
+		}
+		totalBytes += out.Resp.Stats.BytesRead
+	}
+	// One materialization serves the whole cohort: exactly one stream
+	// carries the shard stream's cost, and it matches a single cold
+	// run's BytesRead — late admits ride the same submodel for free.
+	if paid != 1 {
+		t.Fatalf("%d streams paid for materialization, want exactly 1", paid)
+	}
+	if ref := want[0].Stats.BytesRead; totalBytes != ref {
+		t.Fatalf("cohort read %d bytes, single cold run reads %d", totalBytes, ref)
+	}
+
+	st2 := b.Stats()
+	if st2.Finished != uint64(len(reqs)) || st2.Admitted != uint64(len(reqs)) {
+		t.Fatalf("stats %+v, want %d admitted+finished", st2, len(reqs))
+	}
+	if st2.Steps == 0 || st2.AvgStreamsPerStep <= 1 {
+		t.Fatalf("no batching happened: %+v", st2)
+	}
+	if eng.KVBytes() != 0 || b.KVBytes() != 0 {
+		t.Fatalf("leaked KV: engine %d, allocator %d", eng.KVBytes(), b.KVBytes())
+	}
+}
+
+// TestBatcherBestEffortPreemption pins the eviction order fix: when KV
+// pages run out, a best-effort (Priority<0) stream is preempted — its
+// KV evicted and later recomputed — rather than a tiered stream being
+// starved or downgraded; both streams still finish byte-identical to
+// their single-stream references.
+func TestBatcherBestEffortPreemption(t *testing.T) {
+	reqs := []Request{
+		{Task: TaskGenerate, Tokens: []int{5, 11, 2, 9}, MaxNewTokens: 6, Priority: -1},
+		{Task: TaskGenerate, Tokens: []int{7, 3, 14}, MaxNewTokens: 5},
+	}
+	want := refGenerate(t, reqs)
+
+	eng, _, st := buildTinyEngine(t, 1<<20)
+	p, _ := tinyPlan(t, st, 100*time.Millisecond, 0)
+	// Measure one KV page for this plan's submodel, then pin the
+	// engine grant to exactly that: only one stream can hold KV at a
+	// time, so the tiered arrival must preempt the best-effort holder.
+	sm, _, err := eng.Materialize(ctxbg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := model.NewPagedDecoder(sm, model.NewBlockAllocator(nil, 0))
+	if !probe.Reserve() {
+		t.Fatal("probe reserve failed")
+	}
+	pageBytes := probe.KVBytes()
+	probe.Release()
+	if pageBytes == 0 {
+		t.Fatal("page bytes = 0")
+	}
+	eng.SetCacheBudget(pageBytes)
+
+	b := NewBatcher(eng, BatcherOptions{MaxStreams: 4})
+	defer b.Close()
+
+	// The first OnToken blocks the step loop until the tiered stream is
+	// staged: the best-effort stream is then provably mid-decode,
+	// holding the only KV page, when the tiered stream is admitted.
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	var once sync.Once
+	var bestTok []int
+	reqs[0].OnToken = func(step, token int) {
+		bestTok = append(bestTok, token)
+		once.Do(func() {
+			close(started)
+			<-gate
+		})
+	}
+	ch0, err := b.Submit(ctxbg, p, reqs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // best-effort stream holds the only KV page mid-decode
+	ch1, err := b.Submit(ctxbg, p, reqs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(gate)
+
+	out1 := <-ch1
+	if out1.Err != nil {
+		t.Fatalf("tiered stream: %v", out1.Err)
+	}
+	sameTokens(t, "tiered tokens", out1.Resp.GeneratedTokens, want[1].GeneratedTokens)
+	out0 := <-ch0
+	if out0.Err != nil {
+		t.Fatalf("best-effort stream: %v", out0.Err)
+	}
+	sameTokens(t, "best-effort tokens", out0.Resp.GeneratedTokens, want[0].GeneratedTokens)
+	// OnToken must not re-fire for replayed positions after eviction.
+	sameTokens(t, "best-effort OnToken", bestTok, want[0].GeneratedTokens[len(reqs[0].Tokens):])
+
+	stats := b.Stats()
+	if stats.Preempted == 0 {
+		t.Fatalf("no preemption recorded: %+v", stats)
+	}
+	if stats.RecomputedTokens == 0 {
+		t.Fatalf("preemption without recompute: %+v", stats)
+	}
+	if eng.KVBytes() != 0 || b.KVBytes() != 0 {
+		t.Fatalf("leaked KV: engine %d, allocator %d", eng.KVBytes(), b.KVBytes())
+	}
+}
+
+// TestBatcherCancelMidStream pins cancellation semantics: a ctx cancel
+// mid-decode retires the stream with its partial response and ctx.Err,
+// frees its KV blocks before the next step, and never disturbs the
+// other in-flight sequences.
+func TestBatcherCancelMidStream(t *testing.T) {
+	reqs := []Request{
+		{Task: TaskGenerate, Tokens: []int{1, 17, 23}, MaxNewTokens: 12},
+		{Task: TaskGenerate, Tokens: []int{4, 9, 2}, MaxNewTokens: 8},
+	}
+	want := refGenerate(t, []Request{reqs[1]})
+
+	eng, _, st := buildTinyEngine(t, 1<<20)
+	p, _ := tinyPlan(t, st, 100*time.Millisecond, 0)
+	b := NewBatcher(eng, BatcherOptions{MaxStreams: 4})
+	defer b.Close()
+
+	// The first OnToken parks the step loop until cancel() has landed,
+	// so the stream is provably cancelled mid-decode with KV held.
+	cctx, cancel := context.WithCancel(ctxbg)
+	defer cancel()
+	fired := make(chan struct{})
+	gate := make(chan struct{})
+	var once sync.Once
+	reqs[0].OnToken = func(step, token int) {
+		once.Do(func() {
+			close(fired)
+			<-gate
+		})
+	}
+	ch0, err := b.Submit(cctx, p, reqs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch1, err := b.Submit(ctxbg, p, reqs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-fired
+	cancel()
+	close(gate)
+
+	out0 := <-ch0
+	if !errors.Is(out0.Err, context.Canceled) {
+		t.Fatalf("cancelled stream err = %v, want context.Canceled", out0.Err)
+	}
+	if out0.Resp == nil || out0.Resp.Gen.NewTokens == 0 {
+		t.Fatalf("cancelled stream lost its partial response: %+v", out0.Resp)
+	}
+	out1 := <-ch1
+	if out1.Err != nil {
+		t.Fatalf("survivor: %v", out1.Err)
+	}
+	sameTokens(t, "survivor tokens", out1.Resp.GeneratedTokens, want[0].GeneratedTokens)
+
+	stats := b.Stats()
+	if stats.Cancelled != 1 || stats.Finished != 1 {
+		t.Fatalf("stats %+v, want 1 cancelled + 1 finished", stats)
+	}
+	if eng.KVBytes() != 0 || b.KVBytes() != 0 {
+		t.Fatalf("leaked KV: engine %d, allocator %d", eng.KVBytes(), b.KVBytes())
+	}
+}
+
+// TestBatcherCloseDeliversTerminalResults pins shutdown: pending
+// streams fail with ErrBatcherClosed, in-flight streams get their
+// partial responses, and no KV bytes remain charged.
+func TestBatcherCloseDeliversTerminalResults(t *testing.T) {
+	eng, _, st := buildTinyEngine(t, 1<<20)
+	p, _ := tinyPlan(t, st, 100*time.Millisecond, 0)
+	b := NewBatcher(eng, BatcherOptions{MaxStreams: 2})
+
+	// The first OnToken parks the step loop so the stream is still
+	// mid-decode when Close lands; pending probes submitted while the
+	// loop is parked must also fail with ErrBatcherClosed.
+	fired := make(chan struct{})
+	gate := make(chan struct{})
+	var once sync.Once
+	req := Request{Task: TaskGenerate, Tokens: []int{1, 2, 3}, MaxNewTokens: 20,
+		OnToken: func(step, token int) {
+			once.Do(func() {
+				close(fired)
+				<-gate
+			})
+		}}
+	ch, err := b.Submit(ctxbg, p, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-fired
+	closed := make(chan struct{})
+	go func() {
+		b.Close()
+		close(closed)
+	}()
+	// Submit probes until Close has marked the batcher closed; earlier
+	// probes queue behind the parked loop and get failed on shutdown.
+	var pendingChans []<-chan StreamResult
+	probe := Request{Task: TaskGenerate, Tokens: []int{4, 5}, MaxNewTokens: 2}
+	for {
+		pch, err := b.Submit(ctxbg, p, probe)
+		if errors.Is(err, ErrBatcherClosed) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		pendingChans = append(pendingChans, pch)
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	<-closed
+	out := <-ch
+	if !errors.Is(out.Err, ErrBatcherClosed) {
+		t.Fatalf("err = %v, want ErrBatcherClosed", out.Err)
+	}
+	if out.Resp == nil || out.Resp.Gen.NewTokens == 0 {
+		t.Fatalf("in-flight stream lost its partial response on close: %+v", out.Resp)
+	}
+	for i, pch := range pendingChans {
+		if pout := <-pch; !errors.Is(pout.Err, ErrBatcherClosed) {
+			t.Fatalf("pending probe %d: err = %v, want ErrBatcherClosed", i, pout.Err)
+		}
+	}
+	if _, err := b.Submit(ctxbg, p, req); !errors.Is(err, ErrBatcherClosed) {
+		t.Fatalf("submit after close = %v, want ErrBatcherClosed", err)
+	}
+	if eng.KVBytes() != 0 || b.KVBytes() != 0 {
+		t.Fatalf("leaked KV: engine %d, allocator %d", eng.KVBytes(), b.KVBytes())
+	}
+}

@@ -35,6 +35,10 @@ type Engine struct {
 	cache       map[shard.Version][]byte
 	cacheBytes  int64
 	cacheBudget int64
+	// kvBytes is decode KV-cache memory charged against the same §3.2
+	// grant as the preload buffer: preload shards and KV blocks
+	// arbitrate for one budget (cacheBytes + kvBytes ≤ cacheBudget).
+	kvBytes int64
 
 	// ioHook, when non-nil, is called at the top of every layer's IO
 	// job — before the cancellation check — so tests can cancel a
@@ -92,6 +96,38 @@ func (e *Engine) Budget() int64 {
 	return e.cacheBudget
 }
 
+// KVBytes returns the decode KV-cache bytes charged to the engine.
+func (e *Engine) KVBytes() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.kvBytes
+}
+
+// ReserveKV charges bytes of decode KV cache against the engine's
+// budget, evicting preload shards top-layers-first to make room (KV for
+// in-flight streams beats speculative preloads — the stream is live
+// now). It reports false, charging nothing, if the budget cannot fit
+// the bytes even with the preload buffer emptied. Implements
+// model.KVCharger.
+func (e *Engine) ReserveKV(bytes int64) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.evictForLocked(bytes, nil)
+	if e.cacheBytes+e.kvBytes+bytes > e.cacheBudget {
+		return false
+	}
+	e.kvBytes += bytes
+	return true
+}
+
+// ReleaseKV returns previously reserved KV bytes to the budget.
+// Implements model.KVCharger.
+func (e *Engine) ReleaseKV(bytes int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.kvBytes -= bytes
+}
+
 // SetCacheBudget resizes the preload buffer (§3.2: the app or OS can
 // change |S| at any time). When shrinking, cached shards are evicted
 // from the top layers down — bottom layers are needed earliest on the
@@ -109,7 +145,7 @@ func (e *Engine) SetCacheBudget(budget int64) {
 // bottom layers are needed earliest on the next engagement (§5.5).
 // e.mu must be held.
 func (e *Engine) evictForLocked(need int64, floor *shard.Version) {
-	if e.cacheBytes+need <= e.cacheBudget {
+	if e.cacheBytes+e.kvBytes+need <= e.cacheBudget {
 		return
 	}
 	victims := make([]shard.Version, 0, len(e.cache))
@@ -126,7 +162,7 @@ func (e *Engine) evictForLocked(need int64, floor *shard.Version) {
 		return victims[i].Slice > victims[j].Slice
 	})
 	for _, c := range victims {
-		if e.cacheBytes+need <= e.cacheBudget {
+		if e.cacheBytes+e.kvBytes+need <= e.cacheBudget {
 			break
 		}
 		e.cacheBytes -= int64(len(e.cache[c]))
@@ -226,7 +262,7 @@ func (e *Engine) put(v shard.Version, payload []byte) bool {
 	}
 	need := int64(len(payload))
 	e.evictForLocked(need, &v)
-	if e.cacheBytes+need > e.cacheBudget {
+	if e.cacheBytes+e.kvBytes+need > e.cacheBudget {
 		return false
 	}
 	e.cache[v] = payload
@@ -456,7 +492,7 @@ func (e *Engine) Retain(p *planner.Plan) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	keep := make(map[shard.Version]bool)
-	var used int64
+	used := e.kvBytes // live decode KV is not evictable by Retain
 retain:
 	for l := 0; l < p.Depth; l++ {
 		for j, s := range p.Slices[l] {

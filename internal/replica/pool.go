@@ -36,9 +36,15 @@ import (
 )
 
 // Replica is one pipeline engine of a pool plus its dispatch state.
+// Every replica owns a continuous-batching step loop (Batcher) for
+// generate traffic: acquired generate requests join the replica's loop
+// and decode batched with its other streams, while the acquisition's
+// inflight count keeps the drain protocol honest — a draining replica
+// waits for its streams like any other in-flight work.
 type Replica struct {
-	ID     int
-	Engine *pipeline.Engine
+	ID      int
+	Engine  *pipeline.Engine
+	Batcher *pipeline.Batcher
 
 	// Guarded by the pool's mutex.
 	inflight int
@@ -65,6 +71,10 @@ type Options struct {
 	// Cooldown spaces scaling actions so bursty pressure cannot thrash
 	// the pool up and down. Default 250ms.
 	Cooldown time.Duration
+	// MaxStreams caps each replica's concurrently decoding generate
+	// streams (its continuous batcher's admission bound). Default
+	// pipeline.DefaultMaxStreams.
+	MaxStreams int
 }
 
 func (o Options) withDefaults() Options {
@@ -101,9 +111,12 @@ type PoolStats struct {
 	Inflight []int    `json:"inflight"`
 	// Budget is the model grant split across replicas; PerReplica the
 	// slice each live replica's preload buffer runs under.
-	Budget     int64  `json:"budget"`
-	PerReplica int64  `json:"per_replica"`
-	CacheBytes int64  `json:"cache_bytes"`
+	Budget     int64 `json:"budget"`
+	PerReplica int64 `json:"per_replica"`
+	CacheBytes int64 `json:"cache_bytes"`
+	// KVBytes is the paged decode KV cache held live across replicas,
+	// charged against the same per-replica grants as CacheBytes.
+	KVBytes    int64  `json:"kv_bytes"`
 	ScaleUps   uint64 `json:"scale_ups"`
 	ScaleDowns uint64 `json:"scale_downs"`
 }
@@ -149,7 +162,8 @@ func (p *Pool) spawnLocked() error {
 	if err != nil {
 		return fmt.Errorf("replica: building replica %d: %w", p.nextID, err)
 	}
-	p.replicas = append(p.replicas, &Replica{ID: p.nextID, Engine: eng})
+	b := pipeline.NewBatcher(eng, pipeline.BatcherOptions{MaxStreams: p.opts.MaxStreams})
+	p.replicas = append(p.replicas, &Replica{ID: p.nextID, Engine: eng, Batcher: b})
 	p.nextID++
 	return nil
 }
@@ -331,8 +345,12 @@ func (p *Pool) Resize(n int) (bool, error) {
 				// failed growth must leave the pool exactly as it was,
 				// never holding live but budget-less, never-warmed
 				// engines that Acquire would dispatch to.
+				spawned := append([]*Replica(nil), p.replicas[before:]...)
 				p.replicas = p.replicas[:before]
 				p.mu.Unlock()
+				for _, r := range spawned {
+					r.Batcher.Close()
+				}
 				return false, err
 			}
 			cur++
@@ -352,8 +370,12 @@ func (p *Pool) Resize(n int) (bool, error) {
 		p.scaleDowns++
 		p.mu.Unlock()
 		// Reclaim the retirees' bytes; survivors regrow on the next
-		// Apply/Warm.
+		// Apply/Warm. The drain above waited out every in-flight
+		// acquisition — generate streams hold theirs until their
+		// terminal result — so each victim's step loop is idle and
+		// Close is immediate.
 		for _, v := range victims {
+			v.Batcher.Close()
 			v.Engine.SetCacheBudget(0)
 		}
 		return true, nil
@@ -471,7 +493,16 @@ func (p *Pool) Configure(opts Options) {
 	if opts.Cooldown <= 0 {
 		opts.Cooldown = p.opts.Cooldown
 	}
+	if opts.MaxStreams <= 0 {
+		opts.MaxStreams = p.opts.MaxStreams
+	}
+	changed := opts.MaxStreams != p.opts.MaxStreams
 	p.opts = opts.withDefaults()
+	if changed {
+		for _, r := range p.replicas {
+			r.Batcher.SetMaxStreams(p.opts.MaxStreams)
+		}
+	}
 }
 
 // Limits returns the pool's current replica-count bounds.
@@ -505,6 +536,7 @@ func (p *Pool) Retire() {
 	p.plans = nil
 	p.mu.Unlock()
 	for _, r := range replicas {
+		r.Batcher.Close()
 		r.Engine.SetCacheBudget(0)
 	}
 }
@@ -605,6 +637,50 @@ func (p *Pool) Stats() PoolStats {
 	p.mu.Unlock()
 	for _, r := range replicas {
 		st.CacheBytes += r.Engine.CacheBytes()
+		st.KVBytes += r.Engine.KVBytes()
 	}
 	return st
+}
+
+// KVBytes sums the live paged decode KV bytes across all replicas.
+func (p *Pool) KVBytes() int64 {
+	p.mu.Lock()
+	replicas := append([]*Replica(nil), p.replicas...)
+	p.mu.Unlock()
+	var total int64
+	for _, r := range replicas {
+		total += r.Engine.KVBytes()
+	}
+	return total
+}
+
+// GenStats aggregates every replica's continuous-batching step loop
+// into one pool-level snapshot: counters sum; MaxStreams is the pool's
+// total admission capacity; PeakStreams sums per-replica peaks (an
+// upper bound on the pool-wide instantaneous peak).
+func (p *Pool) GenStats() pipeline.StepLoopStats {
+	p.mu.Lock()
+	replicas := append([]*Replica(nil), p.replicas...)
+	p.mu.Unlock()
+	var agg pipeline.StepLoopStats
+	for _, r := range replicas {
+		st := r.Batcher.Stats()
+		agg.Steps += st.Steps
+		agg.StepSequences += st.StepSequences
+		agg.Streams += st.Streams
+		agg.PeakStreams += st.PeakStreams
+		agg.Pending += st.Pending
+		agg.MaxStreams += st.MaxStreams
+		agg.Admitted += st.Admitted
+		agg.Finished += st.Finished
+		agg.Cancelled += st.Cancelled
+		agg.Preempted += st.Preempted
+		agg.RecomputedTokens += st.RecomputedTokens
+		agg.TokensOut += st.TokensOut
+		agg.KVBytes += st.KVBytes
+	}
+	if agg.Steps > 0 {
+		agg.AvgStreamsPerStep = float64(agg.StepSequences) / float64(agg.Steps)
+	}
+	return agg
 }

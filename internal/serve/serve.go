@@ -18,9 +18,11 @@
 //
 // Requests are task-typed (pipeline.Request): classify jobs batch into
 // one shared IO/decompress stream exactly as before, while generate
-// jobs run singly — each holds a worker for many decode steps, streams
-// tokens through Request.OnToken, and is executed under a context
-// carrying the job's deadline so the decode loop's per-token checks
+// jobs dispatch onto the backend's continuous-batching step loops —
+// each leaves its worker immediately (bounded by Options.MaxStreams),
+// decodes batched with the model's other in-flight streams, streams
+// tokens through Request.OnToken, and executes under a context
+// carrying the job's deadline so the step loop's per-token checks
 // stop it the moment the deadline (or the client) goes away.
 //
 // The scheduler never touches plans itself: replanning (budget or
@@ -96,6 +98,14 @@ type ReplicaReporter interface {
 	SharedCacheStats(model string) (store.CacheStats, bool)
 }
 
+// StepLoopReporter is the optional backend surface for continuous-
+// batching stats: a backend whose generate path runs per-replica step
+// loops (the fleet's replica pools do) exposes their aggregated
+// snapshot per model, surfaced through Snapshot into ModelStats.
+type StepLoopReporter interface {
+	GenerateStats(model string) (pipeline.StepLoopStats, bool)
+}
+
 // Options tunes the scheduler.
 type Options struct {
 	// QueueDepth bounds each model's admission queue; submits beyond
@@ -125,6 +135,12 @@ type Options struct {
 	// shedding them — fidelity degrades before availability does.
 	// Default 0.5.
 	HighWater float64
+	// MaxStreams caps concurrently dispatched generate streams across
+	// the scheduler: generate jobs leave the worker immediately and
+	// decode on the backend's continuous-batching step loops, so
+	// workers stay free for classify batching; at the cap the worker
+	// blocks, backpressuring through the admission queue. Default 64.
+	MaxStreams int
 }
 
 func (o Options) withDefaults() Options {
@@ -148,6 +164,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.HighWater <= 0 {
 		o.HighWater = 0.5
+	}
+	if o.MaxStreams <= 0 {
+		o.MaxStreams = 64
 	}
 	return o
 }
@@ -205,12 +224,18 @@ type modelQueue struct {
 // observe with Snapshot, stop with Close.
 type Scheduler struct {
 	backend Backend
-	// elastic and reporter are the backend's optional replica surfaces,
-	// resolved once at construction.
-	elastic  Elastic
-	reporter ReplicaReporter
-	opts     Options
-	start    time.Time
+	// elastic, reporter and stepLoops are the backend's optional
+	// replica/step-loop surfaces, resolved once at construction.
+	elastic   Elastic
+	reporter  ReplicaReporter
+	stepLoops StepLoopReporter
+	opts      Options
+	start     time.Time
+
+	// genSlots is the scheduler-wide generate concurrency gate: one
+	// token per in-flight stream, acquired by the worker before the
+	// stream leaves it for the backend's step loop.
+	genSlots chan struct{}
 
 	mu     sync.Mutex
 	queues map[string]*modelQueue
@@ -235,8 +260,10 @@ func New(backend Backend, opts Options) *Scheduler {
 		start:   time.Now(),
 		queues:  make(map[string]*modelQueue),
 	}
+	s.genSlots = make(chan struct{}, s.opts.MaxStreams)
 	s.elastic, _ = backend.(Elastic)
 	s.reporter, _ = backend.(ReplicaReporter)
+	s.stepLoops, _ = backend.(StepLoopReporter)
 	if s.elastic != nil {
 		s.stop = make(chan struct{})
 		s.wg.Add(1)
@@ -419,18 +446,20 @@ type batchKey struct {
 }
 
 // worker drains one model's queue until the queue closes. A generate
-// job runs singly, immediately — holding it back for a batch window
-// would only delay its first token. A classify job accumulates up to
-// MaxBatch queued jobs (waiting at most BatchWindow after the first),
-// partitions them by plan tier, and serves each tier group with one
-// batched backend call — one IO/decompress stream per group; any
-// generate jobs the accumulator happened to drain run singly right
-// after the batches.
+// job is dispatched immediately onto the backend's continuous-batching
+// step loop — holding it back for a batch window would only delay its
+// first token, and holding the worker for its whole decode would cap
+// concurrent streams at the worker count. A classify job accumulates
+// up to MaxBatch queued jobs (waiting at most BatchWindow after the
+// first), partitions them by plan tier, and serves each tier group
+// with one batched backend call — one IO/decompress stream per group;
+// any generate jobs the accumulator happened to drain dispatch the
+// same way right after the batches.
 func (s *Scheduler) worker(model string, q *modelQueue) {
 	defer s.wg.Done()
 	for j := range q.jobs {
 		if j.req.Task == pipeline.TaskGenerate {
-			s.runSingle(model, q, j)
+			s.dispatchGenerate(model, q, j)
 			continue
 		}
 		batch := []*job{j}
@@ -455,7 +484,7 @@ func (s *Scheduler) worker(model string, q *modelQueue) {
 			s.runBatch(model, q, groups[k])
 		}
 		for _, g := range generate {
-			s.runSingle(model, q, g)
+			s.dispatchGenerate(model, q, g)
 		}
 		// Every drain is a pressure observation too: it is how an
 		// elastic backend sees the queue go (and stay) idle and drains
@@ -483,6 +512,26 @@ func (s *Scheduler) accumulate(q *modelQueue) []*job {
 		}
 	}
 	return more
+}
+
+// dispatchGenerate moves a generate job off the worker onto its own
+// goroutine: the job's decode rides the backend's step loop for many
+// steps, and the worker must stay free to batch classify traffic
+// meanwhile. genSlots bounds the in-flight streams scheduler-wide
+// (Options.MaxStreams); at the cap the worker blocks here, so
+// backpressure propagates through the bounded admission queue instead
+// of spawning unbounded decodes.
+func (s *Scheduler) dispatchGenerate(model string, q *modelQueue, j *job) {
+	s.genSlots <- struct{}{}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer func() { <-s.genSlots }()
+		s.runSingle(model, q, j)
+		// A finished stream is capacity coming back; let an elastic
+		// backend observe the queue it can now drain into.
+		s.pressure(model, q)
+	}()
 }
 
 // admit checks a drained job's context and deadline at execution time:

@@ -65,6 +65,13 @@ type ModelStats struct {
 	SingleflightHits       uint64 `json:"singleflight_hits"`
 	FlashReads             uint64 `json:"flash_reads,omitempty"`
 	SingleflightBytesSaved int64  `json:"singleflight_bytes_saved,omitempty"`
+
+	// Gen snapshots the model's continuous-batching step loops (one
+	// per replica, aggregated): batched decode steps, in-flight and
+	// peak streams, best-effort preemptions and the live paged KV
+	// bytes charged against the model's preload grant. Nil when the
+	// backend runs no step loops.
+	Gen *pipeline.StepLoopStats `json:"gen,omitempty"`
 }
 
 // Stats is a point-in-time snapshot of the whole scheduler. Each
@@ -90,6 +97,12 @@ type Stats struct {
 	// absorbed across models.
 	Replicas         int    `json:"replicas,omitempty"`
 	SingleflightHits uint64 `json:"singleflight_hits"`
+	// GenSteps/GenStreams/GenKVBytes sum the continuous-batching step
+	// loops across models: batched decode forwards executed, streams
+	// decoding right now, and live paged KV bytes.
+	GenSteps   uint64 `json:"gen_steps,omitempty"`
+	GenStreams int    `json:"gen_streams,omitempty"`
+	GenKVBytes int64  `json:"gen_kv_bytes,omitempty"`
 	// ServedByTier merges every model's per-tier served counts.
 	ServedByTier map[string]uint64 `json:"served_by_tier,omitempty"`
 	Models       []ModelStats      `json:"models"`
@@ -274,6 +287,14 @@ func (s *Scheduler) Snapshot() Stats {
 				ms.SingleflightHits = cs.Hits()
 				ms.FlashReads = cs.FlashReads
 				ms.SingleflightBytesSaved = cs.BytesSaved
+			}
+		}
+		if s.stepLoops != nil {
+			if gs, ok := s.stepLoops.GenerateStats(ms.Model); ok {
+				ms.Gen = &gs
+				st.GenSteps += gs.Steps
+				st.GenStreams += gs.Streams
+				st.GenKVBytes += gs.KVBytes
 			}
 		}
 		st.Replicas += ms.Replicas
