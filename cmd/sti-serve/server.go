@@ -356,16 +356,26 @@ func (s *server) serveClassify(w http.ResponseWriter, r *http.Request, req infer
 	writeJSON(w, status, batchResponse{Model: req.Model, Results: results})
 }
 
+// sseWriteTimeout bounds each SSE event write. Token events are
+// written from the stream's emitter goroutine; without a per-write
+// deadline a stalled-but-alive client would block that write forever
+// once TCP buffers fill, pinning the emitter (and the batcher-side
+// token buffer behind it) for the connection's lifetime. On a blown
+// deadline the stream is marked dead and every later event is a no-op,
+// so the emitter drains instantly.
+const sseWriteTimeout = 5 * time.Second
+
 // sseStream serializes server-sent events onto one response. Writes
-// race between the scheduler worker (OnToken, during the decode) and
-// the handler (final event, after Submit returns); the mutex and the
-// closed flag guarantee no event is written after the handler returns
-// and the ResponseWriter dies.
+// race between the stream's emitter goroutine (OnToken, during the
+// decode) and the handler (final event, after Submit returns); the
+// mutex and the closed flag guarantee no event is written after the
+// handler returns and the ResponseWriter dies.
 type sseStream struct {
 	mu      sync.Mutex
 	w       http.ResponseWriter
 	started bool
 	closed  bool
+	dead    bool // a write blew its deadline; drop everything after
 }
 
 // event writes one named SSE event with a JSON payload, setting the
@@ -381,7 +391,7 @@ func (st *sseStream) eventLocked(name string, v any) {
 	if err != nil {
 		return
 	}
-	if st.closed {
+	if st.closed || st.dead {
 		return
 	}
 	if !st.started {
@@ -391,10 +401,19 @@ func (st *sseStream) eventLocked(name string, v any) {
 		h.Set("Cache-Control", "no-cache")
 		st.w.WriteHeader(http.StatusOK)
 	}
-	fmt.Fprintf(st.w, "event: %s\ndata: %s\n\n", name, data)
+	// Bound the write so a stalled client cannot pin the emitter; a
+	// transport that cannot set deadlines (e.g. httptest recorders)
+	// just writes unbounded, as before.
+	rc := http.NewResponseController(st.w)
+	rc.SetWriteDeadline(time.Now().Add(sseWriteTimeout))
+	if _, err := fmt.Fprintf(st.w, "event: %s\ndata: %s\n\n", name, data); err != nil {
+		st.dead = true
+		return
+	}
 	if fl, ok := st.w.(http.Flusher); ok {
 		fl.Flush()
 	}
+	rc.SetWriteDeadline(time.Time{})
 }
 
 // finish ends the stream: a nil err emits the final event; a non-nil

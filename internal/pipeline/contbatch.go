@@ -20,24 +20,51 @@ import (
 // sequence (model.StepLogits over ragged per-sequence positions), and
 // retires finished sequences without stalling the rest — the
 // iteration-level scheduling of Orca/vLLM, applied to STI's elastic
-// submodels. Each plan's shard stream is materialized once and shared
-// by every stream riding it, so flash bytes per step do not scale with
-// stream count; KV state lives in paged blocks charged against the
-// engine's §3.2 grant, with best-effort streams preempted (KV evicted,
-// resumable via recompute) before any tiered stream is starved.
+// submodels. Each plan's shard stream is materialized once — off the
+// loop goroutine, so admitting a cold plan never stalls in-flight
+// decodes — and shared by every stream riding it, so flash bytes per
+// step do not scale with stream count; KV state lives in paged blocks
+// charged against the engine's §3.2 grant, with best-effort streams
+// preempted (KV evicted, resumable via recompute) before any tiered
+// stream is starved.
+//
+// The loop goroutine never runs caller code and never blocks on a
+// caller: OnToken callbacks fire from a per-stream emitter goroutine
+// fed by a bounded token buffer, so one slow token consumer stalls
+// only its own stream (which skips steps while its buffer is full),
+// never the step loop or the other sequences.
 
 // ErrBatcherClosed is returned for streams rejected or cut off because
 // the batcher shut down.
 var ErrBatcherClosed = errors.New("pipeline: batcher closed")
 
-// ErrKVBudget fails a tiered stream that cannot reserve even its first
-// KV page with nothing left to preempt or wait for — the engine grant
-// is too small to decode at all.
+// ErrKVBudget fails a stream the KV budget cannot serve: either it
+// cannot reserve its first page with nothing held anywhere, or the
+// loop has been starved with zero progress for kvStarveFailPolls and
+// this was the newest starved stream — shedding it lets the rest make
+// progress instead of every stream hanging to its deadline.
 var ErrKVBudget = errors.New("pipeline: kv budget exhausted")
 
 // DefaultMaxStreams bounds a batcher's concurrently decoding sequences
 // when BatcherOptions leaves MaxStreams zero.
 const DefaultMaxStreams = 64
+
+// DefaultTokenBuffer is the per-stream token buffer depth when
+// BatcherOptions leaves TokenBuffer zero: how many decoded-but-not-yet
+// -delivered tokens a stream may accumulate before the loop stops
+// advancing it.
+const DefaultTokenBuffer = 1024
+
+// Starvation escape thresholds, in consecutive zero-progress polls of
+// the 1ms starvation loop. After kvStarvePreemptPolls a KV-starved
+// stream may preempt a holder of its own priority class (normally
+// tiered never preempts tiered and best-effort preempts nobody);
+// after kvStarveFailPolls with still no progress the newest starved
+// stream is failed with ErrKVBudget so the rest can move.
+const (
+	kvStarvePreemptPolls = 10
+	kvStarveFailPolls    = 100
+)
 
 // BatcherOptions configures a Batcher.
 type BatcherOptions struct {
@@ -48,6 +75,11 @@ type BatcherOptions struct {
 	// BlockTokens is the KV page size in positions; <= 0 means
 	// model.DefaultBlockTokens.
 	BlockTokens int
+	// TokenBuffer bounds each stream's decoded-but-undelivered tokens:
+	// the step loop stops advancing a stream whose OnToken consumer
+	// has fallen this many tokens behind, and resumes when the
+	// consumer catches up. <= 0 means DefaultTokenBuffer.
+	TokenBuffer int
 }
 
 // StreamResult is the single terminal outcome of one submitted stream,
@@ -76,9 +108,10 @@ type StepLoopStats struct {
 	Admitted  uint64 `json:"gen_admitted"`
 	Finished  uint64 `json:"gen_finished"`
 	Cancelled uint64 `json:"gen_cancelled"`
-	// Preempted counts best-effort streams whose KV was evicted under
-	// budget pressure; RecomputedTokens the tokens replayed to restore
-	// evicted KV on readmission.
+	// Preempted counts streams whose KV was evicted under budget
+	// pressure (best-effort victims, plus same-class victims under
+	// sustained starvation); RecomputedTokens the tokens replayed to
+	// restore evicted KV on readmission.
 	Preempted        uint64 `json:"gen_preempted"`
 	RecomputedTokens uint64 `json:"gen_recomputed_tokens"`
 	TokensOut        uint64 `json:"gen_tokens_out"`
@@ -87,14 +120,27 @@ type StepLoopStats struct {
 	KVBytes int64 `json:"gen_kv_bytes"`
 }
 
+// emitEvent is one unit of a stream's delivery queue: a decoded token
+// for OnToken, or the stream's terminal result (final non-nil), which
+// is always the last event.
+type emitEvent struct {
+	step, token int
+	final       *StreamResult
+}
+
 // stream is one in-flight generate request's decode state. seq is the
 // full decoded sequence (prompt + generated); consumed counts tokens
 // fed through the decoder, so consumed == len(seq) is the emission
 // point — exactly the loop head of DecodeGenerate. A preempted stream
 // keeps seq and NewTokens but resets consumed to 0 over a fresh
 // decoder: greedy decode is deterministic, so the replay regenerates
-// identical KV bytes, and emission (OnToken) never repeats because it
-// only happens at consumed == len(seq).
+// identical KV bytes, and emission never repeats because it only
+// happens at consumed == len(seq).
+//
+// emit, when non-nil (OnToken set), is the stream's bounded delivery
+// queue, drained by its own emitter goroutine; the loop is its only
+// sender and never sends a token unless at least two slots are free,
+// so the terminal event always fits without blocking.
 type stream struct {
 	ctx  context.Context
 	req  Request
@@ -104,11 +150,17 @@ type stream struct {
 	gen  *GenStats
 	resp *Response
 
+	emit chan emitEvent
+
+	emitMu  sync.Mutex
+	emitErr error
+
 	dec         *model.Decoder
 	seq         []int
 	consumed    int
 	logits      []float32
 	decodeStart time.Time
+	admitSeq    uint64
 }
 
 func (s *stream) finishTotal() {
@@ -118,12 +170,53 @@ func (s *stream) finishTotal() {
 	}
 }
 
+// emitFailure returns the error a panicking OnToken left behind, if
+// any. The loop checks it each step and retires the stream with it.
+func (s *stream) emitFailure() error {
+	s.emitMu.Lock()
+	defer s.emitMu.Unlock()
+	return s.emitErr
+}
+
+// emitter drains one stream's delivery queue: OnToken per token event,
+// then the terminal result — so every token a caller will ever see via
+// OnToken has been delivered before the terminal StreamResult lands.
+// Caller code runs only here, never on the loop goroutine: a slow or
+// panicking callback stalls (or fails) this stream alone. Once the
+// stream's ctx is done or a callback panicked, remaining token events
+// are dropped — the consumer is gone — and only the terminal result is
+// delivered.
+func (s *stream) emitter() {
+	failed := false
+	for ev := range s.emit {
+		if ev.final != nil {
+			s.res <- *ev.final
+			return
+		}
+		if failed || s.ctx.Err() != nil {
+			continue
+		}
+		if err := callOnToken(s.req.OnToken, ev.step, ev.token); err != nil {
+			failed = true
+			s.emitMu.Lock()
+			s.emitErr = err
+			s.emitMu.Unlock()
+		}
+	}
+}
+
 // planGroup is the per-plan share of a batcher: the submodel its shard
 // stream materialized once, ridden by every stream decoding that plan.
+// Materialization runs off the loop goroutine; streams arriving before
+// it completes park in waiters and are admitted when it finishes.
 type planGroup struct {
-	plan    *planner.Plan
-	sm      *model.Submodel
-	streams []*stream
+	plan          *planner.Plan
+	sm            *model.Submodel
+	es            *ExecStats // one-time stream cost; first admitted rider takes it
+	matErr        error
+	materializing bool
+	waiters       []*stream
+	streams       []*stream
 }
 
 // Batcher is a per-model continuous-batching step loop over one
@@ -134,15 +227,22 @@ type Batcher struct {
 	eng   *Engine
 	alloc *model.BlockAllocator
 
+	// matCtx bounds plan materializations; Close cancels it so
+	// in-flight shard streams stop promptly.
+	matCtx    context.Context
+	matCancel context.CancelFunc
+
 	mu         sync.Mutex
 	cond       *sync.Cond
 	pending    []*stream
 	maxStreams int
+	tokenBuf   int
 	closed     bool
 
 	// Owned by the loop goroutine; never touched elsewhere.
-	groups map[*planner.Plan]*planGroup
-	active int
+	groups       map[*planner.Plan]*planGroup
+	active       int
+	starvedPolls int
 
 	// Counters, under mu.
 	nSteps      uint64
@@ -165,13 +265,18 @@ func NewBatcher(eng *Engine, opt BatcherOptions) *Batcher {
 	if opt.MaxStreams <= 0 {
 		opt.MaxStreams = DefaultMaxStreams
 	}
+	if opt.TokenBuffer <= 0 {
+		opt.TokenBuffer = DefaultTokenBuffer
+	}
 	b := &Batcher{
 		eng:        eng,
 		alloc:      model.NewBlockAllocator(eng, opt.BlockTokens),
 		maxStreams: opt.MaxStreams,
+		tokenBuf:   opt.TokenBuffer,
 		groups:     make(map[*planner.Plan]*planGroup),
 		loopDone:   make(chan struct{}),
 	}
+	b.matCtx, b.matCancel = context.WithCancel(context.Background())
 	b.cond = sync.NewCond(&b.mu)
 	go b.loop()
 	return b
@@ -192,9 +297,11 @@ func (b *Batcher) SetMaxStreams(n int) {
 // Submit enqueues a generate request for the plan and returns the
 // channel its single terminal StreamResult will arrive on. The request
 // joins the step loop at the next inter-step admission point; OnToken
-// fires from the loop as tokens decode. Cancelling ctx retires the
-// stream within one step, freeing its KV blocks, and delivers the
-// partial Response with ctx.Err() — the ExecuteGenerate contract.
+// fires from the stream's own emitter goroutine as tokens decode, and
+// every token event is delivered before the terminal result.
+// Cancelling ctx retires the stream within one step, freeing its KV
+// blocks, and delivers the partial Response with ctx.Err() — the
+// ExecuteGenerate contract.
 func (b *Batcher) Submit(ctx context.Context, p *planner.Plan, req Request) (<-chan StreamResult, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
@@ -222,17 +329,37 @@ func (b *Batcher) Submit(ctx context.Context, p *planner.Plan, req Request) (<-c
 		b.mu.Unlock()
 		return nil, ErrBatcherClosed
 	}
+	if req.OnToken != nil {
+		// Buffer TokenBuffer tokens plus one slot the loop keeps free
+		// for the terminal event, so delivery never blocks the loop.
+		s.emit = make(chan emitEvent, b.tokenBuf+1)
+		go s.emitter()
+	}
 	b.pending = append(b.pending, s)
 	b.cond.Broadcast()
 	b.mu.Unlock()
 	return s.res, nil
 }
 
+// deliver hands a stream its terminal result. Streams with an emitter
+// route it through the delivery queue — behind any still-undelivered
+// token events, so OnToken ordering is preserved — using the slot the
+// loop always keeps free; bare streams get it directly on the result
+// channel (capacity 1). Never blocks.
+func (b *Batcher) deliver(s *stream, r StreamResult) {
+	if s.emit != nil {
+		s.emit <- emitEvent{final: &r}
+		return
+	}
+	s.res <- r
+}
+
 // Close shuts the loop down: pending and in-flight streams are failed
 // with ErrBatcherClosed (in-flight ones deliver their partial
-// Response), KV blocks are freed, and the loop goroutine exits before
-// Close returns. Callers drain in-flight work first (replica pools
-// already do, via their drain protocol).
+// Response), KV blocks are freed, in-flight materializations are
+// cancelled, and the loop goroutine exits before Close returns.
+// Callers drain in-flight work first (replica pools already do, via
+// their drain protocol).
 func (b *Batcher) Close() {
 	b.mu.Lock()
 	if b.closed {
@@ -241,6 +368,7 @@ func (b *Batcher) Close() {
 		return
 	}
 	b.closed = true
+	b.matCancel()
 	b.cond.Broadcast()
 	b.mu.Unlock()
 	<-b.loopDone
@@ -279,6 +407,9 @@ func (b *Batcher) loop() {
 	for {
 		b.mu.Lock()
 		for !b.closed && len(b.pending) == 0 && b.active == 0 {
+			// Streams parked on a materializing plan don't hold the
+			// loop awake: the materializer flushes them back to pending
+			// and broadcasts when the submodel is ready.
 			b.cond.Wait()
 		}
 		if b.closed {
@@ -286,13 +417,15 @@ func (b *Batcher) loop() {
 			b.pending = nil
 			b.mu.Unlock()
 			for _, s := range pending {
-				s.res <- StreamResult{Err: ErrBatcherClosed}
+				b.deliver(s, StreamResult{Err: ErrBatcherClosed})
 			}
 			for _, g := range b.groups {
+				// Waiters of a still-materializing group are failed by
+				// the materializer when it observes closed.
 				for _, s := range g.streams {
 					s.dec.Release()
 					s.finishTotal()
-					s.res <- StreamResult{Resp: s.resp, Err: ErrBatcherClosed}
+					b.deliver(s, StreamResult{Resp: s.resp, Err: ErrBatcherClosed})
 				}
 				g.streams = nil
 			}
@@ -308,11 +441,35 @@ func (b *Batcher) loop() {
 		// scheduler a chance to run the goroutines doing the admitting.
 		runtime.Gosched()
 
-		progress := b.stepOnce()
+		progress, starved := b.stepOnce(b.starvedPolls >= kvStarvePreemptPolls)
+		switch {
+		case progress:
+			b.starvedPolls = 0
+		case len(starved) > 0:
+			// Every reservation failed and nothing was preemptable:
+			// count the zero-progress poll, and once the loop has been
+			// starved past the hard threshold shed the newest starved
+			// stream so the budget can serve the rest (a lone stream
+			// whose next page exceeds the whole grant sheds itself).
+			b.starvedPolls++
+			if b.starvedPolls >= kvStarveFailPolls {
+				newest := 0
+				for i, gs := range starved {
+					if gs.s.admitSeq > starved[newest].s.admitSeq {
+						newest = i
+					}
+				}
+				b.retire(starved[newest].g, starved[newest].s, nil, ErrKVBudget, false)
+				b.starvedPolls = 0
+			}
+		default:
+			b.starvedPolls = 0
+		}
 		if !progress && b.liveStreams() > 0 {
-			// Every live stream is KV-starved: budget held elsewhere
-			// (preload warming, another batcher's engine sharing the
-			// host). Poll until bytes free up or contexts cancel.
+			// Nothing could step this round: streams are KV-starved
+			// (budget held elsewhere) or waiting on slow token
+			// consumers. Poll until bytes or buffer space free up, or
+			// contexts cancel.
 			time.Sleep(time.Millisecond)
 		}
 	}
@@ -325,14 +482,31 @@ func (b *Batcher) liveStreams() int {
 }
 
 // admitLocked moves pending streams into the step loop up to
-// maxStreams, materializing each plan's shard stream once (the first
-// rider pays — and records — the one-time IO; joiners ride for free).
-// Cancelled pending streams are culled regardless of capacity. b.mu is
-// held; materialization drops it (the shard stream is long and needs
-// no batcher state).
+// maxStreams. A stream for a plan with no materialized submodel parks
+// as a waiter while a separate goroutine runs the one-time shard
+// stream — the loop keeps decoding in-flight sequences through the IO
+// pass — and is flushed back to pending when it completes. Cancelled
+// pending streams and waiters are culled regardless of capacity. b.mu
+// is held throughout (nothing here blocks).
 func (b *Batcher) admitLocked() {
-	// Detach the pending queue first: materialization below drops the
-	// lock, and Submit must be free to append new arrivals meanwhile.
+	// Cull cancelled waiters so a departed client is answered while
+	// its plan's materialization is still in flight.
+	for _, g := range b.groups {
+		if len(g.waiters) == 0 {
+			continue
+		}
+		kept := g.waiters[:0]
+		for _, s := range g.waiters {
+			if err := s.ctx.Err(); err != nil {
+				s.finishTotal()
+				b.nCancelled++
+				b.deliver(s, StreamResult{Resp: s.resp, Err: err})
+				continue
+			}
+			kept = append(kept, s)
+		}
+		g.waiters = kept
+	}
 	work := b.pending
 	b.pending = nil
 	var kept []*stream
@@ -340,7 +514,7 @@ func (b *Batcher) admitLocked() {
 		if err := s.ctx.Err(); err != nil {
 			s.finishTotal()
 			b.nCancelled++
-			s.res <- StreamResult{Resp: s.resp, Err: err}
+			b.deliver(s, StreamResult{Resp: s.resp, Err: err})
 			continue
 		}
 		if b.active >= b.maxStreams {
@@ -354,8 +528,10 @@ func (b *Batcher) admitLocked() {
 			// plan pointers behind; their materialized submodels are
 			// only worth keeping while streams ride them or the plan
 			// may recur — keep the newest idle one as a warm cache).
+			// Groups still materializing, or with parked waiters, are
+			// not idle.
 			for p, old := range b.groups {
-				if len(old.streams) == 0 && p != plan {
+				if p != plan && len(old.streams) == 0 && len(old.waiters) == 0 && !old.materializing {
 					delete(b.groups, p)
 				}
 			}
@@ -363,42 +539,91 @@ func (b *Batcher) admitLocked() {
 			b.groups[plan] = g
 		}
 		if g.sm == nil {
-			b.mu.Unlock()
-			sm, es, err := b.eng.Materialize(s.ctx, plan)
-			b.mu.Lock()
-			if err != nil {
-				if len(g.streams) == 0 {
-					delete(b.groups, plan)
-				}
-				s.res <- StreamResult{Err: err}
-				continue
+			// Park until the submodel is ready. A previous attempt's
+			// error was delivered to its waiters; this stream retries.
+			if !g.materializing {
+				g.matErr = nil
+				g.materializing = true
+				go b.materialize(g)
 			}
-			g.sm = sm
-			s.gen.Stream = *es
-			s.resp.Stats = &s.gen.Stream
+			g.waiters = append(g.waiters, s)
+			continue
 		}
 		s.dec = model.NewPagedDecoder(g.sm, b.alloc)
 		s.decodeStart = time.Now()
+		if g.es != nil {
+			// The one-time shard stream's cost lands on exactly one
+			// rider — the cohort pays a single materialization.
+			s.gen.Stream = *g.es
+			s.resp.Stats = &s.gen.Stream
+			g.es = nil
+		}
 		g.streams = append(g.streams, s)
 		b.active++
 		b.nAdmitted++
+		s.admitSeq = b.nAdmitted
 		if b.active > b.peak {
 			b.peak = b.active
 		}
 	}
 	// Leftovers keep their place ahead of anything Submit enqueued
-	// while the lock was down.
+	// while admission ran.
 	b.pending = append(kept, b.pending...)
+}
+
+// materialize runs one plan's shard stream off the loop goroutine and
+// flushes the group's waiters back to the pending queue when the
+// submodel is ready — the loop keeps decoding every in-flight sequence
+// (and retiring cancelled ones) through the whole IO/decompress pass.
+// On failure the waiters are failed with the error; on a batcher
+// already closed, with ErrBatcherClosed.
+func (b *Batcher) materialize(g *planGroup) {
+	sm, es, err := b.eng.Materialize(b.matCtx, g.plan)
+	b.mu.Lock()
+	g.materializing = false
+	waiters := g.waiters
+	g.waiters = nil
+	if b.closed {
+		b.mu.Unlock()
+		for _, s := range waiters {
+			b.deliver(s, StreamResult{Err: ErrBatcherClosed})
+		}
+		return
+	}
+	if err != nil {
+		g.matErr = err
+		b.mu.Unlock()
+		for _, s := range waiters {
+			b.deliver(s, StreamResult{Err: err})
+		}
+		return
+	}
+	g.sm = sm
+	g.es = es
+	// Waiters keep their place at the head of the queue; the loop may
+	// be asleep with nothing else live, so wake it.
+	b.pending = append(waiters, b.pending...)
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// starvedStream records a stream that failed to reserve KV this step
+// with nothing preemptable, and the group it belongs to.
+type starvedStream struct {
+	g *planGroup
+	s *stream
 }
 
 // stepOnce runs one iteration of the step loop: per plan group, retire
 // cancelled streams, advance each live stream's DecodeGenerate state
 // machine by one token (emit at the loop head, then feed), reserve KV
-// for every participant — preempting best-effort KV before letting a
-// tiered stream starve — and run one batched forward for the group.
-// Reports whether any stream made progress.
-func (b *Batcher) stepOnce() bool {
+// for every participant — preempting best-effort KV (or, when the
+// loop has been starved long enough, same-class KV) before letting a
+// stream starve — and run one batched forward for the group. Reports
+// whether any stream made progress, plus the streams left KV-starved.
+func (b *Batcher) stepOnce(desperate bool) (bool, []starvedStream) {
 	progress := false
+	var starved []starvedStream
 	for _, g := range b.groups {
 		if len(g.streams) == 0 {
 			continue
@@ -416,6 +641,13 @@ func (b *Batcher) stepOnce() bool {
 				progress = true
 				continue
 			}
+			// A panicked OnToken fails its stream alone; the loop never
+			// ran the callback, the emitter just reports it.
+			if err := s.emitFailure(); err != nil {
+				b.retire(g, s, nil, err, false)
+				progress = true
+				continue
+			}
 			if s.consumed == len(s.seq) {
 				// Emission point — the head of DecodeGenerate's decode
 				// loop, byte for byte.
@@ -423,6 +655,14 @@ func (b *Batcher) stepOnce() bool {
 					s.resp.Logits = s.logits
 					b.retire(g, s, s.resp, nil, false)
 					progress = true
+					continue
+				}
+				if s.emit != nil && len(s.emit) >= cap(s.emit)-1 {
+					// Token consumer has fallen TokenBuffer behind: park
+					// the stream (skip its step; its KV stays) until the
+					// emitter drains. Only the loop sends on emit, so
+					// this check guarantees the send below cannot block
+					// and one slot stays free for the terminal event.
 					continue
 				}
 				best := 0
@@ -437,15 +677,8 @@ func (b *Batcher) stepOnce() bool {
 				b.mu.Lock()
 				b.nTokens++
 				b.mu.Unlock()
-				if s.req.OnToken != nil {
-					// The callback is caller code running on the shared
-					// step loop; a panic must fail this stream alone,
-					// not take down every other in-flight sequence.
-					if err := callOnToken(s.req.OnToken, s.gen.NewTokens-1, best); err != nil {
-						b.retire(g, s, nil, err, false)
-						progress = true
-						continue
-					}
+				if s.emit != nil {
+					s.emit <- emitEvent{step: s.gen.NewTokens - 1, token: best}
 				}
 				if len(s.seq) >= maxSeq {
 					s.resp.Logits = s.logits
@@ -478,13 +711,17 @@ func (b *Batcher) stepOnce() bool {
 		var toks []int
 		inStep := make(map[*stream]bool)
 		for _, s := range cands {
-			if !s.dec.Reserve() && !b.preemptFor(s, inStep) {
-				// Starved. A tiered stream holding nothing, with no KV
+			if !s.dec.Reserve() && !b.preemptFor(s, inStep, desperate) {
+				// Starved. A stream holding nothing, with no KV
 				// anywhere to wait on, can never start — fail it;
-				// otherwise skip this step and retry after the poll.
+				// otherwise record the starvation and retry after the
+				// poll (the loop preempts same-class holders, then
+				// sheds, if this persists).
 				if s.dec.KVBytes() == 0 && b.alloc.LiveBytes() == 0 {
 					b.retire(g, s, nil, ErrKVBudget, false)
 					progress = true
+				} else {
+					starved = append(starved, starvedStream{g, s})
 				}
 				continue
 			}
@@ -517,49 +754,64 @@ func (b *Batcher) stepOnce() bool {
 		b.mu.Unlock()
 		progress = true
 	}
-	return progress
+	return progress, starved
 }
 
-// preemptFor evicts best-effort KV to make room for a tiered stream:
-// victims are Priority<0 streams (largest KV footprint first, never
-// one already stepping this round), whose pages are freed and whose
-// decode state rewinds to replay-from-zero — resumable because greedy
-// decode recomputes identical KV bytes, and OnToken never re-fires
-// because emission only happens once per position. Best-effort
-// beneficiaries preempt nobody (evicting one best-effort stream for
-// another just thrashes). Reports whether the reserve now succeeds.
-func (b *Batcher) preemptFor(s *stream, inStep map[*stream]bool) bool {
-	if s.req.Priority >= 0 {
-		for {
-			var victim *stream
-			var victimGroup *planGroup
-			for _, g := range b.groups {
-				for _, v := range g.streams {
-					if v == s || v.req.Priority >= 0 || inStep[v] || v.dec.KVBytes() == 0 {
-						continue
-					}
-					if victim == nil || v.dec.KVBytes() > victim.dec.KVBytes() {
-						victim, victimGroup = v, g
-					}
+// preemptFor evicts other streams' KV to make room for a starved one:
+// victims' pages are freed and their decode state rewinds to
+// replay-from-zero — resumable because greedy decode recomputes
+// identical KV bytes, and OnToken never re-fires because emission only
+// happens once per position. A victim already stepping this round is
+// never touched.
+//
+// Normally only best-effort (Priority<0) holders are preemptable, and
+// only for tiered beneficiaries — evicting one best-effort stream for
+// another just thrashes. When sameClass is set (the loop has been
+// starved of all progress for kvStarvePreemptPolls), a beneficiary may
+// also evict the largest holder of its own class, so a cohort that
+// collectively exhausted the budget cannot livelock with every stream
+// one page short. Best-effort beneficiaries never evict tiered
+// holders. Victims are taken largest-KV-first, best-effort before
+// tiered. Reports whether the reserve now succeeds.
+func (b *Batcher) preemptFor(s *stream, inStep map[*stream]bool, sameClass bool) bool {
+	tiered := s.req.Priority >= 0
+	if !tiered && !sameClass {
+		return false
+	}
+	for {
+		var victim *stream
+		var victimGroup *planGroup
+		victimBest := false
+		for _, g := range b.groups {
+			for _, v := range g.streams {
+				if v == s || inStep[v] || v.dec.KVBytes() == 0 {
+					continue
+				}
+				vBest := v.req.Priority < 0
+				if !vBest && !(tiered && sameClass) {
+					continue
+				}
+				if victim == nil || (vBest && !victimBest) ||
+					(vBest == victimBest && v.dec.KVBytes() > victim.dec.KVBytes()) {
+					victim, victimGroup, victimBest = v, g, vBest
 				}
 			}
-			if victim == nil {
-				return false
-			}
-			victim.dec.Release()
-			victim.dec = model.NewPagedDecoder(victimGroup.sm, b.alloc)
-			b.mu.Lock()
-			b.nPreempted++
-			b.nRecomputed += uint64(victim.consumed)
-			b.mu.Unlock()
-			victim.consumed = 0
-			victim.logits = nil
-			if s.dec.Reserve() {
-				return true
-			}
+		}
+		if victim == nil {
+			return false
+		}
+		victim.dec.Release()
+		victim.dec = model.NewPagedDecoder(victimGroup.sm, b.alloc)
+		b.mu.Lock()
+		b.nPreempted++
+		b.nRecomputed += uint64(victim.consumed)
+		b.mu.Unlock()
+		victim.consumed = 0
+		victim.logits = nil
+		if s.dec.Reserve() {
+			return true
 		}
 	}
-	return false
 }
 
 func callOnToken(fn func(step, token int), step, token int) (err error) {
@@ -573,7 +825,8 @@ func callOnToken(fn func(step, token int), step, token int) (err error) {
 }
 
 // retire removes a stream from its group, frees its KV pages, and
-// delivers its terminal result exactly once.
+// delivers its terminal result exactly once (behind any undelivered
+// token events, via the stream's emitter).
 func (b *Batcher) retire(g *planGroup, s *stream, resp *Response, err error, cancelled bool) {
 	s.dec.Release()
 	for i, v := range g.streams {
@@ -591,5 +844,5 @@ func (b *Batcher) retire(g *planGroup, s *stream, resp *Response, err error, can
 		b.nFinished++
 	}
 	b.mu.Unlock()
-	s.res <- StreamResult{Resp: resp, Err: err}
+	b.deliver(s, StreamResult{Resp: resp, Err: err})
 }

@@ -520,9 +520,23 @@ func (s *Scheduler) accumulate(q *modelQueue) []*job {
 // meanwhile. genSlots bounds the in-flight streams scheduler-wide
 // (Options.MaxStreams); at the cap the worker blocks here, so
 // backpressure propagates through the bounded admission queue instead
-// of spawning unbounded decodes.
+// of spawning unbounded decodes. Dead work sheds before the slot wait:
+// the job's context and deadline are checked first, so at the cap a
+// queue of already-cancelled or expired generate jobs drains instantly
+// instead of serializing through the semaphore one slot-release at a
+// time ahead of live classify traffic — and a cancellation while
+// blocked releases the worker too.
 func (s *Scheduler) dispatchGenerate(model string, q *modelQueue, j *job) {
-	s.genSlots <- struct{}{}
+	if !s.admit(model, q, j, time.Now()) {
+		return
+	}
+	select {
+	case s.genSlots <- struct{}{}:
+	case <-j.ctx.Done():
+		// Caller gone while waiting for a stream slot; nothing is
+		// waiting on done (the cancellation-while-queued contract).
+		return
+	}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()

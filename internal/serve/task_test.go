@@ -238,3 +238,88 @@ func TestSchedulerGenerateDeadlineStopsDecode(t *testing.T) {
 		t.Fatalf("snapshot %+v, want 1 deadline miss", st)
 	}
 }
+
+// genGateBackend blocks generate serves on a test-controlled gate
+// (classify traffic passes through untouched), and signals when the
+// first generate has actually entered the backend — i.e. holds a
+// stream slot.
+type genGateBackend struct {
+	*stubBackend
+	genGate chan struct{}
+	entered chan struct{}
+	once    sync.Once
+}
+
+func (b *genGateBackend) Serve(ctx context.Context, name string, req pipeline.Request) (*pipeline.Response, error) {
+	if req.Task == pipeline.TaskGenerate {
+		b.once.Do(func() { close(b.entered) })
+		select {
+		case <-b.genGate:
+		case <-ctx.Done():
+		}
+	}
+	return b.stubBackend.Serve(ctx, name, req)
+}
+
+// TestSchedulerDeadGenerateJobsDontHoldWorker pins the slot-wait fix:
+// at the MaxStreams cap, a queue of already-cancelled generate jobs
+// must shed without the worker blocking on the stream semaphore — live
+// classify traffic behind them is served while the slot stays held.
+func TestSchedulerDeadGenerateJobsDontHoldWorker(t *testing.T) {
+	b := &genGateBackend{
+		stubBackend: &stubBackend{targets: map[string]time.Duration{"m": 50 * time.Millisecond}},
+		genGate:     make(chan struct{}),
+		entered:     make(chan struct{}),
+	}
+	s := New(b, Options{Workers: 1, MaxStreams: 1, QueueDepth: 8, Slack: 1000})
+	defer s.Close()
+
+	// Occupy the only stream slot with a generate that parks in the
+	// backend until the gate opens.
+	liveErr := make(chan error, 1)
+	go func() {
+		_, err := s.Submit(context.Background(), "m", pipeline.Request{
+			Task: pipeline.TaskGenerate, Tokens: []int{9}, MaxNewTokens: 2,
+		})
+		liveErr <- err
+	}()
+	<-b.entered
+
+	// Queue a run of generate jobs whose callers are already gone. Each
+	// Submit enqueues, then returns immediately on its dead context —
+	// the jobs stay in the FIFO ahead of the classify below.
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i := 0; i < 4; i++ {
+		if _, err := s.Submit(cctx, "m", pipeline.Request{
+			Task: pipeline.TaskGenerate, Tokens: []int{i}, MaxNewTokens: 2,
+		}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("dead submit %d: err %v, want context.Canceled", i, err)
+		}
+	}
+
+	// The classify behind them must be served while the slot is still
+	// held: the worker sheds each dead job without a slot wait. Before
+	// the fix it blocked on the semaphore under the first dead job until
+	// the live stream finished.
+	classified := make(chan error, 1)
+	go func() {
+		_, err := s.Submit(context.Background(), "m", pipeline.Request{
+			Task: pipeline.TaskClassify, Tokens: []int{1, 2, 3},
+		})
+		classified <- err
+	}()
+	select {
+	case err := <-classified:
+		if err != nil {
+			t.Fatalf("classify: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("classify stuck behind dead generate jobs at the stream cap")
+	}
+
+	close(b.genGate)
+	if err := <-liveErr; err != nil {
+		t.Fatalf("live generate: %v", err)
+	}
+}
