@@ -406,11 +406,13 @@ func (st *sseStream) eventLocked(name string, v any) {
 	// just writes unbounded, as before.
 	rc := http.NewResponseController(st.w)
 	rc.SetWriteDeadline(time.Now().Add(sseWriteTimeout))
+	//sti:lockok st.mu is the SSE writer-serialization lock; holding it across this deadline-bounded write is its whole job
 	if _, err := fmt.Fprintf(st.w, "event: %s\ndata: %s\n\n", name, data); err != nil {
 		st.dead = true
 		return
 	}
 	if fl, ok := st.w.(http.Flusher); ok {
+		//sti:lockok same serialized, deadline-bounded SSE write as the Fprintf above
 		fl.Flush()
 	}
 	rc.SetWriteDeadline(time.Time{})
@@ -431,6 +433,7 @@ func (st *sseStream) finish(name string, v any, err error) {
 			Error string `json:"error"`
 		}{err.Error()})
 	} else {
+		//sti:lockok nothing streamed yet, so the emitter goroutine has never written; st.mu only excludes a late event racing this one-shot error body
 		httpError(st.w, statusFor(err), err)
 	}
 	st.closed = true

@@ -163,6 +163,7 @@ func (f *Fleet) SetReplicas(name string, n int) error {
 		min = n
 	}
 	e.pool.SetLimits(min, n)
+	//sti:lockok quiesce-and-swap: provisioning holds the write lock across replica teardown/warm so no reader sees a half-scaled pool
 	return f.scaleEntryLocked(name, e, n)
 }
 
@@ -265,6 +266,7 @@ func (f *Fleet) Pressure(name string, depth, capacity int) {
 		// previous size, and re-arms the cooldown so sustained pressure
 		// retries at Cooldown pace — not on every observation, each of
 		// which would stall serving behind this write lock.
+		//sti:lockok quiesce-and-swap: elastic scaling runs on its own goroutine and holds the write lock across the resize deliberately; Cooldown bounds how often serving pays this
 		if err := f.scaleEntryLocked(name, e, e.pool.Size()+delta); err != nil {
 			e.pool.NoteScaleFailure()
 		}
@@ -378,8 +380,10 @@ func (f *Fleet) Remove(name string) error {
 		return nil
 	}
 	delete(f.entries, name)
+	//sti:lockok quiesce-and-swap: the removed pool must finish draining before survivors are replanned under regrown grants
 	e.pool.Retire()
 	e.shared.Drop() // retained dedup payloads go with the model
+	//sti:lockok quiesce-and-swap: rebalancing warms survivor engines under the write lock so PreloadBytes is consistent the moment Remove returns
 	if err := f.replanLocked(); err != nil {
 		return fmt.Errorf("sti: replanning after removing %q: %w", name, err)
 	}
@@ -438,6 +442,7 @@ func (f *Fleet) SetBudget(budget int64) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.budget = budget
+	//sti:lockok quiesce-and-swap: a budget change must not race admission; the warm IO runs under the write lock so no request decodes against a half-evicted buffer
 	return f.replanLocked()
 }
 
@@ -455,6 +460,7 @@ func (f *Fleet) Budget() int64 {
 func (f *Fleet) Replan() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	//sti:lockok quiesce-and-swap: Replan's contract is that in-flight Infer calls finish first and new admissions see the new plans; the write lock held across the warm IS that barrier
 	return f.replanLocked()
 }
 
@@ -646,6 +652,7 @@ func (f *Fleet) resolveForServe(name string, pick func(*FleetEntry) Request) (re
 				name, want, attempt+1)
 		}
 		f.mu.Lock()
+		//sti:lockok quiesce-and-swap: restaging an evicted tier warms the engine under the write lock so the retry loop cannot observe another half-staged ladder
 		err = f.planTierLocked(name, want)
 		f.mu.Unlock()
 		if err != nil {
@@ -835,6 +842,8 @@ func (f *Fleet) ServeBatch(ctx context.Context, name string, reqs []Request) ([]
 //
 // Deprecated: Infer is the positional classify-only API; use Serve
 // with a task-typed Request.
+//
+//sti:ctxok deprecated compatibility shim; Serve(ctx, ...) is the context-threading API
 func (f *Fleet) Infer(name string, tokens []int, mask []bool) ([]float32, *ExecStats, error) {
 	resp, err := f.Serve(context.Background(), name, Request{Task: TaskClassify, Tokens: tokens, Mask: mask})
 	if err != nil {
@@ -848,6 +857,8 @@ func (f *Fleet) Infer(name string, tokens []int, mask []bool) ([]float32, *ExecS
 //
 // Deprecated: InferBatch is the positional classify-only API; use
 // ServeBatch with task-typed Requests.
+//
+//sti:ctxok deprecated compatibility shim; ServeBatch(ctx, ...) is the context-threading API
 func (f *Fleet) InferBatch(name string, inputs []BatchInput) ([][]float32, *BatchStats, error) {
 	reqs := make([]Request, len(inputs))
 	for i, in := range inputs {

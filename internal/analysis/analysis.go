@@ -1,0 +1,268 @@
+// Package analysis is a small, dependency-free analyzer framework plus the
+// sti-specific passes that run under cmd/sti-vet.
+//
+// It is a stdlib-only equivalent of the golang.org/x/tools/go/analysis
+// vocabulary (Analyzer, Pass, Diagnostic) so the suite can build in
+// environments without a module proxy. Packages are loaded with `go list`
+// and type-checked with go/types using the source importer for the
+// standard library, so every pass sees fully resolved type information.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one pass. Run receives a Pass covering the whole
+// loaded program (pass.All) and reports findings via pass.Report.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// ReportOnly findings never fail the build; they surface in output
+	// (and can be baselined) but do not affect the exit code.
+	ReportOnly bool
+	Run        func(*Pass) error
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path, e.g. "sti/internal/pipeline"
+	Name  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Pass carries the loaded program into an analyzer's Run function.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	All      []*Package // every module package, dependency order
+
+	// InScope filters which packages an analyzer examines. The driver
+	// restricts it to first-party module packages; the test harness
+	// leaves it permissive.
+	InScope func(*Package) bool
+
+	prog   *Program // lazily built shared summaries (see funcs.go)
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Scoped returns the packages the current analyzer should examine.
+func (p *Pass) Scoped() []*Package {
+	if p.InScope == nil {
+		return p.All
+	}
+	var out []*Package
+	for _, pkg := range p.All {
+		if p.InScope(pkg) {
+			out = append(out, pkg)
+		}
+	}
+	return out
+}
+
+// Runner executes a set of analyzers over a loaded program.
+type Runner struct {
+	Fset      *token.FileSet
+	Packages  []*Package
+	Analyzers []*Analyzer
+	InScope   func(*Package) bool
+}
+
+// Run executes every analyzer and returns all diagnostics, sorted by
+// position then analyzer name.
+func (r *Runner) Run() ([]Diagnostic, error) {
+	var diags []Diagnostic
+	prog := buildProgram(r.Fset, r.Packages)
+	for _, a := range r.Analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     r.Fset,
+			All:      r.Packages,
+			InScope:  r.InScope,
+			prog:     prog,
+			report:   func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// --- escape-hatch annotations ------------------------------------------------
+
+// Annotation is one //sti:<kind>ok comment. A justification is mandatory;
+// a bare annotation is itself a diagnostic (reported by the owning
+// analyzer via Annotations).
+type Annotation struct {
+	Kind    string // "lockok", "ctxok", "budgetok", "atomicok", "allocok"
+	Reason  string
+	Pos     token.Pos
+	File    string
+	Line    int // line the annotation applies to (its own line, or the next code line for own-line comments)
+	OwnLine bool
+}
+
+const annPrefix = "//sti:"
+
+// annotationKinds are the recognized escape hatches.
+var annotationKinds = map[string]bool{
+	"lockok":   true,
+	"ctxok":    true,
+	"budgetok": true,
+	"atomicok": true,
+	"allocok":  true,
+}
+
+// AnnotationSet indexes annotations of one kind by file and line.
+type AnnotationSet struct {
+	kind    string
+	byLine  map[string]map[int]*Annotation
+	claimed map[*Annotation]bool
+}
+
+// Allows reports whether an annotation of this set's kind covers pos:
+// either on the same line as pos, or on its own line directly above.
+func (s *AnnotationSet) Allows(fset *token.FileSet, pos token.Pos) bool {
+	p := fset.Position(pos)
+	lines := s.byLine[p.Filename]
+	if lines == nil {
+		return false
+	}
+	if a := lines[p.Line]; a != nil {
+		s.claimed[a] = true
+		return true
+	}
+	return false
+}
+
+// Annotations scans every file in scope for //sti:<kind>ok comments,
+// reporting malformed (justification-less) ones, and returns the set.
+//
+// Placement: a trailing comment covers its own source line; an own-line
+// comment covers the next non-comment line.
+func (p *Pass) Annotations(kind string) *AnnotationSet {
+	set := &AnnotationSet{
+		kind:    kind,
+		byLine:  map[string]map[int]*Annotation{},
+		claimed: map[*Annotation]bool{},
+	}
+	for _, pkg := range p.Scoped() {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					ann, ok := parseAnnotation(c)
+					if !ok || ann.Kind != kind {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					if strings.TrimSpace(ann.Reason) == "" {
+						p.Reportf(c.Pos(), "//sti:%s annotation requires a justification (write //sti:%s <why this is safe>)", kind, kind)
+						continue
+					}
+					ann.File = pos.Filename
+					ann.Line = pos.Line
+					// An own-line comment annotates the next line.
+					if isOwnLine(p.Fset, f, c) {
+						ann.Line = pos.Line + 1
+						ann.OwnLine = true
+					}
+					m := set.byLine[ann.File]
+					if m == nil {
+						m = map[int]*Annotation{}
+						set.byLine[ann.File] = m
+					}
+					m[ann.Line] = ann
+				}
+			}
+		}
+	}
+	return set
+}
+
+func parseAnnotation(c *ast.Comment) (*Annotation, bool) {
+	text := c.Text
+	if !strings.HasPrefix(text, annPrefix) {
+		return nil, false
+	}
+	rest := strings.TrimPrefix(text, annPrefix)
+	kind := rest
+	reason := ""
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		kind, reason = rest[:i], strings.TrimSpace(rest[i+1:])
+	}
+	// Testdata files stack `// want` expectations after annotations on
+	// the same comment; they are not part of the justification.
+	if i := strings.Index(reason, "// want"); i >= 0 {
+		reason = strings.TrimSpace(reason[:i])
+	}
+	if !annotationKinds[kind] {
+		return nil, false
+	}
+	return &Annotation{Kind: kind, Reason: reason, Pos: c.Pos()}, true
+}
+
+// isOwnLine reports whether comment c is alone on its source line (no
+// preceding code on the same line).
+func isOwnLine(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	cp := fset.Position(c.Pos())
+	// If any node in the file starts before the comment on the same
+	// line, it is a trailing comment. A cheap, reliable proxy: the
+	// comment's column is the first non-blank on its line if no
+	// statement shares the line. We approximate by checking the file's
+	// token positions via the comment's slash offset: trailing comments
+	// in gofmt'd code are preceded by code text on the same line, so
+	// their column is well past indentation. Walk the AST for a node
+	// ending on the same line before the comment.
+	trailing := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || trailing {
+			return false
+		}
+		if n.End() <= c.Pos() && fset.Position(n.End()).Line == cp.Line {
+			switch n.(type) {
+			case *ast.File, *ast.GenDecl, *ast.FuncDecl:
+			default:
+				trailing = true
+			}
+		}
+		return n.Pos() <= c.Pos()
+	})
+	return !trailing
+}

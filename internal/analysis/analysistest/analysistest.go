@@ -1,0 +1,104 @@
+// Package analysistest runs an analyzer over a testdata package and
+// checks its diagnostics against `// want "regexp"` comments, in the
+// style of golang.org/x/tools/go/analysis/analysistest.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"sti/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+var quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// Run loads testdata/src/<pkgName> (relative to the test's working
+// directory), applies the analyzer, and matches diagnostics against
+// want comments. Every want must be hit and every diagnostic must match
+// a want on its line.
+func Run(t *testing.T, a *analysis.Analyzer, pkgName string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkgName)
+	fset, pkg, err := analysis.LoadDir(dir, pkgName)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range quotedRE.FindAllStringSubmatch(m[1], -1) {
+					pat, err := unquoteWant(q[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, q[1], err)
+					}
+					wants = append(wants, &expectation{
+						file: filepath.Base(pos.Filename),
+						line: pos.Line,
+						re:   pat,
+						raw:  q[1],
+					})
+				}
+			}
+		}
+	}
+
+	runner := &analysis.Runner{
+		Fset:      fset,
+		Packages:  []*analysis.Package{pkg},
+		Analyzers: []*analysis.Analyzer{a},
+	}
+	diags, err := runner.Run()
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		base := filepath.Base(d.Pos.Filename)
+		matched := false
+		for _, w := range wants {
+			if w.file == base && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", base, d.Pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+	if t.Failed() {
+		var all []string
+		for _, d := range diags {
+			all = append(all, fmt.Sprintf("%s:%d: %s", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message))
+		}
+		t.Logf("all diagnostics:\n%s", strings.Join(all, "\n"))
+	}
+}
+
+func unquoteWant(s string) (*regexp.Regexp, error) {
+	s = strings.ReplaceAll(s, `\"`, `"`)
+	return regexp.Compile(s)
+}

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is a diagnostic prepared for output: position relative to the
+// module root, baseline key, and exit-code relevance.
+type Finding struct {
+	Analyzer   string `json:"analyzer"`
+	File       string `json:"file"` // module-relative
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Message    string `json:"message"`
+	ReportOnly bool   `json:"report_only,omitempty"`
+	Baselined  bool   `json:"baselined,omitempty"`
+}
+
+// Key identifies a finding across line-number churn: analyzer + file +
+// message (which embeds stable context like lock names and op kinds).
+func (f Finding) Key() string {
+	return f.Analyzer + "\x00" + f.File + "\x00" + f.Message
+}
+
+// Baseline is the checked-in set of known findings that must not fail
+// CI (typically report-only hotalloc findings awaiting the zero-copy
+// work).
+type Baseline struct {
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry mirrors Finding's key fields.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+func (e BaselineEntry) key() string {
+	return e.Analyzer + "\x00" + e.File + "\x00" + e.Message
+}
+
+// LoadBaseline reads a baseline file; a missing file is an empty
+// baseline.
+func LoadBaseline(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return map[string]bool{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, err
+	}
+	out := make(map[string]bool, len(b.Findings))
+	for _, e := range b.Findings {
+		out[e.key()] = true
+	}
+	return out, nil
+}
+
+// WriteBaseline persists the given findings as the new baseline.
+func WriteBaseline(path string, findings []Finding) error {
+	b := Baseline{Findings: make([]BaselineEntry, 0, len(findings))}
+	for _, f := range findings {
+		b.Findings = append(b.Findings, BaselineEntry{Analyzer: f.Analyzer, File: f.File, Message: f.Message})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ToFindings converts diagnostics to findings with module-relative
+// paths, marking report-only analyzers and baseline membership.
+func ToFindings(diags []Diagnostic, analyzers []*Analyzer, modRoot string, baseline map[string]bool) []Finding {
+	reportOnly := map[string]bool{}
+	for _, a := range analyzers {
+		if a.ReportOnly {
+			reportOnly[a.Name] = true
+		}
+	}
+	out := make([]Finding, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if modRoot != "" {
+			if rel, err := filepath.Rel(modRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = filepath.ToSlash(rel)
+			}
+		}
+		f := Finding{
+			Analyzer:   d.Analyzer,
+			File:       file,
+			Line:       d.Pos.Line,
+			Col:        d.Pos.Column,
+			Message:    d.Message,
+			ReportOnly: reportOnly[d.Analyzer],
+		}
+		f.Baselined = baseline[f.Key()]
+		out = append(out, f)
+	}
+	return out
+}
+
+// Suite is the full sti-vet analyzer set.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		LockNoBlock,
+		CtxFlow,
+		BudgetBalance,
+		StatAtomic,
+		HotAlloc,
+		LostCancel,
+		CopyLocks,
+		Nilness,
+	}
+}

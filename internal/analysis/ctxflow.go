@@ -1,0 +1,219 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces context discipline on the serving surface:
+//
+//  1. a context.Context parameter must come first;
+//  2. context.Background()/context.TODO() must not replace a caller's
+//     ctx that is in scope;
+//  3. an exported API in the serving packages that can park the calling
+//     goroutine (channel ops, select, Sleep, WaitGroup.Wait, Cond.Wait)
+//     must take a context.Context — shutdown-verb APIs (Close, Stop,
+//     Shutdown, Retire, Drain, Wait) are exempt, since they are bounded
+//     by the drain protocol rather than by a request context;
+//  4. a parking function that takes ctx must actually use it.
+//
+// The //sti:ctxok <why> escape hatch suppresses a finding at an op, a
+// call site, or a function declaration, and must carry a justification.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "exported blocking serving APIs must take and thread context.Context",
+	Run:  runCtxFlow,
+}
+
+// ctxflowTargets are the packages whose exported surface is held to the
+// context rules ("ctxflow" is the analysistest package).
+var ctxflowTargets = map[string]bool{
+	"sti":                   true,
+	"sti/internal/serve":    true,
+	"sti/internal/pipeline": true,
+	"sti/internal/replica":  true,
+	"ctxflow":               true,
+}
+
+// parkKinds are operations that park the goroutine indefinitely. IO is
+// deliberately excluded: warm/preload paths do bounded flash reads and
+// are governed by locknoblock, not by request contexts.
+var parkKinds = map[OpKind]bool{
+	OpChanSend: true, OpChanRecv: true, OpChanRange: true,
+	OpSelect: true, OpSleep: true, OpWGWait: true, OpCondWait: true,
+}
+
+// shutdownVerbs name APIs whose blocking is part of the drain/shutdown
+// protocol; they are exempt from rule 3 and stop park propagation.
+var shutdownVerbs = map[string]bool{
+	"Close": true, "Shutdown": true, "Stop": true,
+	"Retire": true, "Drain": true, "Wait": true,
+}
+
+func runCtxFlow(pass *Pass) error {
+	ann := pass.Annotations("ctxok")
+	stop := func(fn *types.Func) bool { return shutdownVerbs[fn.Name()] }
+	parks := pass.Program().Summarize(pass.Fset, parkKinds, ann, stop)
+
+	for _, pkg := range pass.Scoped() {
+		target := ctxflowTargets[pkg.Path]
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				ctxParam, ctxIndex := ctxParamOf(pkg.Info, fd)
+
+				// Rule 1: ctx must be the first parameter.
+				if ctxParam != nil && ctxIndex > 0 && !ann.Allows(pass.Fset, fd.Pos()) {
+					pass.Reportf(fd.Pos(), "context.Context parameter of %s must come first (found at position %d)", fd.Name.Name, ctxIndex+1)
+				}
+
+				// Rule 2: no Background()/TODO() call args while a ctx
+				// param is in scope.
+				if ctxParam != nil {
+					flagBackgroundArgs(pass, pkg.Info, fd, ann)
+				}
+
+				if !target {
+					continue
+				}
+				cause := parks[obj]
+
+				// Rule 3: exported parking API without ctx.
+				if cause != nil && ctxParam == nil &&
+					fd.Name.IsExported() && exportedRecv(fd) &&
+					!shutdownVerbs[fd.Name.Name] &&
+					!ann.Allows(pass.Fset, fd.Pos()) {
+					pass.Reportf(fd.Pos(), "exported API %s blocks (%s) but takes no context.Context", fd.Name.Name, cause.Describe(pass.Fset))
+				}
+
+				// Rule 4: parking function never threads its ctx.
+				if cause != nil && ctxParam != nil && !usesParam(pkg.Info, fd.Body, ctxParam) &&
+					!ann.Allows(pass.Fset, fd.Pos()) {
+					pass.Reportf(fd.Pos(), "%s takes ctx but never threads it into its blocking work (%s)", fd.Name.Name, cause.Describe(pass.Fset))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ctxParamOf returns the context.Context parameter object and its index,
+// or (nil, -1).
+func ctxParamOf(info *types.Info, fd *ast.FuncDecl) (*types.Var, int) {
+	if fd.Type.Params == nil {
+		return nil, -1
+	}
+	idx := 0
+	for _, field := range fd.Type.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			var obj *types.Var
+			if len(field.Names) > 0 {
+				obj, _ = info.Defs[field.Names[i]].(*types.Var)
+			}
+			if isContextType(info, field.Type) {
+				return obj, idx
+			}
+			idx++
+		}
+	}
+	return nil, -1
+}
+
+func isContextType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// flagBackgroundArgs reports context.Background()/TODO() passed as a
+// call argument inside a function that has its own ctx parameter.
+func flagBackgroundArgs(pass *Pass, info *types.Info, fd *ast.FuncDecl, ann *AnnotationSet) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			ac, ok := ast.Unparen(arg).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			fn := calleeFunc(info, ac)
+			if fn == nil {
+				continue
+			}
+			full := fn.FullName()
+			if full != "context.Background" && full != "context.TODO" {
+				continue
+			}
+			if ann.Allows(pass.Fset, ac.Pos()) {
+				continue
+			}
+			callee := "call"
+			if cf := calleeFunc(info, call); cf != nil {
+				callee = cf.Name()
+			}
+			pass.Reportf(ac.Pos(), "%s replaces the in-scope ctx passed to %s; thread the caller's context", strings.TrimPrefix(full, "context."), callee)
+		}
+		return true
+	})
+}
+
+// exportedRecv reports whether fd is a plain function or a method on an
+// exported receiver type (methods on unexported types are not API).
+func exportedRecv(fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return true
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// usesParam reports whether any identifier in body resolves to obj.
+func usesParam(info *types.Info, body *ast.BlockStmt, obj *types.Var) bool {
+	if obj == nil {
+		// Unnamed ctx param can never be threaded; treat as unused.
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,367 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// OpKind classifies a potentially blocking ("parking" or IO) operation.
+type OpKind int
+
+const (
+	OpChanSend OpKind = iota
+	OpChanRecv
+	OpChanRange
+	OpSelect // select with no default clause
+	OpSleep
+	OpWGWait
+	OpCondWait
+	OpIO          // file/socket/stream write or read (see ioFullNames)
+	OpOnToken     // user token callback invocation
+	OpMaterialize // engine materialize (flash IO + warm)
+	OpReadShard   // shard payload read (flash IO)
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpChanSend:
+		return "channel send"
+	case OpChanRecv:
+		return "channel receive"
+	case OpChanRange:
+		return "range over channel"
+	case OpSelect:
+		return "blocking select"
+	case OpSleep:
+		return "time.Sleep"
+	case OpWGWait:
+		return "sync.WaitGroup.Wait"
+	case OpCondWait:
+		return "sync.Cond.Wait"
+	case OpIO:
+		return "IO call"
+	case OpOnToken:
+		return "OnToken callback"
+	case OpMaterialize:
+		return "Materialize call"
+	case OpReadShard:
+		return "ReadShardPayload call"
+	}
+	return "op"
+}
+
+// Op is one direct potentially blocking operation inside a function body.
+type Op struct {
+	Kind OpKind
+	Pos  token.Pos
+	Desc string // e.g. "channel send on s.emit", "call to time.Sleep"
+}
+
+// CallSite is a static call from one module function to another.
+type CallSite struct {
+	Callee *types.Func
+	Pos    token.Pos
+}
+
+// FuncInfo summarizes one function declaration: its direct ops and its
+// static calls to other module functions. Operations inside `go`
+// statements and non-inline closures are excluded — they execute on
+// other goroutines (or later), not on the caller's path. Closure bodies
+// are still lattice-checked independently by locknoblock.
+type FuncInfo struct {
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	Ops  []Op
+	Call []CallSite
+}
+
+// Program is the whole-module view shared by analyzers.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+	Funcs    map[*types.Func]*FuncInfo
+}
+
+// Program returns the shared summaries for the loaded module.
+func (p *Pass) Program() *Program { return p.prog }
+
+// ioFullNames are stdlib calls treated as blocking IO. Deliberately an
+// allowlist: control-plane calls (SetDeadline, Header, etc.) and
+// best-effort logging are not IO for locknoblock's purposes.
+var ioFullNames = map[string]bool{
+	"os.ReadFile": true, "os.WriteFile": true, "os.Open": true,
+	"os.OpenFile": true, "os.Create": true, "os.ReadDir": true,
+	"os.MkdirAll": true, "os.Mkdir": true, "os.Remove": true,
+	"os.RemoveAll": true, "os.Rename": true, "os.Stat": true,
+	"(*os.File).Read": true, "(*os.File).Write": true,
+	"(*os.File).ReadAt": true, "(*os.File).WriteAt": true,
+	"(*os.File).Sync": true, "(*os.File).Close": true,
+	"io.ReadAll": true, "io.Copy": true, "io.WriteString": true,
+	"fmt.Fprintf": true, "fmt.Fprint": true, "fmt.Fprintln": true,
+	"(*encoding/json.Encoder).Encode": true,
+	"(*encoding/json.Decoder).Decode": true,
+	"net.Dial":                        true, "net.Listen": true,
+	"net/http.Get": true, "net/http.Post": true,
+	"(*net/http.Client).Do":             true,
+	"(*net/http.Server).ListenAndServe": true,
+	"(net/http.Flusher).Flush":          true,
+}
+
+// classifyCall maps a call expression to an op kind, or returns false.
+func classifyCall(info *types.Info, call *ast.CallExpr) (OpKind, string, bool) {
+	// Selector-based repo-specific names work for interface methods,
+	// concrete methods, and func-typed fields alike.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		switch sel.Sel.Name {
+		case "OnToken":
+			return OpOnToken, "OnToken callback invocation", true
+		case "Materialize":
+			return OpMaterialize, "call to Materialize (flash IO + warm)", true
+		case "ReadShardPayload":
+			return OpReadShard, "call to ReadShardPayload (flash IO)", true
+		}
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return 0, "", false
+	}
+	full := fn.FullName()
+	if full == "time.Sleep" {
+		return OpSleep, "call to time.Sleep", true
+	}
+	if full == "(*sync.WaitGroup).Wait" {
+		return OpWGWait, "call to sync.WaitGroup.Wait", true
+	}
+	if full == "(*sync.Cond).Wait" {
+		return OpCondWait, "call to sync.Cond.Wait", true
+	}
+	if ioFullNames[full] {
+		return OpIO, "call to " + full, true
+	}
+	return 0, "", false
+}
+
+// calleeFunc resolves the *types.Func a call statically invokes, or nil
+// for dynamic calls (func values), conversions, and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.Func.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// buildProgram collects per-function summaries for every module package.
+func buildProgram(fset *token.FileSet, pkgs []*Package) *Program {
+	prog := &Program{Fset: fset, Packages: pkgs, Funcs: map[*types.Func]*FuncInfo{}}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fi := &FuncInfo{Obj: obj, Decl: fd, Pkg: pkg}
+				collectOps(pkg.Info, fd.Body, fi)
+				prog.Funcs[obj] = fi
+			}
+		}
+	}
+	return prog
+}
+
+// collectOps walks a body recording direct ops and module-internal call
+// sites, skipping `go` statement payloads and non-inline closures.
+func collectOps(info *types.Info, body ast.Node, fi *FuncInfo) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// Arguments are evaluated on this goroutine; the call runs
+			// elsewhere. Walk args only.
+			for _, a := range n.Call.Args {
+				collectOps(info, a, fi)
+			}
+			return false
+		case *ast.FuncLit:
+			// Only immediately-invoked closures run on this path; the
+			// Inspect parent hook below handles that case by not
+			// descending here and letting CallExpr drive it.
+			return false
+		case *ast.CallExpr:
+			if lit, ok := n.Fun.(*ast.FuncLit); ok {
+				// Immediately-invoked closure: body runs inline.
+				collectOps(info, lit.Body, fi)
+				for _, a := range n.Args {
+					collectOps(info, a, fi)
+				}
+				return false
+			}
+			if kind, desc, ok := classifyCall(info, n); ok {
+				fi.Ops = append(fi.Ops, Op{Kind: kind, Pos: n.Pos(), Desc: desc})
+			} else if fn := calleeFunc(info, n); fn != nil {
+				fi.Call = append(fi.Call, CallSite{Callee: fn, Pos: n.Pos()})
+			}
+			return true
+		case *ast.SendStmt:
+			fi.Ops = append(fi.Ops, Op{Kind: OpChanSend, Pos: n.Pos(), Desc: "channel send on " + types.ExprString(n.Chan)})
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				fi.Ops = append(fi.Ops, Op{Kind: OpChanRecv, Pos: n.Pos(), Desc: "channel receive from " + types.ExprString(n.X)})
+			}
+			return true
+		case *ast.RangeStmt:
+			if isChanType(info, n.X) {
+				fi.Ops = append(fi.Ops, Op{Kind: OpChanRange, Pos: n.Pos(), Desc: "range over channel " + types.ExprString(n.X)})
+			}
+			return true
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				fi.Ops = append(fi.Ops, Op{Kind: OpSelect, Pos: n.Pos(), Desc: "blocking select"})
+			}
+			// The comm clauses belong to the select's own blocking
+			// semantics (non-blocking when a default exists); only the
+			// clause bodies contribute further ops.
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					for _, st := range cc.Body {
+						collectOps(info, st, fi)
+					}
+				}
+			}
+			return false
+		}
+		return true
+	})
+}
+
+func isChanType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Cause explains why a function blocks/parks: a direct op, reached via
+// zero or more module-internal calls.
+type Cause struct {
+	Op      Op
+	Through []*types.Func // call chain, outermost first
+}
+
+// Describe renders the cause for a diagnostic message.
+func (c *Cause) Describe(fset *token.FileSet) string {
+	s := c.Op.Desc + " at " + shortPos(fset, c.Op.Pos)
+	for i := len(c.Through) - 1; i >= 0; i-- {
+		s = "call into " + c.Through[i].FullName() + ": " + s
+	}
+	return s
+}
+
+func shortPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return trimPath(p.Filename) + ":" + itoa(p.Line)
+}
+
+func trimPath(path string) string {
+	// Keep the last two path components for readable diagnostics.
+	slash := 0
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			slash++
+			if slash == 2 {
+				return path[i+1:]
+			}
+		}
+	}
+	return path
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// Summarize computes, for every module function, whether it transitively
+// performs one of the given op kinds (annotated ops excluded) — a
+// fixed-point over the static call graph. stop(fn) prunes propagation
+// through specific callees (e.g. shutdown-verb APIs for ctxflow).
+func (prog *Program) Summarize(fset *token.FileSet, kinds map[OpKind]bool, allowed *AnnotationSet, stop func(*types.Func) bool) map[*types.Func]*Cause {
+	causes := map[*types.Func]*Cause{}
+	for fn, fi := range prog.Funcs {
+		for i := range fi.Ops {
+			op := fi.Ops[i]
+			if !kinds[op.Kind] {
+				continue
+			}
+			if allowed != nil && allowed.Allows(fset, op.Pos) {
+				continue
+			}
+			causes[fn] = &Cause{Op: op}
+			break
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, fi := range prog.Funcs {
+			if causes[fn] != nil {
+				continue
+			}
+			for _, cs := range fi.Call {
+				sub, ok := causes[cs.Callee]
+				if !ok {
+					continue
+				}
+				if stop != nil && stop(cs.Callee) {
+					continue
+				}
+				if allowed != nil && allowed.Allows(fset, cs.Pos) {
+					continue
+				}
+				causes[fn] = &Cause{Op: sub.Op, Through: append([]*types.Func{cs.Callee}, sub.Through...)}
+				changed = true
+				break
+			}
+		}
+	}
+	return causes
+}

@@ -1,0 +1,212 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output we consume.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	Imports    []string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// LoadModule loads and type-checks every first-party package matched by
+// patterns (typically "./..."), rooted at dir. Standard-library imports
+// are satisfied by the source importer, so no compiled export data or
+// module proxy is needed.
+func LoadModule(dir string, patterns ...string) (*token.FileSet, []*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-deps", "-json=ImportPath,Name,Dir,GoFiles,Standard,Imports,Module,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list: %v: %s", err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list decode: %v", err)
+		}
+		if lp.Standard || lp.Module == nil {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkgs = append(pkgs, &lp)
+	}
+	// `go list -deps` emits dependencies before dependents; keep that
+	// order but verify with a defensive topological sort.
+	pkgs = topoSort(pkgs)
+
+	fset := token.NewFileSet()
+	loaded := map[string]*Package{}
+	imp := &moduleImporter{
+		loaded:   loaded,
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+	var result []*Package
+	for _, lp := range pkgs {
+		pkg, err := checkPackage(fset, lp, imp)
+		if err != nil {
+			return nil, nil, err
+		}
+		loaded[lp.ImportPath] = pkg
+		result = append(result, pkg)
+	}
+	return fset, result, nil
+}
+
+func topoSort(pkgs []*listPackage) []*listPackage {
+	byPath := map[string]*listPackage{}
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	seen := map[string]bool{}
+	var out []*listPackage
+	var visit func(*listPackage)
+	visit = func(p *listPackage) {
+		if seen[p.ImportPath] {
+			return
+		}
+		seen[p.ImportPath] = true
+		imports := append([]string(nil), p.Imports...)
+		sort.Strings(imports)
+		for _, ip := range imports {
+			if dep := byPath[ip]; dep != nil {
+				visit(dep)
+			}
+		}
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
+}
+
+func checkPackage(fset *token.FileSet, lp *listPackage, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		path := filepath.Join(lp.Dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", lp.ImportPath, err)
+	}
+	return &Package{
+		Path:  lp.ImportPath,
+		Name:  lp.Name,
+		Dir:   lp.Dir,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// moduleImporter serves already-checked first-party packages and defers
+// everything else (the standard library) to the source importer.
+type moduleImporter struct {
+	loaded   map[string]*Package
+	fallback types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.loaded[path]; ok {
+		return p.Types, nil
+	}
+	return m.fallback.Import(path)
+}
+
+// LoadDir parses and type-checks a single directory of Go files as one
+// package (used by the analysistest harness for testdata packages, which
+// may import only the standard library).
+func LoadDir(dir, importPath string) (*token.FileSet, *Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var name string
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		path := filepath.Join(dir, n)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+		name = f.Name.Name
+	}
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("typecheck %s: %v", dir, err)
+	}
+	return fset, &Package{
+		Path:  importPath,
+		Name:  name,
+		Dir:   dir,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}

@@ -1,0 +1,461 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockNoBlock flags blocking operations — channel sends/receives,
+// blocking selects, time.Sleep, WaitGroup.Wait, IO, OnToken callbacks,
+// Materialize/ReadShardPayload — performed while holding a sync.Mutex or
+// the write side of a sync.RWMutex, directly or through a chain of
+// static calls. This is the repo's core serving invariant: leaf locks
+// (Batcher.mu, Engine.mu, SharedCache.mu, Pool.mu, Scheduler.mu) bound
+// short critical sections and must never park the goroutine or touch
+// flash. The //sti:lockok <why> escape hatch suppresses a finding and
+// must carry a justification.
+//
+// Known limits (by design): read-side RWMutex regions are exempt (the
+// fleet's quiesce-and-swap read path intentionally spans execution);
+// sync.Cond.Wait is exempt (its contract releases the associated lock);
+// deferred closures and callbacks stored for later are checked as
+// independent roots, not on the registering function's path.
+var LockNoBlock = &Analyzer{
+	Name: "locknoblock",
+	Doc:  "report blocking operations performed while holding a mutex",
+	Run:  runLockNoBlock,
+}
+
+// lockBlockKinds are the op kinds locknoblock treats as blocking.
+var lockBlockKinds = map[OpKind]bool{
+	OpChanSend: true, OpChanRecv: true, OpChanRange: true,
+	OpSelect: true, OpSleep: true, OpWGWait: true,
+	OpIO: true, OpOnToken: true, OpMaterialize: true, OpReadShard: true,
+}
+
+func runLockNoBlock(pass *Pass) error {
+	ann := pass.Annotations("lockok")
+	causes := pass.Program().Summarize(pass.Fset, lockBlockKinds, ann, nil)
+	for _, pkg := range pass.Scoped() {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				w := &lockWalker{pass: pass, info: pkg.Info, causes: causes, ann: ann}
+				w.walkStmts(fd.Body.List, lockSet{})
+				w.drainRoots()
+			}
+		}
+	}
+	return nil
+}
+
+// lockSet maps a lock's receiver expression (e.g. "b.mu") to where it
+// was acquired.
+type lockSet map[string]token.Pos
+
+func (s lockSet) clone() lockSet {
+	c := lockSet{}
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+func intersectLocks(a, b lockSet) lockSet {
+	out := lockSet{}
+	for k, v := range a {
+		if _, ok := b[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+type lockWalker struct {
+	pass   *Pass
+	info   *types.Info
+	causes map[*types.Func]*Cause
+	ann    *AnnotationSet
+	roots  []*ast.FuncLit // closure bodies to check independently
+}
+
+// drainRoots checks queued closures with an empty lock set; a closure
+// can itself queue more closures.
+func (w *lockWalker) drainRoots() {
+	for len(w.roots) > 0 {
+		lit := w.roots[0]
+		w.roots = w.roots[1:]
+		w.walkStmts(lit.Body.List, lockSet{})
+	}
+}
+
+func (w *lockWalker) flag(held lockSet, pos token.Pos, desc string) {
+	if len(held) == 0 {
+		return
+	}
+	if w.ann.Allows(w.pass.Fset, pos) {
+		return
+	}
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	where := make([]string, len(keys))
+	for i, k := range keys {
+		where[i] = fmt.Sprintf("%s (locked at %s)", k, shortPos(w.pass.Fset, held[k]))
+	}
+	w.pass.Reportf(pos, "%s while holding %s", desc, strings.Join(where, ", "))
+}
+
+// walkStmts threads the held-lock lattice through a statement list.
+// Returns the end state and whether the path terminates (return, panic,
+// branch).
+func (w *lockWalker) walkStmts(stmts []ast.Stmt, held lockSet) (lockSet, bool) {
+	for _, s := range stmts {
+		var term bool
+		held, term = w.walkStmt(s, held)
+		if term {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt, held lockSet) (lockSet, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if kind, key, ok := lockCall(w.info, call); ok {
+				switch kind {
+				case lockAcquire:
+					held[key] = call.Pos()
+				case lockRelease:
+					delete(held, key)
+				}
+				return held, false
+			}
+			if isTerminatingCall(w.info, call) {
+				w.scanExpr(call, held)
+				return held, true
+			}
+		}
+		w.scanExpr(s.X, held)
+		return held, false
+
+	case *ast.SendStmt:
+		w.scanExpr(s.Value, held)
+		w.flag(held, s.Pos(), "channel send on "+types.ExprString(s.Chan))
+		return held, false
+
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.scanExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.scanExpr(e, held)
+		}
+		return held, false
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.scanExpr(e, held)
+					}
+				}
+			}
+		}
+		return held, false
+
+	case *ast.IncDecStmt:
+		w.scanExpr(s.X, held)
+		return held, false
+
+	case *ast.DeferStmt:
+		// defer x.mu.Unlock() keeps the lock held for the remainder of
+		// the function — state is unchanged on purpose. Deferred
+		// closures run at return with an ambiguous lock state; check
+		// them as independent roots.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.roots = append(w.roots, lit)
+		}
+		for _, a := range s.Call.Args {
+			w.scanExpr(a, held)
+		}
+		return held, false
+
+	case *ast.GoStmt:
+		// The spawned body runs on another goroutine; check it as an
+		// independent root. Arguments are evaluated here.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.roots = append(w.roots, lit)
+		}
+		for _, a := range s.Call.Args {
+			w.scanExpr(a, held)
+		}
+		return held, false
+
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scanExpr(e, held)
+		}
+		return held, true
+
+	case *ast.BranchStmt:
+		return held, true
+
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, held)
+
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, held)
+
+	case *ast.IfStmt:
+		return w.walkIf(s, held)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held, _ = w.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.scanExpr(s.Cond, held)
+		}
+		// Walk the body once with the entry state; assume iterations
+		// are lock-balanced (the repo style) and keep the entry state
+		// after the loop.
+		w.walkStmts(s.Body.List, held.clone())
+		return held, false
+
+	case *ast.RangeStmt:
+		if isChanType(w.info, s.X) {
+			w.flag(held, s.Pos(), "range over channel "+types.ExprString(s.X))
+		} else {
+			w.scanExpr(s.X, held)
+		}
+		w.walkStmts(s.Body.List, held.clone())
+		return held, false
+
+	case *ast.SelectStmt:
+		if !selectHasDefault(s) {
+			w.flag(held, s.Pos(), "blocking select")
+		}
+		return w.walkClauses(selectBodies(s), held)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held, _ = w.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.scanExpr(s.Tag, held)
+		}
+		return w.walkClauses(caseBodies(s.Body), held)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			held, _ = w.walkStmt(s.Init, held)
+		}
+		return w.walkClauses(caseBodies(s.Body), held)
+	}
+	return held, false
+}
+
+// walkIf handles TryLock conditions: `if x.mu.TryLock() { ... }` holds
+// the lock in the body; `if !x.mu.TryLock() { return }` holds it after.
+func (w *lockWalker) walkIf(s *ast.IfStmt, held lockSet) (lockSet, bool) {
+	if s.Init != nil {
+		held, _ = w.walkStmt(s.Init, held)
+	}
+	condTrue := held.clone()
+	condFalse := held.clone()
+	if key, pos, ok := tryLockCond(w.info, s.Cond, false); ok {
+		condTrue[key] = pos
+	} else if key, pos, ok := tryLockCond(w.info, s.Cond, true); ok {
+		condFalse[key] = pos
+	} else {
+		w.scanExpr(s.Cond, held)
+	}
+	bodyEnd, bodyTerm := w.walkStmts(s.Body.List, condTrue)
+	elseEnd, elseTerm := condFalse, false
+	if s.Else != nil {
+		elseEnd, elseTerm = w.walkStmt(s.Else, condFalse)
+	}
+	switch {
+	case bodyTerm && elseTerm:
+		return held, true
+	case bodyTerm:
+		return elseEnd, false
+	case elseTerm:
+		return bodyEnd, false
+	default:
+		return intersectLocks(bodyEnd, elseEnd), false
+	}
+}
+
+func (w *lockWalker) walkClauses(bodies [][]ast.Stmt, held lockSet) (lockSet, bool) {
+	if len(bodies) == 0 {
+		return held, false
+	}
+	var ends []lockSet
+	for _, b := range bodies {
+		end, term := w.walkStmts(b, held.clone())
+		if !term {
+			ends = append(ends, end)
+		}
+	}
+	if len(ends) == 0 {
+		// Every clause terminates, but a switch without default may
+		// fall through; be conservative and keep the entry state.
+		return held, false
+	}
+	out := ends[0]
+	for _, e := range ends[1:] {
+		out = intersectLocks(out, e)
+	}
+	return out, false
+}
+
+// scanExpr flags blocking ops inside an expression tree and inlines
+// immediately-invoked closures; other closures become roots.
+func (w *lockWalker) scanExpr(e ast.Expr, held lockSet) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.roots = append(w.roots, n)
+			return false
+		case *ast.CallExpr:
+			if lit, ok := n.Fun.(*ast.FuncLit); ok {
+				// Immediately-invoked: runs on this path with the
+				// current lock state.
+				w.walkStmts(lit.Body.List, held)
+				for _, a := range n.Args {
+					w.scanExpr(a, held)
+				}
+				return false
+			}
+			if _, _, ok := lockCall(w.info, n); ok {
+				return true // handled at statement level
+			}
+			if kind, desc, ok := classifyCall(w.info, n); ok && lockBlockKinds[kind] {
+				w.flag(held, n.Pos(), desc)
+			} else if fn := calleeFunc(w.info, n); fn != nil {
+				if cause := w.causes[fn]; cause != nil {
+					w.flag(held, n.Pos(), "call to "+fn.FullName()+" blocks: "+cause.Describe(w.pass.Fset))
+				}
+			}
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.flag(held, n.Pos(), "channel receive from "+types.ExprString(n.X))
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// --- lock call classification ----------------------------------------------
+
+type lockKind int
+
+const (
+	lockAcquire lockKind = iota + 1
+	lockRelease
+	lockTry
+)
+
+// lockCall classifies x.mu.Lock()/Unlock()/TryLock() calls on sync.Mutex
+// and the write side of sync.RWMutex. Read-side RWMutex calls return
+// not-ok (exempt by design).
+func lockCall(info *types.Info, call *ast.CallExpr) (lockKind, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return 0, "", false
+	}
+	selection, ok := info.Selections[sel]
+	if !ok {
+		return 0, "", false
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok {
+		return 0, "", false
+	}
+	switch fn.FullName() {
+	case "(*sync.Mutex).Lock", "(*sync.RWMutex).Lock":
+		return lockAcquire, types.ExprString(sel.X), true
+	case "(*sync.Mutex).Unlock", "(*sync.RWMutex).Unlock":
+		return lockRelease, types.ExprString(sel.X), true
+	case "(*sync.Mutex).TryLock", "(*sync.RWMutex).TryLock":
+		return lockTry, types.ExprString(sel.X), true
+	}
+	return 0, "", false
+}
+
+// tryLockCond matches `x.mu.TryLock()` (negated=false) or
+// `!x.mu.TryLock()` (negated=true) as an if condition.
+func tryLockCond(info *types.Info, cond ast.Expr, negated bool) (string, token.Pos, bool) {
+	e := ast.Unparen(cond)
+	if negated {
+		u, ok := e.(*ast.UnaryExpr)
+		if !ok || u.Op != token.NOT {
+			return "", token.NoPos, false
+		}
+		e = ast.Unparen(u.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", token.NoPos, false
+	}
+	kind, key, ok := lockCall(info, call)
+	if !ok || kind != lockTry {
+		return "", token.NoPos, false
+	}
+	return key, call.Pos(), true
+}
+
+// isTerminatingCall reports calls that never return: panic, os.Exit,
+// log.Fatal*, runtime.Goexit.
+func isTerminatingCall(info *types.Info, call *ast.CallExpr) bool {
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			return true
+		}
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	switch fn.FullName() {
+	case "os.Exit", "log.Fatal", "log.Fatalf", "log.Fatalln", "runtime.Goexit":
+		return true
+	}
+	return false
+}
+
+func selectBodies(s *ast.SelectStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok {
+			out = append(out, cc.Body)
+		}
+	}
+	return out
+}
+
+func caseBodies(body *ast.BlockStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			out = append(out, cc.Body)
+		}
+	}
+	return out
+}

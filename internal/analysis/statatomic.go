@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// StatAtomic enforces all-or-nothing atomicity: a struct field or
+// package-level variable whose address is passed to a sync/atomic
+// function anywhere in the program must be accessed through sync/atomic
+// everywhere. A plain read or write of such a variable races with the
+// atomic users. Typed atomics (atomic.Uint64 etc.) cannot be misused
+// this way and are out of scope. //sti:atomicok <why> suppresses a
+// finding at the access line.
+var StatAtomic = &Analyzer{
+	Name: "statatomic",
+	Doc:  "fields accessed via sync/atomic anywhere must be accessed atomically everywhere",
+	Run:  runStatAtomic,
+}
+
+func runStatAtomic(pass *Pass) error {
+	ann := pass.Annotations("atomicok")
+	scoped := pass.Scoped()
+
+	// Pass 1: find objects whose address feeds sync/atomic, remembering
+	// the idents that appear inside atomic call arguments (they are the
+	// sanctioned accesses) and one exemplar position per object.
+	tracked := map[types.Object]token.Pos{}
+	sanctioned := map[*ast.Ident]bool{}
+	for _, pkg := range scoped {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicCall(pkg.Info, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || u.Op != token.AND {
+						continue
+					}
+					obj, id := addressedObject(pkg.Info, u.X)
+					if obj == nil || !isTrackable(obj) {
+						continue
+					}
+					if _, seen := tracked[obj]; !seen {
+						tracked[obj] = call.Pos()
+					}
+					if id != nil {
+						sanctioned[id] = true
+					}
+				}
+				// Idents inside atomic args (including receiver chains)
+				// are sanctioned.
+				for _, arg := range call.Args {
+					ast.Inspect(arg, func(m ast.Node) bool {
+						if id, ok := m.(*ast.Ident); ok {
+							sanctioned[id] = true
+						}
+						return true
+					})
+				}
+				return true
+			})
+		}
+	}
+	if len(tracked) == 0 {
+		return nil
+	}
+
+	// Pass 2: flag plain accesses to tracked objects.
+	for _, pkg := range scoped {
+		for _, f := range pkg.Files {
+			initKeys := compositeLitKeys(f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || sanctioned[id] || initKeys[id] {
+					return true
+				}
+				obj := pkg.Info.Uses[id]
+				if obj == nil {
+					return true
+				}
+				atomicAt, isTracked := tracked[obj]
+				if !isTracked {
+					return true
+				}
+				if ann.Allows(pass.Fset, id.Pos()) {
+					return true
+				}
+				pass.Reportf(id.Pos(), "%s is accessed via sync/atomic at %s; this plain access races with the atomic users", obj.Name(), shortPos(pass.Fset, atomicAt))
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// addressedObject resolves &expr to a struct field or variable object,
+// returning the final ident for sanctioning.
+func addressedObject(info *types.Info, e ast.Expr) (types.Object, *ast.Ident) {
+	switch t := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[t], t
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[t]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj(), t.Sel
+		}
+		return info.Uses[t.Sel], t.Sel
+	}
+	return nil, nil
+}
+
+// isTrackable limits tracking to struct fields and package-level vars;
+// function-local atomics (common in tests/benchmarks) are skipped.
+func isTrackable(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	if v.IsField() {
+		return true
+	}
+	// Package-level variable: its parent scope is the package scope.
+	return v.Parent() != nil && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// compositeLitKeys marks field idents used as composite-literal keys
+// (initialization before the value is shared — not a racy access).
+func compositeLitKeys(f *ast.File) map[*ast.Ident]bool {
+	out := map[*ast.Ident]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		for _, el := range cl.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					out[id] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

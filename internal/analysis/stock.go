@@ -1,0 +1,357 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LostCancel flags context cancel functions that are discarded or never
+// called: `_, _ = context.WithCancel(ctx)` and `ctx, cancel := ...` where
+// cancel is never used. Failing to call cancel leaks the context's timer
+// and goroutine.
+var LostCancel = &Analyzer{
+	Name: "lostcancel",
+	Doc:  "cancel functions returned by context.With* must be used",
+	Run:  runLostCancel,
+}
+
+var cancelSources = map[string]bool{
+	"context.WithCancel":   true,
+	"context.WithTimeout":  true,
+	"context.WithDeadline": true,
+}
+
+func runLostCancel(pass *Pass) error {
+	for _, pkg := range pass.Scoped() {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				fn, body := funcNode(n)
+				if body == nil {
+					return true
+				}
+				checkLostCancel(pass, pkg.Info, fn, body)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func funcNode(n ast.Node) (ast.Node, *ast.BlockStmt) {
+	switch d := n.(type) {
+	case *ast.FuncDecl:
+		return d, d.Body
+	case *ast.FuncLit:
+		return d, d.Body
+	}
+	return nil, nil
+}
+
+func checkLostCancel(pass *Pass, info *types.Info, fn ast.Node, body *ast.BlockStmt) {
+	for _, stmt := range body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+			continue
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		callee := calleeFunc(info, call)
+		if callee == nil || !cancelSources[callee.FullName()] {
+			continue
+		}
+		cancelExpr := as.Lhs[1]
+		id, ok := cancelExpr.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if id.Name == "_" {
+			pass.Reportf(id.Pos(), "the cancel function returned by %s is discarded; the context leaks until its parent is done", callee.FullName())
+			continue
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			continue
+		}
+		// Uses inside `_ = cancel` blank assignments do not count: the
+		// function is still never called.
+		blankUses := map[*ast.Ident]bool{}
+		ast.Inspect(body, func(m ast.Node) bool {
+			ba, ok := m.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			allBlank := true
+			for _, lhs := range ba.Lhs {
+				if bid, ok := lhs.(*ast.Ident); !ok || bid.Name != "_" {
+					allBlank = false
+				}
+			}
+			if !allBlank {
+				return true
+			}
+			for _, rhs := range ba.Rhs {
+				if rid, ok := rhs.(*ast.Ident); ok {
+					blankUses[rid] = true
+				}
+			}
+			return true
+		})
+		used := false
+		ast.Inspect(body, func(m ast.Node) bool {
+			if used {
+				return false
+			}
+			if u, ok := m.(*ast.Ident); ok && u != id && !blankUses[u] && info.Uses[u] == obj {
+				used = true
+			}
+			return true
+		})
+		if !used {
+			pass.Reportf(id.Pos(), "the cancel function %s is never used; call it (usually with defer) to release the context", id.Name)
+		}
+	}
+}
+
+// CopyLocks extends vet's copylocks to two shapes vet does not report:
+// returning a lock-containing value by value, and ranging over a slice
+// of lock-containing values by value.
+var CopyLocks = &Analyzer{
+	Name: "copylocks",
+	Doc:  "flag by-value copies of lock-containing values beyond vet's coverage",
+	Run:  runCopyLocks,
+}
+
+func runCopyLocks(pass *Pass) error {
+	for _, pkg := range pass.Scoped() {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Type.Results == nil {
+						return true
+					}
+					for _, res := range n.Type.Results.List {
+						tv, ok := pkg.Info.Types[res.Type]
+						if !ok || tv.Type == nil {
+							continue
+						}
+						if path := lockPath(tv.Type, nil); path != "" {
+							pass.Reportf(res.Type.Pos(), "%s returns %s by value, copying %s; return a pointer", n.Name.Name, types.TypeString(tv.Type, types.RelativeTo(pkg.Types)), path)
+						}
+					}
+				case *ast.RangeStmt:
+					if n.Value == nil {
+						return true
+					}
+					var vt types.Type
+					if tv, ok := pkg.Info.Types[n.Value]; ok && tv.Type != nil {
+						vt = tv.Type
+					} else if id, ok := n.Value.(*ast.Ident); ok {
+						if obj := pkg.Info.Defs[id]; obj != nil {
+							vt = obj.Type()
+						}
+					}
+					if vt == nil {
+						return true
+					}
+					if path := lockPath(vt, nil); path != "" {
+						pass.Reportf(n.Value.Pos(), "range copies %s by value, copying %s; iterate by index or over pointers", types.TypeString(vt, types.RelativeTo(pkg.Types)), path)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// lockPath reports a path to a lock type contained by value in t, or "".
+func lockPath(t types.Type, seen []types.Type) string {
+	for _, s := range seen {
+		if types.Identical(s, t) {
+			return ""
+		}
+	}
+	seen = append(seen, t)
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Cond", "Once", "Pool", "Map":
+				return "sync." + obj.Name()
+			}
+		}
+		return lockPath(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if p := lockPath(u.Field(i).Type(), seen); p != "" {
+				return u.Field(i).Name() + "." + p
+			}
+		}
+	case *types.Array:
+		if p := lockPath(u.Elem(), seen); p != "" {
+			return "[...]" + p
+		}
+	}
+	return ""
+}
+
+// Nilness flags two local nil-discipline mistakes: dereferencing a
+// pointer inside the body of its own `== nil` check, and a `== nil`
+// check that appears after the pointer was already dereferenced in the
+// same block.
+var Nilness = &Analyzer{
+	Name: "nilness",
+	Doc:  "flag dereferences inside nil-true branches and nil checks after dereference",
+	Run:  runNilness,
+}
+
+func runNilness(pass *Pass) error {
+	for _, pkg := range pass.Scoped() {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				block, ok := n.(*ast.BlockStmt)
+				if !ok {
+					return true
+				}
+				checkNilnessBlock(pass, pkg.Info, block)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkNilnessBlock(pass *Pass, info *types.Info, block *ast.BlockStmt) {
+	derefed := map[types.Object]token.Pos{}
+	for _, stmt := range block.List {
+		if ifs, ok := stmt.(*ast.IfStmt); ok && ifs.Init == nil {
+			if obj := nilCheckedObj(info, ifs.Cond); obj != nil {
+				// Deref inside the nil-true branch.
+				if pos, ok := derefInStmts(info, ifs.Body.List, obj); ok {
+					pass.Reportf(pos, "%s is dereferenced here but is nil on this branch (checked at %s)", obj.Name(), shortPos(pass.Fset, ifs.Cond.Pos()))
+				}
+				// Nil check after an earlier dereference.
+				if pos, ok := derefed[obj]; ok {
+					pass.Reportf(ifs.Cond.Pos(), "nil check of %s comes after its dereference at %s; move the check first", obj.Name(), shortPos(pass.Fset, pos))
+				}
+			}
+		}
+		recordDerefs(info, stmt, derefed)
+		clearAssigned(info, stmt, derefed)
+	}
+}
+
+// nilCheckedObj matches `x == nil` for a pointer-typed ident x.
+func nilCheckedObj(info *types.Info, cond ast.Expr) types.Object {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || be.Op != token.EQL {
+		return nil
+	}
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	if id, ok := y.(*ast.Ident); ok && id.Name == "nil" {
+		if xid, ok := x.(*ast.Ident); ok {
+			if obj := info.Uses[xid]; obj != nil && isPointerObj(obj) {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+func isPointerObj(obj types.Object) bool {
+	_, ok := obj.Type().Underlying().(*types.Pointer)
+	return ok
+}
+
+// derefInStmts finds a dereference of obj (x.f, *x, x[i]) in stmts,
+// stopping at any reassignment of obj or early return before a deref.
+func derefInStmts(info *types.Info, stmts []ast.Stmt, obj types.Object) (token.Pos, bool) {
+	var found token.Pos
+	assigned := false
+	for _, s := range stmts {
+		if assigned || found.IsValid() {
+			break
+		}
+		ast.Inspect(s, func(n ast.Node) bool {
+			if found.IsValid() || assigned {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && (info.Uses[id] == obj || info.Defs[id] == obj) {
+						assigned = true
+						return false
+					}
+				}
+			case *ast.SelectorExpr:
+				if id, ok := n.X.(*ast.Ident); ok && info.Uses[id] == obj {
+					found = n.Pos()
+					return false
+				}
+			case *ast.StarExpr:
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && info.Uses[id] == obj {
+					found = n.Pos()
+					return false
+				}
+			case *ast.IndexExpr:
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && info.Uses[id] == obj {
+					found = n.Pos()
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return found, found.IsValid()
+}
+
+// recordDerefs notes top-level dereferences of pointer idents in stmt
+// (not descending into nested blocks or closures, which have their own
+// control flow).
+func recordDerefs(info *types.Info, stmt ast.Stmt, out map[types.Object]token.Pos) {
+	switch stmt.(type) {
+	case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt,
+		*ast.TypeSwitchStmt, *ast.SelectStmt, *ast.BlockStmt:
+		return
+	}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil && isPointerObj(obj) {
+					if _, seen := out[obj]; !seen {
+						out[obj] = sel.Pos()
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// clearAssigned drops tracking for idents reassigned by stmt.
+func clearAssigned(info *types.Info, stmt ast.Stmt, out map[types.Object]token.Pos) {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok {
+		return
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				delete(out, obj)
+			}
+			if obj := info.Defs[id]; obj != nil {
+				delete(out, obj)
+			}
+		}
+	}
+}

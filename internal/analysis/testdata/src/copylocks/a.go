@@ -1,0 +1,30 @@
+package copylocks
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func badReturn() guarded { // want "badReturn returns guarded by value, copying mu.sync.Mutex"
+	return guarded{}
+}
+
+func badRange(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want "range copies guarded by value, copying mu.sync.Mutex"
+		total += g.n
+	}
+	return total
+}
+
+func goodPointer() *guarded { return &guarded{} }
+
+func goodIndex(gs []guarded) int {
+	total := 0
+	for i := range gs {
+		total += gs[i].n
+	}
+	return total
+}

@@ -1,0 +1,52 @@
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+type Server struct{ ch chan int }
+
+func (s *Server) Produce() int { // want "exported API Produce blocks .*but takes no context.Context"
+	return <-s.ch
+}
+
+func (s *Server) Close() { // shutdown verb: exempt
+	<-s.ch
+}
+
+func (s *Server) Fetch(n int, ctx context.Context) { // want "context.Context parameter of Fetch must come first"
+	_ = n
+	<-ctx.Done()
+}
+
+func (s *Server) Relay(ctx context.Context) {
+	_ = ctx
+	s.do(context.Background()) // want "Background replaces the in-scope ctx passed to do"
+}
+
+func (s *Server) do(ctx context.Context) {
+	select {
+	case <-ctx.Done():
+	case v := <-s.ch:
+		_ = v
+	}
+}
+
+func (s *Server) Settle(ctx context.Context) { // want "Settle takes ctx but never threads it"
+	time.Sleep(time.Second)
+}
+
+//sti:ctxok deprecated positional shim retained for compatibility
+func (s *Server) Legacy() int {
+	return <-s.ch
+}
+
+func (s *Server) Poll(ctx context.Context) int { // good: ctx first and threaded
+	select {
+	case <-ctx.Done():
+		return 0
+	case v := <-s.ch:
+		return v
+	}
+}

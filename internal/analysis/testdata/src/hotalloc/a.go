@@ -1,0 +1,46 @@
+package hotalloc
+
+type frame struct{ data []float32 }
+
+func StepLogits(frames []frame) []float32 {
+	out := make([]float32, 0, 16) // want "per-call make"
+	for _, f := range frames {
+		buf := make([]float32, len(f.data)) // want "make in loop"
+		copy(buf, f.data)
+		tmp := append([]float32(nil), f.data...) // want "slice clone via append to a fresh slice"
+		_ = tmp
+		fn := func() int { return len(buf) } // want "closure allocation in loop"
+		_ = fn()
+		out = append(out, buf...)
+	}
+	return out
+}
+
+func coldPath(frames []frame) []float32 {
+	out := make([]float32, 0, 16)
+	for _, f := range frames {
+		buf := make([]float32, len(f.data))
+		copy(buf, f.data)
+		out = append(out, buf...)
+	}
+	return out
+}
+
+func stepOnce(n int) []int {
+	var parts []int
+	for i := 0; i < n; i++ {
+		m := map[int]bool{} // want "slice/map literal in loop"
+		m[i] = true
+		parts = append(parts, len(m))
+	}
+	return parts
+}
+
+func ExecuteBatch(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		s := []int{i} //sti:allocok staging slice retained by the caller across steps
+		total += len(s)
+	}
+	return total
+}

@@ -1,0 +1,139 @@
+package locknoblock
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type q struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (s *q) badSend() {
+	s.mu.Lock()
+	s.ch <- 1 // want "channel send on s.ch while holding s.mu"
+	s.mu.Unlock()
+}
+
+func (s *q) badRecvUnderDefer() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want "channel receive from s.ch while holding s.mu"
+}
+
+func (s *q) badSleep() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding s.mu"
+	s.mu.Unlock()
+}
+
+func (s *q) badIO() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return os.ReadFile("x") // want "os.ReadFile while holding s.mu"
+}
+
+func (s *q) badSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "blocking select while holding s.mu"
+	case v := <-s.ch:
+		_ = v
+	case s.ch <- 1:
+	}
+}
+
+func (s *q) goodUnlockFirst() {
+	s.mu.Lock()
+	v := 1
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+func (s *q) goodSelectDefault() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 1:
+	default:
+	}
+}
+
+func (s *q) helper() { s.ch <- 2 }
+
+func (s *q) badTransitive() {
+	s.mu.Lock()
+	s.helper() // want "helper .*blocks: channel send"
+	s.mu.Unlock()
+}
+
+func (s *q) badTryLock() {
+	if !s.mu.TryLock() {
+		return
+	}
+	s.ch <- 3 // want "channel send on s.ch while holding s.mu"
+	s.mu.Unlock()
+}
+
+func (s *q) goodGoStmt() {
+	s.mu.Lock()
+	go func() { s.ch <- 4 }()
+	s.mu.Unlock()
+}
+
+func (s *q) okAnnotated() {
+	s.mu.Lock()
+	s.ch <- 5 //sti:lockok bounded buffered channel owned by this test
+	s.mu.Unlock()
+}
+
+func (s *q) badBareAnnotation() {
+	s.mu.Lock()
+	s.ch <- 6 //sti:lockok // want "requires a justification" "channel send on s.ch"
+	s.mu.Unlock()
+}
+
+type cb struct {
+	mu      sync.Mutex
+	OnToken func(int)
+}
+
+func (c *cb) badOnToken() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.OnToken(1) // want "OnToken callback invocation while holding c.mu"
+}
+
+type eng struct{}
+
+func (eng) Materialize() {}
+
+type m struct {
+	mu sync.Mutex
+	e  eng
+}
+
+func (x *m) badMaterialize() {
+	x.mu.Lock()
+	x.e.Materialize() // want "Materialize .*while holding x.mu"
+	x.mu.Unlock()
+}
+
+type rw struct {
+	mu sync.RWMutex
+	ch chan int
+}
+
+func (r *rw) badWriteSide() {
+	r.mu.Lock()
+	r.ch <- 1 // want "channel send on r.ch while holding r.mu"
+	r.mu.Unlock()
+}
+
+func (r *rw) okReadSide() {
+	r.mu.RLock()
+	r.ch <- 1
+	r.mu.RUnlock()
+}

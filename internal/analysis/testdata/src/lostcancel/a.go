@@ -1,0 +1,24 @@
+package lostcancel
+
+import (
+	"context"
+	"time"
+)
+
+func badDiscard(ctx context.Context) context.Context {
+	c, _ := context.WithTimeout(ctx, time.Second) // want "cancel function returned by context.WithTimeout is discarded"
+	return c
+}
+
+func badUnused(ctx context.Context) context.Context {
+	c, cancel := context.WithCancel(ctx) // want "cancel function cancel is never used"
+	_ = cancel
+	return c
+}
+
+func good(ctx context.Context) error {
+	c, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	<-c.Done()
+	return c.Err()
+}

@@ -1,0 +1,36 @@
+package nilness
+
+type node struct {
+	next *node
+	val  int
+}
+
+func badDerefInNilBranch(n *node) int {
+	if n == nil {
+		return n.val // want "n is dereferenced here but is nil on this branch"
+	}
+	return n.val
+}
+
+func badCheckAfterDeref(n *node) int {
+	v := n.val
+	if n == nil { // want "nil check of n comes after its dereference"
+		return 0
+	}
+	return v
+}
+
+func goodGuard(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.val
+}
+
+func goodReassign(n *node) int {
+	if n == nil {
+		n = &node{}
+		return n.val
+	}
+	return n.val
+}

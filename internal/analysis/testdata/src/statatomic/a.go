@@ -1,0 +1,37 @@
+package statatomic
+
+import "sync/atomic"
+
+type counters struct {
+	hits int64
+	miss int64
+}
+
+func (c *counters) inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) badPlainRead() int64 {
+	return c.hits // want "hits is accessed via sync/atomic at .*; this plain access races"
+}
+
+func (c *counters) badPlainWrite() {
+	c.hits = 0 // want "hits is accessed via sync/atomic"
+}
+
+func (c *counters) goodAtomicRead() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counters) goodUntracked() int64 {
+	c.miss++
+	return c.miss
+}
+
+func newCounters() *counters {
+	return &counters{hits: 0, miss: 0} // composite-literal init: not racy
+}
+
+func (c *counters) okAnnotated() {
+	c.hits = 0 //sti:atomicok single-threaded reset before workers start
+}

@@ -1,0 +1,40 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"sti/internal/analysis"
+	"sti/internal/analysis/analysistest"
+)
+
+func TestLockNoBlock(t *testing.T) {
+	analysistest.Run(t, analysis.LockNoBlock, "locknoblock")
+}
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, analysis.CtxFlow, "ctxflow")
+}
+
+func TestBudgetBalance(t *testing.T) {
+	analysistest.Run(t, analysis.BudgetBalance, "budgetbalance")
+}
+
+func TestStatAtomic(t *testing.T) {
+	analysistest.Run(t, analysis.StatAtomic, "statatomic")
+}
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, analysis.HotAlloc, "hotalloc")
+}
+
+func TestLostCancel(t *testing.T) {
+	analysistest.Run(t, analysis.LostCancel, "lostcancel")
+}
+
+func TestCopyLocks(t *testing.T) {
+	analysistest.Run(t, analysis.CopyLocks, "copylocks")
+}
+
+func TestNilness(t *testing.T) {
+	analysistest.Run(t, analysis.Nilness, "nilness")
+}

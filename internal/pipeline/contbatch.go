@@ -243,6 +243,9 @@ type Batcher struct {
 	groups       map[*planner.Plan]*planGroup
 	active       int
 	starvedPolls int
+	// inStep is stepOnce's per-group reservation scratch, reused across
+	// steps so the hot loop does not allocate a map per plan group.
+	inStep map[*stream]bool
 
 	// Counters, under mu.
 	nSteps      uint64
@@ -274,6 +277,7 @@ func NewBatcher(eng *Engine, opt BatcherOptions) *Batcher {
 		maxStreams: opt.MaxStreams,
 		tokenBuf:   opt.TokenBuffer,
 		groups:     make(map[*planner.Plan]*planGroup),
+		inStep:     make(map[*stream]bool),
 		loopDone:   make(chan struct{}),
 	}
 	b.matCtx, b.matCancel = context.WithCancel(context.Background())
@@ -431,8 +435,16 @@ func (b *Batcher) loop() {
 			}
 			return
 		}
-		b.admitLocked()
+		culled := b.admitLocked()
 		b.mu.Unlock()
+		// Terminal results for streams culled during admission go out
+		// after the lock drops: deliver is non-blocking by invariant
+		// today, but nothing about admission needs it to happen under
+		// b.mu, and sending there couples the lock to the delivery
+		// queues' capacity story.
+		for _, d := range culled {
+			b.deliver(d.s, d.r)
+		}
 
 		// Yield once per step so waiting submitters get scheduled: on
 		// a single-P runtime the compute-bound loop would otherwise
@@ -481,14 +493,23 @@ func (b *Batcher) liveStreams() int {
 	return b.active
 }
 
+// delivery is a terminal result admitLocked owes a culled stream; the
+// loop performs it after releasing b.mu.
+type delivery struct {
+	s *stream
+	r StreamResult
+}
+
 // admitLocked moves pending streams into the step loop up to
 // maxStreams. A stream for a plan with no materialized submodel parks
 // as a waiter while a separate goroutine runs the one-time shard
 // stream — the loop keeps decoding in-flight sequences through the IO
 // pass — and is flushed back to pending when it completes. Cancelled
-// pending streams and waiters are culled regardless of capacity. b.mu
-// is held throughout (nothing here blocks).
-func (b *Batcher) admitLocked() {
+// pending streams and waiters are culled regardless of capacity; their
+// terminal deliveries are returned for the caller to send once b.mu is
+// released, so no channel send happens under the lock.
+func (b *Batcher) admitLocked() []delivery {
+	var culled []delivery
 	// Cull cancelled waiters so a departed client is answered while
 	// its plan's materialization is still in flight.
 	for _, g := range b.groups {
@@ -500,7 +521,7 @@ func (b *Batcher) admitLocked() {
 			if err := s.ctx.Err(); err != nil {
 				s.finishTotal()
 				b.nCancelled++
-				b.deliver(s, StreamResult{Resp: s.resp, Err: err})
+				culled = append(culled, delivery{s, StreamResult{Resp: s.resp, Err: err}})
 				continue
 			}
 			kept = append(kept, s)
@@ -514,7 +535,7 @@ func (b *Batcher) admitLocked() {
 		if err := s.ctx.Err(); err != nil {
 			s.finishTotal()
 			b.nCancelled++
-			b.deliver(s, StreamResult{Resp: s.resp, Err: err})
+			culled = append(culled, delivery{s, StreamResult{Resp: s.resp, Err: err}})
 			continue
 		}
 		if b.active >= b.maxStreams {
@@ -569,6 +590,7 @@ func (b *Batcher) admitLocked() {
 	// Leftovers keep their place ahead of anything Submit enqueued
 	// while admission ran.
 	b.pending = append(kept, b.pending...)
+	return culled
 }
 
 // materialize runs one plan's shard stream off the loop goroutine and
@@ -613,6 +635,15 @@ type starvedStream struct {
 	g *planGroup
 	s *stream
 }
+
+// byTier orders tiered streams (Priority >= 0) ahead of best-effort
+// ones. A named sort.Interface instead of sort.SliceStable keeps the
+// per-step comparison closure off the heap in the hot loop.
+type byTier []*stream
+
+func (t byTier) Len() int           { return len(t) }
+func (t byTier) Swap(i, j int)      { t[i], t[j] = t[j], t[i] }
+func (t byTier) Less(i, j int) bool { return t[i].req.Priority >= 0 && t[j].req.Priority < 0 }
 
 // stepOnce runs one iteration of the step loop: per plan group, retire
 // cancelled streams, advance each live stream's DecodeGenerate state
@@ -702,14 +733,12 @@ func (b *Batcher) stepOnce(desperate bool) (bool, []starvedStream) {
 		// (preempting a stream already in parts would corrupt the
 		// batch). inStep protects only streams committed to the
 		// forward about to run.
-		sort.SliceStable(cands, func(i, j int) bool {
-			ti, tj := cands[i].req.Priority >= 0, cands[j].req.Priority >= 0
-			return ti && !tj
-		})
+		sort.Stable(byTier(cands))
 		var parts []*stream
 		var decs []*model.Decoder
 		var toks []int
-		inStep := make(map[*stream]bool)
+		clear(b.inStep)
+		inStep := b.inStep
 		for _, s := range cands {
 			if !s.dec.Reserve() && !b.preemptFor(s, inStep, desperate) {
 				// Starved. A stream holding nothing, with no KV

@@ -486,11 +486,12 @@ func (e *Engine) assemble(p *planner.Plan, l int, payloads [][]byte) (*model.Sub
 // is full, evicting everything else. Bottom layers are needed earliest
 // next time, so preserving them avoids compulsory stalls.
 func (e *Engine) Retain(p *planner.Plan) error {
-	// Hold the lock across the whole keep-set build and refill so a
-	// concurrent SetCacheBudget shrink cannot be overfilled against a
-	// stale budget read.
+	// Build the keep set and evict under the lock so a concurrent
+	// SetCacheBudget shrink cannot be overfilled against a stale budget
+	// read — but only collect the kept-but-missing versions there. The
+	// flash reads that refill them run unlocked: IO under e.mu would
+	// stall every concurrent decode step for the duration of the refill.
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	keep := make(map[shard.Version]bool)
 	used := e.kvBytes // live decode KV is not evictable by Retain
 retain:
@@ -499,6 +500,7 @@ retain:
 			v := shard.Version{ID: shard.ID{Layer: l, Slice: s}, Bits: p.Bits[l][j]}
 			size, err := e.Store.Man.ShardSize(l, s, v.Bits)
 			if err != nil {
+				e.mu.Unlock()
 				return err
 			}
 			if used+int64(size) > e.cacheBudget {
@@ -508,24 +510,35 @@ retain:
 			used += int64(size)
 		}
 	}
+	var missing []shard.Version
 	for v := range e.cache {
 		if !keep[v] {
 			e.cacheBytes -= int64(len(e.cache[v]))
 			delete(e.cache, v)
 		}
 	}
-	// Fill any kept-but-missing entries synchronously (they were just
-	// streamed; re-reading is the offline refill of the buffer).
 	for v := range keep {
-		if _, ok := e.cache[v]; ok {
-			continue
+		if _, ok := e.cache[v]; !ok {
+			missing = append(missing, v)
 		}
+	}
+	e.mu.Unlock()
+	// Refill the missing entries synchronously (they were just streamed;
+	// re-reading is the offline refill of the buffer). Each insert
+	// re-checks the budget under the lock: a shrink or KV reservation may
+	// have landed while the payload was being read, and inserting anyway
+	// would overfill.
+	for _, v := range missing {
 		payload, err := e.src.ReadShardPayload(v.Layer, v.Slice, v.Bits)
 		if err != nil {
 			return err
 		}
-		e.cache[v] = payload
-		e.cacheBytes += int64(len(payload))
+		e.mu.Lock()
+		if _, ok := e.cache[v]; !ok && e.cacheBytes+e.kvBytes+int64(len(payload)) <= e.cacheBudget {
+			e.cache[v] = payload
+			e.cacheBytes += int64(len(payload))
+		}
+		e.mu.Unlock()
 	}
 	return nil
 }

@@ -449,6 +449,7 @@ func (p *Pool) awaitDrainLocked(victims []*Replica) error {
 			return fmt.Errorf("replica: %d request(s) still in flight after %v drain wait; retirement aborted",
 				busy, p.opts.DrainWait)
 		}
+		//sti:ctxok bounded park: the ticker goroutine above broadcasts every interval and the DrainWait deadline aborts the wait
 		p.cond.Wait()
 	}
 }

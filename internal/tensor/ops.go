@@ -132,6 +132,7 @@ func parallelRows(rows int, body func(lo, hi int)) {
 			body(lo, hi)
 		}(lo, hi)
 	}
+	//sti:ctxok bounded compute fan-out: the workers finish when the op does; there is nothing external to cancel
 	wg.Wait()
 }
 
