@@ -1,0 +1,36 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPredictConfigFor covers the flag-validation matrix: prediction
+// off by default, on when either actuator flag is set, and -prefetch
+// with a zero-byte shared cache rejected with an explanation.
+func TestPredictConfigFor(t *testing.T) {
+	if _, on, err := predictConfigFor(false, false, 1<<20); err != nil || on {
+		t.Fatalf("both flags off: on=%v err=%v, want disabled", on, err)
+	}
+
+	opts, on, err := predictConfigFor(true, false, 1<<20)
+	if err != nil || !on || !opts.Prefetch || opts.Speculate {
+		t.Fatalf("-prefetch: opts=%+v on=%v err=%v", opts, on, err)
+	}
+	opts, on, err = predictConfigFor(false, true, 0)
+	if err != nil || !on || opts.Prefetch || !opts.Speculate {
+		t.Fatalf("-speculate with zero cache is valid (no staging): opts=%+v on=%v err=%v", opts, on, err)
+	}
+	opts, on, err = predictConfigFor(true, true, 4096)
+	if err != nil || !on || !opts.Prefetch || !opts.Speculate {
+		t.Fatalf("both flags: opts=%+v on=%v err=%v", opts, on, err)
+	}
+
+	for _, bytes := range []int64{0, -1} {
+		if _, on, err := predictConfigFor(true, false, bytes); err == nil || on {
+			t.Fatalf("-prefetch with -sharedcache=%d: on=%v err=%v, want rejection", bytes, on, err)
+		} else if !strings.Contains(err.Error(), "-sharedcache") {
+			t.Fatalf("rejection should name -sharedcache: %v", err)
+		}
+	}
+}

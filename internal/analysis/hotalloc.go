@@ -37,6 +37,16 @@ var hotFuncNames = map[string]bool{
 	"DecodePayload": true,
 	"Decompress":    true,
 	"ForwardLayer":  true,
+	// Predictor observe/lookup paths: the serving-side taps run on
+	// every request and every streamed layer, and the training/lookup
+	// loop runs per observation at tick rate — allocations here leak
+	// into first-token latency just like decode-loop ones.
+	"ObserveArrival": true,
+	"ObserveAccess":  true,
+	"ingest":         true,
+	"observe":        true,
+	"seqLookup":      true,
+	"predictAhead":   true,
 }
 
 func runHotAlloc(pass *Pass) error {

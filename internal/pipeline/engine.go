@@ -44,6 +44,14 @@ type Engine struct {
 	// job — before the cancellation check — so tests can cancel a
 	// context at an exact layer and assert the stream stops there.
 	ioHook func(layer int)
+
+	// obs, when non-nil, observes the shard-access sequence: one
+	// (plan target, layer) event as each layer's IO job starts, on
+	// every execution path (classify, materialize, warm refills are
+	// excluded — they are not demand accesses). It feeds the
+	// internal/predict sequence predictor and must be cheap and
+	// non-blocking; it is invoked with no engine lock held.
+	obs func(target time.Duration, layer int)
 }
 
 // NewEngine opens the resident parameters of a preprocessed store.
@@ -80,6 +88,26 @@ func (e *Engine) SetPayloadSource(src store.PayloadReader) {
 		src = e.Store
 	}
 	e.src = src
+}
+
+// SetAccessObserver installs (or, with nil, removes) the engine's
+// shard-access observer: fn is called with the executing plan's latency
+// target and the layer index as each layer's IO job starts. fn must be
+// cheap and non-blocking — it runs on the IO goroutine of every
+// execution. Installation is synchronized (unlike SetPayloadSource, an
+// observer may be attached while streams are in flight: in-flight
+// executions pick it up on their next layer boundary or execution).
+func (e *Engine) SetAccessObserver(fn func(target time.Duration, layer int)) {
+	e.mu.Lock()
+	e.obs = fn
+	e.mu.Unlock()
+}
+
+// observer snapshots the access observer for one execution's stream.
+func (e *Engine) observer() func(target time.Duration, layer int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.obs
 }
 
 // CacheBytes returns the bytes currently held in the preload buffer.
@@ -422,6 +450,7 @@ func (e *Engine) streamLayers(ctx context.Context, p *planner.Plan, stats *ExecS
 // cancellation is checked at every layer boundary so flash IO stops
 // within one layer of ctx being cancelled.
 func (e *Engine) ioWorker(ctx context.Context, p *planner.Plan, out chan<- layerDelivery) {
+	obs := e.observer()
 	for l := 0; l < p.Depth; l++ {
 		if e.ioHook != nil {
 			e.ioHook(l)
@@ -429,6 +458,13 @@ func (e *Engine) ioWorker(ctx context.Context, p *planner.Plan, out chan<- layer
 		if err := ctx.Err(); err != nil {
 			out <- layerDelivery{layer: l, err: err}
 			return
+		}
+		if obs != nil {
+			// The access event fires as the layer's IO starts — the
+			// earliest point the (tier, layer) coordinate is certain —
+			// so a prefetcher trained on these events runs ahead of the
+			// compute front, not behind it.
+			obs(p.Target, l)
 		}
 		d := layerDelivery{layer: l, payloads: make([][]byte, p.Width)}
 		ioStart := time.Now()

@@ -1,0 +1,258 @@
+package predict
+
+import "time"
+
+// Event is one shard-access observation: the executing plan's latency
+// target (the tier) and the layer whose IO job started. The sequence
+// predictor learns the order these events recur in and extrapolates it
+// ahead of the compute front.
+type Event struct {
+	Tier  time.Duration
+	Layer int
+}
+
+const (
+	// seqMaxHist bounds the retained access history per model — the
+	// longest pattern the predictor can key on.
+	seqMaxHist = 16
+	// seqTableSize is the entry count of each tagged table (power of
+	// two; four tables cost ~8 KB per model).
+	seqTableSize = 256
+	// seqMaxEvents bounds the (tier, layer) alphabet; observations for
+	// coordinates beyond it are dropped rather than growing without
+	// bound.
+	seqMaxEvents = 1024
+	// seqMaxConf / seqMaxUseful saturate the per-entry counters.
+	seqMaxConf   = 3
+	seqMaxUseful = 3
+	// seqMaxLookahead bounds how far predictAhead extrapolates.
+	seqMaxLookahead = 16
+)
+
+// seqHistLens are the geometric history lengths of the tagged tables,
+// shortest first — the TAGE discipline: the longest history with a
+// tag match provides the prediction, shorter ones back it up, and a
+// bigram base table catches everything else.
+var seqHistLens = [4]int{2, 4, 8, 16}
+
+// seqEntry is one slot of a tagged table (or of the base bigram table,
+// where tag and useful are unused): the event observed to follow this
+// history, with a saturating confidence counter and a usefulness
+// counter steering victim selection on allocation.
+type seqEntry struct {
+	tag    uint16
+	next   uint16
+	conf   int8
+	useful int8
+	valid  bool
+}
+
+// seqPredictor is a TAGE-style next-event predictor over one model's
+// shard-access sequence: a base bigram table plus tagged tables at
+// geometric history lengths, trained online, with the longest matching
+// history providing each prediction. It is not safe for concurrent
+// use; the Predictor serializes access under its mutex.
+type seqPredictor struct {
+	ids    map[Event]uint16
+	events []Event
+
+	hist    [seqMaxHist]uint16
+	histLen int
+
+	tables [len(seqHistLens)][seqTableSize]seqEntry
+	base   []seqEntry // bigram, indexed by the previous event's id
+
+	// scratch is predictAhead's speculative history window, kept on
+	// the predictor so the lookup path never allocates.
+	scratch [seqMaxHist + seqMaxLookahead]uint16
+
+	// predictions/hits self-monitor accuracy: confident predictions
+	// made, and how many the next observation confirmed.
+	predictions uint64
+	hits        uint64
+}
+
+func newSeqPredictor() *seqPredictor {
+	return &seqPredictor{ids: make(map[Event]uint16)}
+}
+
+// eventID interns an event into the bounded alphabet.
+func (s *seqPredictor) eventID(ev Event) (uint16, bool) {
+	if id, ok := s.ids[ev]; ok {
+		return id, true
+	}
+	if len(s.events) >= seqMaxEvents {
+		return 0, false
+	}
+	id := uint16(len(s.events))
+	s.ids[ev] = id
+	s.events = append(s.events, ev)
+	s.base = append(s.base, seqEntry{})
+	return id, true
+}
+
+// seqFold hashes the last n events of a history (FNV-1a over ids).
+// The table index comes from the low bits, the tag from the high bits,
+// so index aliases and tag aliases are decorrelated.
+func seqFold(h []uint16, n int) uint32 {
+	x := uint32(2166136261)
+	for _, id := range h[len(h)-n:] {
+		x = (x ^ uint32(id)) * 16777619
+	}
+	return x
+}
+
+// seqLookup predicts the event following history h: the longest-history
+// tagged table with a tag match provides it; with no tagged match the
+// base bigram on the last event does. provider is the matching table's
+// index (-1 for base); ok reports whether any component had an answer.
+func (s *seqPredictor) seqLookup(h []uint16) (next uint16, conf int8, provider int, ok bool) {
+	for ti := len(seqHistLens) - 1; ti >= 0; ti-- {
+		n := seqHistLens[ti]
+		if len(h) < n {
+			continue
+		}
+		f := seqFold(h, n)
+		e := &s.tables[ti][f%seqTableSize]
+		if e.valid && e.tag == uint16(f>>16) {
+			return e.next, e.conf, ti, true
+		}
+	}
+	if len(h) > 0 {
+		if b := &s.base[h[len(h)-1]]; b.valid {
+			return b.next, b.conf, -1, true
+		}
+	}
+	return 0, 0, -1, false
+}
+
+// observe trains the predictor on the next event of the model's access
+// sequence: every component that predicted it gains confidence, every
+// component that predicted something else loses it (and is retargeted
+// at zero), and a mispredict allocates the history into one
+// longer-history table so recurring context-dependent patterns
+// graduate upward — the TAGE update rule.
+func (s *seqPredictor) observe(ev Event) {
+	id, ok := s.eventID(ev)
+	if !ok {
+		return
+	}
+	h := s.hist[:s.histLen]
+	if s.histLen > 0 {
+		pred, conf, provider, found := s.seqLookup(h)
+		if found && conf >= 1 {
+			s.predictions++
+			if pred == id {
+				s.hits++
+			}
+		}
+
+		// Base bigram on the immediately preceding event.
+		b := &s.base[h[len(h)-1]]
+		switch {
+		case !b.valid:
+			*b = seqEntry{valid: true, next: id}
+		case b.next == id:
+			if b.conf < seqMaxConf {
+				b.conf++
+			}
+		default:
+			b.conf--
+			if b.conf < 0 {
+				b.next, b.conf = id, 0
+			}
+		}
+
+		// Tagged tables whose history already matches.
+		for ti, n := range seqHistLens {
+			if len(h) < n {
+				continue
+			}
+			f := seqFold(h, n)
+			e := &s.tables[ti][f%seqTableSize]
+			if !e.valid || e.tag != uint16(f>>16) {
+				continue
+			}
+			if e.next == id {
+				if e.conf < seqMaxConf {
+					e.conf++
+				}
+				if e.useful < seqMaxUseful {
+					e.useful++
+				}
+			} else {
+				e.conf--
+				if e.conf < 0 {
+					e.next, e.conf = id, 0
+				}
+				if e.useful > 0 {
+					e.useful--
+				}
+			}
+		}
+
+		// On a mispredict, allocate the history into one table with a
+		// longer history than the provider: a slot whose useful counter
+		// has decayed to zero is claimed; otherwise victims age so a
+		// persistent pattern claims one on a later mispredict.
+		if !found || pred != id {
+			for ti := provider + 1; ti < len(seqHistLens); ti++ {
+				n := seqHistLens[ti]
+				if len(h) < n {
+					continue
+				}
+				f := seqFold(h, n)
+				e := &s.tables[ti][f%seqTableSize]
+				if e.valid && e.tag == uint16(f>>16) {
+					continue // already ours; the counter update above handled it
+				}
+				if !e.valid || e.useful == 0 {
+					*e = seqEntry{valid: true, tag: uint16(f >> 16), next: id}
+					break
+				}
+				e.useful--
+			}
+		}
+	}
+	s.push(id)
+}
+
+func (s *seqPredictor) push(id uint16) {
+	if s.histLen == seqMaxHist {
+		copy(s.hist[:], s.hist[1:])
+		s.hist[seqMaxHist-1] = id
+		return
+	}
+	s.hist[s.histLen] = id
+	s.histLen++
+}
+
+// predictAhead extrapolates the access sequence up to len(dst) events
+// past the observed front, following only predictions at or above
+// minConf: each confident prediction is appended to a speculative
+// history and the lookup repeats, stopping at the first low-confidence
+// step. A cold or random stream therefore yields zero events — the
+// graceful degradation to no-prefetch. Returns how many events were
+// written.
+func (s *seqPredictor) predictAhead(dst []Event, minConf int8) int {
+	if s.histLen == 0 {
+		return 0
+	}
+	n := copy(s.scratch[:], s.hist[:s.histLen])
+	count := 0
+	for count < len(dst) && count < seqMaxLookahead {
+		id, conf, _, ok := s.seqLookup(s.scratch[:n])
+		if !ok || conf < minConf {
+			break
+		}
+		dst[count] = s.events[id]
+		count++
+		if n == len(s.scratch) {
+			copy(s.scratch[:], s.scratch[1:])
+			n--
+		}
+		s.scratch[n] = id
+		n++
+	}
+	return count
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"sti/internal/pipeline"
+	"sti/internal/predict"
 )
 
 // ModelStats is one model's serving counters and latency distribution
@@ -65,6 +66,19 @@ type ModelStats struct {
 	SingleflightHits       uint64 `json:"singleflight_hits"`
 	FlashReads             uint64 `json:"flash_reads,omitempty"`
 	SingleflightBytesSaved int64  `json:"singleflight_bytes_saved,omitempty"`
+	// PrefetchHits counts demand reads the predictive prefetcher had
+	// already staged in the shared cache's second-class segment;
+	// PrefetchWasted counts prefetched payloads evicted (or rejected)
+	// without ever serving a demand read, and PrefetchedBytes is the
+	// segment's current residency.
+	PrefetchHits    uint64 `json:"prefetch_hits,omitempty"`
+	PrefetchWasted  uint64 `json:"prefetch_wasted,omitempty"`
+	PrefetchedBytes int64  `json:"prefetched_bytes,omitempty"`
+
+	// Predict snapshots the model's predictive subsystem (arrival-rate
+	// EWMAs, sequence-predictor accuracy, actuation counters). Nil when
+	// prediction is disabled.
+	Predict *predict.ModelStats `json:"predict,omitempty"`
 
 	// Gen snapshots the model's continuous-batching step loops (one
 	// per replica, aggregated): batched decode steps, in-flight and
@@ -97,6 +111,10 @@ type Stats struct {
 	// absorbed across models.
 	Replicas         int    `json:"replicas,omitempty"`
 	SingleflightHits uint64 `json:"singleflight_hits"`
+	// PrefetchHits/PrefetchWasted sum the predictive prefetcher's
+	// outcomes across every model's shared cache.
+	PrefetchHits   uint64 `json:"prefetch_hits,omitempty"`
+	PrefetchWasted uint64 `json:"prefetch_wasted,omitempty"`
 	// GenSteps/GenStreams/GenKVBytes sum the continuous-batching step
 	// loops across models: batched decode forwards executed, streams
 	// decoding right now, and live paged KV bytes.
@@ -287,6 +305,14 @@ func (s *Scheduler) Snapshot() Stats {
 				ms.SingleflightHits = cs.Hits()
 				ms.FlashReads = cs.FlashReads
 				ms.SingleflightBytesSaved = cs.BytesSaved
+				ms.PrefetchHits = cs.PrefetchHits
+				ms.PrefetchWasted = cs.PrefetchWasted
+				ms.PrefetchedBytes = cs.PrefetchedBytes
+			}
+		}
+		if s.predicts != nil {
+			if ps, ok := s.predicts.PredictStats(ms.Model); ok {
+				ms.Predict = &ps
 			}
 		}
 		if s.stepLoops != nil {
@@ -299,6 +325,8 @@ func (s *Scheduler) Snapshot() Stats {
 		}
 		st.Replicas += ms.Replicas
 		st.SingleflightHits += ms.SingleflightHits
+		st.PrefetchHits += ms.PrefetchHits
+		st.PrefetchWasted += ms.PrefetchWasted
 		st.Completed += ms.Completed
 		st.Failed += ms.Failed
 		st.Shed += ms.Shed

@@ -40,6 +40,15 @@ type flight struct {
 // CacheStats is a point-in-time snapshot of a SharedCache's
 // deduplication counters. BytesRead is actual flash IO; BytesSaved is
 // IO the cache absorbed (coalesced or retained hits).
+//
+// The Prefetch* counters account the speculative second-class segment
+// separately from demand retention, so wasted prefetch is measurable:
+// Prefetches is speculative flash reads issued, PrefetchHits is
+// prefetched payloads a demand read later consumed (promoted to the
+// demand segment), PrefetchWasted is prefetched payloads evicted or
+// dropped without ever being demanded, and PrefetchedBytes is the
+// segment's current residency (within RetainedBytes' budget, never in
+// addition to it).
 type CacheStats struct {
 	Requests         uint64 `json:"requests"`
 	FlashReads       uint64 `json:"flash_reads"`
@@ -47,13 +56,18 @@ type CacheStats struct {
 	RetainedHits     uint64 `json:"retained_hits"`     // served from the retained-payload LRU
 	BytesRead        int64  `json:"bytes_read"`
 	BytesSaved       int64  `json:"bytes_saved"`
-	RetainedBytes    int64  `json:"retained_bytes"` // current LRU residency
+	RetainedBytes    int64  `json:"retained_bytes"` // current residency, both segments
 	Evictions        uint64 `json:"evictions"`
+
+	Prefetches      uint64 `json:"prefetches"`       // speculative flash reads issued
+	PrefetchHits    uint64 `json:"prefetch_hits"`    // prefetched payloads demand later consumed
+	PrefetchWasted  uint64 `json:"prefetch_wasted"`  // prefetched payloads never demanded
+	PrefetchedBytes int64  `json:"prefetched_bytes"` // current second-class segment residency
 }
 
 // Hits is the total number of reads the cache absorbed without
 // touching flash.
-func (s CacheStats) Hits() uint64 { return s.SingleflightHits + s.RetainedHits }
+func (s CacheStats) Hits() uint64 { return s.SingleflightHits + s.RetainedHits + s.PrefetchHits }
 
 // SharedCache is a read-through, content-addressed payload cache that
 // fronts one store for many concurrent readers — the replica pools of
@@ -73,22 +87,35 @@ func (s CacheStats) Hits() uint64 { return s.SingleflightHits + s.RetainedHits }
 // A SharedCache is safe for concurrent use. Failed reads are never
 // cached: every waiter of a failed flight observes the error and the
 // next call retries the flash.
+//
+// Retention is segmented in two classes sharing the one retain budget.
+// Demand-retained payloads (completed ReadShardPayload results) live on
+// the primary LRU. Speculatively prefetched payloads
+// (PrefetchShardPayload) live on a second-class LRU: they are always
+// evicted before any demand entry, a prefetch insert never displaces a
+// demand entry (it is refused instead), and a demand read that finds a
+// prefetched payload promotes it into the demand segment (counting a
+// PrefetchHit). Mispredicted prefetch therefore costs only its own
+// flash read and the budget slack demand was not using.
 type SharedCache struct {
 	src PayloadReader
 
-	mu      sync.Mutex
-	retain  int64
-	flights map[payloadKey]*flight
-	cache   map[payloadKey]*list.Element
-	lru     *list.List // of *cacheEntry; front = least recently used
-	bytes   int64
-	stats   CacheStats
+	mu        sync.Mutex
+	retain    int64
+	flights   map[payloadKey]*flight
+	cache     map[payloadKey]*list.Element
+	lru       *list.List // of *cacheEntry, demand segment; front = least recently used
+	pref      *list.List // of *cacheEntry, second-class prefetch segment; front = LRU
+	bytes     int64      // demand-segment residency
+	prefBytes int64      // prefetch-segment residency
+	stats     CacheStats
 }
 
-// cacheEntry is one retained payload on the LRU list.
+// cacheEntry is one retained payload on either LRU list.
 type cacheEntry struct {
-	key     payloadKey
-	payload []byte
+	key        payloadKey
+	payload    []byte
+	prefetched bool // lives on the second-class prefetch list
 }
 
 // NewSharedCache fronts src with a single-flight payload cache
@@ -104,6 +131,7 @@ func NewSharedCache(src PayloadReader, retainBytes int64) *SharedCache {
 		flights: make(map[payloadKey]*flight),
 		cache:   make(map[payloadKey]*list.Element),
 		lru:     list.New(),
+		pref:    list.New(),
 	}
 }
 
@@ -128,9 +156,18 @@ func (c *SharedCache) Drop() {
 	c.evictToLocked(0)
 }
 
-// evictToLocked evicts least-recently-used payloads until at most
-// limit bytes remain retained.
+// evictToLocked evicts retained payloads until at most limit bytes
+// remain across both segments. The second-class prefetch segment is
+// drained first (LRU order); demand entries are touched only once no
+// prefetched payload remains — speculation never outlives demand.
 func (c *SharedCache) evictToLocked(limit int64) {
+	for c.bytes+c.prefBytes > limit {
+		el := c.pref.Front()
+		if el == nil {
+			break
+		}
+		c.removeLocked(el)
+	}
 	for c.bytes > limit {
 		el := c.lru.Front()
 		if el == nil {
@@ -142,9 +179,15 @@ func (c *SharedCache) evictToLocked(limit int64) {
 
 func (c *SharedCache) removeLocked(el *list.Element) {
 	e := el.Value.(*cacheEntry)
-	c.lru.Remove(el)
+	if e.prefetched {
+		c.pref.Remove(el)
+		c.prefBytes -= int64(len(e.payload))
+		c.stats.PrefetchWasted++ // evicted without ever being demanded
+	} else {
+		c.lru.Remove(el)
+		c.bytes -= int64(len(e.payload))
+	}
 	delete(c.cache, e.key)
-	c.bytes -= int64(len(e.payload))
 	c.stats.Evictions++
 }
 
@@ -156,9 +199,22 @@ func (c *SharedCache) ReadShardPayload(layer, slice, bits int) ([]byte, error) {
 	c.mu.Lock()
 	c.stats.Requests++
 	if el, ok := c.cache[k]; ok {
-		c.lru.MoveToBack(el)
-		p := el.Value.(*cacheEntry).payload
-		c.stats.RetainedHits++
+		e := el.Value.(*cacheEntry)
+		p := e.payload
+		if e.prefetched {
+			// A demanded prefetch graduates to the demand segment: the
+			// speculation paid off, so the payload is no longer
+			// first-to-evict.
+			c.pref.Remove(el)
+			e.prefetched = false
+			c.cache[k] = c.lru.PushBack(e)
+			c.prefBytes -= int64(len(p))
+			c.bytes += int64(len(p))
+			c.stats.PrefetchHits++
+		} else {
+			c.lru.MoveToBack(el)
+			c.stats.RetainedHits++
+		}
 		c.stats.BytesSaved += int64(len(p))
 		c.mu.Unlock()
 		return p, nil
@@ -196,20 +252,100 @@ func (c *SharedCache) ReadShardPayload(layer, slice, bits int) ([]byte, error) {
 	return f.payload, f.err
 }
 
-// insertLocked retains one completed payload, evicting least recently
-// used entries until it fits. Payloads larger than the whole retention
-// budget are not retained (they would evict everything for one entry).
+// insertLocked retains one completed payload in the demand segment,
+// evicting least recently used entries (prefetched first) until it
+// fits. Payloads larger than the whole retention budget are not
+// retained (they would evict everything for one entry).
 func (c *SharedCache) insertLocked(k payloadKey, p []byte) {
 	need := int64(len(p))
 	if need == 0 || need > c.retain {
 		return
 	}
-	if _, ok := c.cache[k]; ok {
-		return // a racing flight of the same key already retained it
+	if el, ok := c.cache[k]; ok {
+		// A racing flight or prefetch of the same key already retained
+		// it; if speculation got there first, the demand completion
+		// promotes it out of the second-class segment.
+		if e := el.Value.(*cacheEntry); e.prefetched {
+			c.pref.Remove(el)
+			e.prefetched = false
+			c.cache[k] = c.lru.PushBack(e)
+			c.prefBytes -= int64(len(e.payload))
+			c.bytes += int64(len(e.payload))
+			c.stats.PrefetchHits++
+		}
+		return
 	}
 	c.evictToLocked(c.retain - need)
 	c.cache[k] = c.lru.PushBack(&cacheEntry{key: k, payload: p})
 	c.bytes += need
+}
+
+// PrefetchShardPayload speculatively pulls one shard payload into the
+// cache's second-class segment ahead of demand. It is strictly budget-
+// subordinate: the payload is retained only if it fits the retain
+// budget after evicting other *prefetched* entries — demand-retained
+// payloads are never displaced, and an oversized or unfittable payload
+// is simply dropped (its read still primed nothing, counted
+// PrefetchWasted). Already-retained and already-in-flight keys are
+// no-ops, so a prefetcher racing the compute front never duplicates
+// IO; a concurrent demand read coalesces onto the prefetch's flight
+// exactly like any other reader. It reports whether the payload is
+// retained on return.
+func (c *SharedCache) PrefetchShardPayload(layer, slice, bits int) (bool, error) {
+	k := payloadKey{Layer: layer, Slice: slice, Bits: bits}
+	c.mu.Lock()
+	if c.retain == 0 {
+		c.mu.Unlock()
+		return false, nil // nothing can be retained; don't touch flash
+	}
+	if _, ok := c.cache[k]; ok {
+		c.mu.Unlock()
+		return true, nil // already retained (either segment)
+	}
+	if _, ok := c.flights[k]; ok {
+		c.mu.Unlock()
+		return false, nil // demand is already reading it
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[k] = f
+	c.mu.Unlock()
+
+	f.payload, f.err = c.src.ReadShardPayload(layer, slice, bits)
+	close(f.done)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.flights, k)
+	if f.err != nil {
+		return false, f.err
+	}
+	c.stats.FlashReads++
+	c.stats.BytesRead += int64(len(f.payload))
+	c.stats.Prefetches++
+	need := int64(len(f.payload))
+	if need == 0 || need > c.retain {
+		c.stats.PrefetchWasted++
+		return false, nil
+	}
+	if _, ok := c.cache[k]; ok {
+		return true, nil // a racing demand flight retained it meanwhile
+	}
+	// Make room with other prefetched payloads only; if demand retention
+	// alone already fills the budget, the speculation loses.
+	for c.bytes+c.prefBytes+need > c.retain {
+		el := c.pref.Front()
+		if el == nil {
+			break
+		}
+		c.removeLocked(el)
+	}
+	if c.bytes+c.prefBytes+need > c.retain {
+		c.stats.PrefetchWasted++
+		return false, nil
+	}
+	c.cache[k] = c.pref.PushBack(&cacheEntry{key: k, payload: f.payload, prefetched: true})
+	c.prefBytes += need
+	return true, nil
 }
 
 // Stats snapshots the cache's counters.
@@ -217,6 +353,7 @@ func (c *SharedCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s := c.stats
-	s.RetainedBytes = c.bytes
+	s.RetainedBytes = c.bytes + c.prefBytes
+	s.PrefetchedBytes = c.prefBytes
 	return s
 }
