@@ -1,0 +1,547 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"sti"
+)
+
+// clusterNode is one in-process cluster member: a real fleet +
+// scheduler + serving mux with the /cluster endpoints mounted — the
+// exact composition -mode node runs.
+type clusterNode struct {
+	name  string
+	ts    *httptest.Server
+	url   string
+	fleet *sti.Fleet
+	sched *sti.Scheduler
+	node  *sti.ClusterNode
+}
+
+// buildModelDirs preprocesses one store per model. Every node of a
+// cluster loads the same dir, so shard payloads are byte-identical
+// across nodes and a peer's retained copy substitutes exactly for a
+// local flash read.
+func buildModelDirs(t testing.TB, names ...string) map[string]string {
+	t.Helper()
+	dirs := make(map[string]string, len(names))
+	for i, name := range names {
+		dir := t.TempDir()
+		w := sti.NewRandomModel(sti.TinyConfig(), int64(i+1))
+		if _, err := sti.Preprocess(dir, w, []int{2, 4}); err != nil {
+			t.Fatal(err)
+		}
+		dirs[name] = dir
+	}
+	return dirs
+}
+
+func buildClusterFleet(t testing.TB, dirs map[string]string) *sti.Fleet {
+	t.Helper()
+	names := make([]string, 0, len(dirs))
+	for name := range dirs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fleet := sti.NewFleet(256 << 10)
+	for _, name := range names {
+		sys, err := sti.Load(dirs[name], sti.Odroid(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fleet.Add(name, sys, 200*time.Millisecond, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := fleet.SetSharedCacheRetain(name, 1<<20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fleet.Replan(); err != nil {
+		t.Fatal(err)
+	}
+	return fleet
+}
+
+// buildCluster stands up a router and nodeNames real nodes on loopback
+// listeners and waits until the router's health poll sees every node
+// up. Listeners are allocated before any node is built so the static
+// peer list (identical everywhere, like -peers) can carry real URLs.
+func buildCluster(t testing.TB, nodeNames []string, dirs map[string]string, opts sti.ServeOptions) (*httptest.Server, map[string]*clusterNode) {
+	t.Helper()
+	nodes := make(map[string]*clusterNode, len(nodeNames))
+	peers := make([]sti.ClusterPeer, 0, len(nodeNames))
+	for _, name := range nodeNames {
+		ts := httptest.NewUnstartedServer(nil)
+		cn := &clusterNode{name: name, ts: ts, url: "http://" + ts.Listener.Addr().String()}
+		nodes[name] = cn
+		peers = append(peers, sti.ClusterPeer{Name: name, URL: cn.url})
+	}
+	for _, name := range nodeNames {
+		cn := nodes[name]
+		cn.fleet = buildClusterFleet(t, dirs)
+		cn.sched = sti.NewScheduler(cn.fleet, opts)
+		t.Cleanup(cn.sched.Close)
+		node, err := sti.NewClusterNode(cn.fleet, name, peers, sti.ClusterNodeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cn.node = node
+		t.Cleanup(node.Close)
+		mux := http.NewServeMux()
+		mux.Handle("/cluster/", node.Handler())
+		mux.Handle("/", newServer(cn.fleet, cn.sched))
+		cn.ts.Config.Handler = mux
+		cn.ts.Start()
+		t.Cleanup(cn.ts.Close)
+	}
+	rt, err := sti.NewClusterRouter(peers, sti.ClusterRouterOptions{HealthInterval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	rts := httptest.NewServer(rt)
+	t.Cleanup(rts.Close)
+	want := make(map[string]string, len(nodeNames))
+	for _, name := range nodeNames {
+		want[name] = "up"
+	}
+	waitForStates(t, rts.URL, want)
+	return rts, nodes
+}
+
+// waitForStates polls the router's /healthz until every named node
+// reports the wanted state.
+func waitForStates(t testing.TB, routerURL string, want map[string]string) {
+	t.Helper()
+	var last map[string]string
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var h struct {
+			OK    bool              `json:"ok"`
+			Nodes map[string]string `json:"nodes"`
+		}
+		resp, err := http.Get(routerURL + "/healthz")
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&h)
+			resp.Body.Close()
+		}
+		if err == nil {
+			ok := true
+			for n, s := range want {
+				if h.Nodes[n] != s {
+					ok = false
+				}
+			}
+			if ok {
+				return
+			}
+			last = h.Nodes
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("router never saw states %v (last %v)", want, last)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// homeNodeOf finds which node the cluster routed a model's traffic to
+// by completed-request counters after at least one request was served.
+func homeNodeOf(t testing.TB, nodes map[string]*clusterNode, model string) *clusterNode {
+	t.Helper()
+	for _, cn := range nodes {
+		for _, ms := range cn.sched.Snapshot().Models {
+			if ms.Model == model && ms.Completed > 0 {
+				return cn
+			}
+		}
+	}
+	t.Fatalf("no node served model %q", model)
+	return nil
+}
+
+func otherNode(nodes map[string]*clusterNode, not *clusterNode) *clusterNode {
+	for _, cn := range nodes {
+		if cn != not {
+			return cn
+		}
+	}
+	return nil
+}
+
+// TestClusterMatchesStandalone pins the acceptance contract: a
+// two-node cluster behind the router serves classify and streamed
+// generate with results identical to a standalone server loaded from
+// the same stores — same class, bit-identical logits, same decoded
+// token sequence, tokens relayed in order.
+func TestClusterMatchesStandalone(t *testing.T) {
+	dirs := buildModelDirs(t, "sentiment", "nextword")
+	opts := sti.ServeOptions{Slack: 1000}
+
+	sfleet := buildClusterFleet(t, dirs)
+	ssched := sti.NewScheduler(sfleet, opts)
+	t.Cleanup(ssched.Close)
+	standalone := httptest.NewServer(newServer(sfleet, ssched))
+	t.Cleanup(standalone.Close)
+
+	router, _ := buildCluster(t, []string{"alpha", "beta"}, dirs, opts)
+
+	for _, model := range []string{"sentiment", "nextword"} {
+		body := map[string]any{"model": model, "task": "classify", "text": "wonderful gripping story"}
+		st1, d1 := postJSON(t, standalone.URL+"/v2/infer", body)
+		st2, d2 := postJSON(t, router.URL+"/v2/infer", body)
+		if st1 != http.StatusOK || st2 != http.StatusOK {
+			t.Fatalf("%s: standalone %d (%s), cluster %d (%s)", model, st1, d1, st2, d2)
+		}
+		var r1, r2 inferResponse
+		if err := json.Unmarshal(d1, &r1); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(d2, &r2); err != nil {
+			t.Fatal(err)
+		}
+		if r2.Model != model || r2.Class != r1.Class || len(r2.Logits) != len(r1.Logits) {
+			t.Fatalf("%s: cluster %+v != standalone %+v", model, r2, r1)
+		}
+		for i := range r1.Logits {
+			if r2.Logits[i] != r1.Logits[i] {
+				t.Fatalf("%s logit %d: cluster %v != standalone %v", model, i, r2.Logits[i], r1.Logits[i])
+			}
+		}
+	}
+
+	const maxNew = 6
+	gen := map[string]any{"model": "sentiment", "task": "generate", "text": "once upon a time", "max_new_tokens": maxNew}
+	st1, ct1, ev1 := postSSE(t, standalone.URL+"/v2/infer", gen)
+	st2, ct2, ev2 := postSSE(t, router.URL+"/v2/infer", gen)
+	if st1 != http.StatusOK || st2 != http.StatusOK {
+		t.Fatalf("generate: standalone %d, cluster %d", st1, st2)
+	}
+	if !strings.HasPrefix(ct2, "text/event-stream") {
+		t.Fatalf("cluster content type %q, want text/event-stream (got standalone %q)", ct2, ct1)
+	}
+	if len(ev2) != len(ev1) || len(ev2) != maxNew+1 {
+		t.Fatalf("cluster streamed %d events, standalone %d, want %d", len(ev2), len(ev1), maxNew+1)
+	}
+	for i := 0; i < maxNew; i++ {
+		var te1, te2 tokenEvent
+		if err := json.Unmarshal([]byte(ev1[i].data), &te1); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal([]byte(ev2[i].data), &te2); err != nil {
+			t.Fatal(err)
+		}
+		if te2.Step != i {
+			t.Fatalf("cluster token event %d arrived with step %d: relay reordered the stream", i, te2.Step)
+		}
+		if te2.Token != te1.Token {
+			t.Fatalf("step %d: cluster token %d != standalone %d", i, te2.Token, te1.Token)
+		}
+	}
+	var done1, done2 generateResult
+	if err := json.Unmarshal([]byte(ev1[maxNew].data), &done1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(ev2[maxNew].data), &done2); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(done2.Tokens) != fmt.Sprint(done1.Tokens) {
+		t.Fatalf("cluster decoded %v, standalone %v", done2.Tokens, done1.Tokens)
+	}
+}
+
+// TestClusterPeerCacheServesSharedModel pins the two-level cache: when
+// a model's traffic moves to a node whose cache is cold, that node's
+// demand misses are served by the peer that has the payloads retained
+// — peer-level hits > 0, donor-side serves > 0, and the cold node's
+// flash reads stay at or below what a cold standalone server pays for
+// the same workload.
+func TestClusterPeerCacheServesSharedModel(t *testing.T) {
+	dirs := buildModelDirs(t, "sentiment")
+	opts := sti.ServeOptions{Slack: 1000}
+	router, nodes := buildCluster(t, []string{"alpha", "beta"}, dirs, opts)
+
+	body := map[string]any{"model": "sentiment", "task": "classify", "text": "wonderful gripping story"}
+	if st, d := postJSON(t, router.URL+"/v2/infer", body); st != http.StatusOK {
+		t.Fatalf("warm request: %d %s", st, d)
+	}
+	home := homeNodeOf(t, nodes, "sentiment")
+	cold := otherNode(nodes, home)
+
+	// Drain the home: the router reroutes to the cold holder, whose
+	// misses should hit the draining peer's retained payloads instead of
+	// flash. (Draining stops routing, not the /cluster donor endpoint.)
+	home.sched.SetDraining(true)
+	waitForStates(t, router.URL, map[string]string{home.name: "draining", cold.name: "up"})
+	const rerouted = 4
+	for i := 0; i < rerouted; i++ {
+		if st, d := postJSON(t, router.URL+"/v2/infer", body); st != http.StatusOK {
+			t.Fatalf("rerouted request %d: %d %s", i, st, d)
+		}
+	}
+
+	coldStats := cold.sched.Snapshot()
+	homeStats := home.sched.Snapshot()
+	if coldStats.Completed < rerouted {
+		t.Fatalf("cold node completed %d, want >= %d rerouted requests", coldStats.Completed, rerouted)
+	}
+	if coldStats.PeerHits == 0 {
+		t.Fatalf("cold node reported no peer-level cache hits: %+v", coldStats.Models)
+	}
+	if homeStats.PeerServed == 0 {
+		t.Fatal("home node donated no retained payloads")
+	}
+
+	// The same workload against a cold standalone server bounds the
+	// cluster node's flash IO from above: every peer hit is a flash read
+	// the cold node did not pay.
+	sfleet := buildClusterFleet(t, dirs)
+	ssched := sti.NewScheduler(sfleet, opts)
+	t.Cleanup(ssched.Close)
+	standalone := httptest.NewServer(newServer(sfleet, ssched))
+	t.Cleanup(standalone.Close)
+	for i := 0; i < rerouted+1; i++ {
+		if st, d := postJSON(t, standalone.URL+"/v2/infer", body); st != http.StatusOK {
+			t.Fatalf("standalone request %d: %d %s", i, st, d)
+		}
+	}
+	var coldFlash, aloneFlash uint64
+	for _, ms := range coldStats.Models {
+		coldFlash += ms.FlashReads
+	}
+	for _, ms := range ssched.Snapshot().Models {
+		aloneFlash += ms.FlashReads
+	}
+	if coldFlash > aloneFlash {
+		t.Fatalf("cold cluster node read flash %d times, standalone %d: peer level saved nothing", coldFlash, aloneFlash)
+	}
+}
+
+// TestClusterDrainMidTrafficZeroSheds drains a node while it is
+// serving a generate stream: the stream runs to completion, new
+// traffic reroutes to the surviving node, draining is visible in the
+// node's /healthz and /v1/stats and in the router's member table, and
+// no request anywhere is shed.
+func TestClusterDrainMidTrafficZeroSheds(t *testing.T) {
+	dirs := buildModelDirs(t, "sentiment")
+	opts := sti.ServeOptions{Slack: 1000}
+	router, nodes := buildCluster(t, []string{"alpha", "beta"}, dirs, opts)
+
+	body := map[string]any{"model": "sentiment", "task": "classify", "text": "quick check"}
+	if st, d := postJSON(t, router.URL+"/v2/infer", body); st != http.StatusOK {
+		t.Fatalf("probe request: %d %s", st, d)
+	}
+	home := homeNodeOf(t, nodes, "sentiment")
+	survivor := otherNode(nodes, home)
+
+	// Open a generate stream through the router (it lands on the home
+	// node), then drain that node after the first token arrives.
+	const maxNew = 24
+	genBody, err := json.Marshal(map[string]any{
+		"model": "sentiment", "task": "generate", "text": "once upon a time", "max_new_tokens": maxNew,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(router.URL+"/v2/infer", "application/json", bytes.NewReader(genBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("generate status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	tokens, sawDone, drained := 0, false, false
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: token") {
+			tokens++
+		}
+		if strings.HasPrefix(line, "event: done") {
+			sawDone = true
+		}
+		if tokens == 1 && !drained {
+			drained = true
+			home.sched.SetDraining(true)
+			waitForStates(t, router.URL, map[string]string{home.name: "draining", survivor.name: "up"})
+			// New traffic reroutes to the survivor while the stream runs.
+			for i := 0; i < 3; i++ {
+				if st, d := postJSON(t, router.URL+"/v2/infer", body); st != http.StatusOK {
+					t.Fatalf("rerouted request %d: %d %s", i, st, d)
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if tokens != maxNew || !sawDone {
+		t.Fatalf("in-flight stream delivered %d tokens (done=%v), want all %d: draining must not cut streams", tokens, sawDone, maxNew)
+	}
+	if !drained {
+		t.Fatal("stream ended before the drain was ever exercised")
+	}
+
+	// Draining is visible on the node's own surfaces (the contract the
+	// router's health poll relies on)...
+	var hz struct {
+		OK       bool `json:"ok"`
+		Draining bool `json:"draining"`
+	}
+	hresp, err := http.Get(home.ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(hresp.Body).Decode(&hz)
+	hresp.Body.Close()
+	if err != nil || !hz.OK || !hz.Draining {
+		t.Fatalf("draining node /healthz = %+v (err %v), want ok+draining", hz, err)
+	}
+	if st := home.sched.Snapshot(); !st.Draining {
+		t.Fatal("draining node /v1/stats does not report draining")
+	}
+	if st := survivor.sched.Snapshot(); st.Draining {
+		t.Fatal("survivor reports draining")
+	}
+
+	// ...and in the router's member table, while the survivor keeps the
+	// model placed.
+	var rstats struct {
+		Nodes []struct {
+			Name  string `json:"name"`
+			State string `json:"state"`
+		} `json:"nodes"`
+		Placements map[string][]string `json:"placements"`
+	}
+	rresp, err := http.Get(router.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(rresp.Body).Decode(&rstats)
+	rresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := map[string]string{}
+	for _, n := range rstats.Nodes {
+		states[n.Name] = n.State
+	}
+	if states[home.name] != "draining" || states[survivor.name] != "up" {
+		t.Fatalf("router sees %v", states)
+	}
+	if p := rstats.Placements["sentiment"]; len(p) != 1 || p[0] != survivor.name {
+		t.Fatalf("placement %v, want [%s]", p, survivor.name)
+	}
+
+	// Zero sheds anywhere: the whole drain cost nothing in-flight.
+	for name, cn := range nodes {
+		st := cn.sched.Snapshot()
+		if st.Shed != 0 || st.Failed != 0 {
+			t.Fatalf("node %s shed=%d failed=%d during drain, want 0/0", name, st.Shed, st.Failed)
+		}
+	}
+}
+
+// BenchmarkClusterServe compares classify through a 1-router/2-node
+// in-process cluster against the same fleet standalone: req/s and p99
+// per variant, plus the cluster's peer-cache hit rate and flash
+// bytes/request in the failover case where the peer level actually
+// carries traffic.
+func BenchmarkClusterServe(b *testing.B) {
+	body, err := json.Marshal(map[string]any{"model": "sentiment", "task": "classify", "text": "wonderful gripping story"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	post := func(b *testing.B, url string) time.Duration {
+		start := time.Now()
+		resp, err := http.Post(url+"/v2/infer", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+		return time.Since(start)
+	}
+	report := func(b *testing.B, lat []time.Duration) {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		b.ReportMetric(float64(len(lat))/b.Elapsed().Seconds(), "req/s")
+		if n := len(lat); n > 0 {
+			b.ReportMetric(float64(lat[(n*99)/100].Microseconds())/1e3, "p99-ms")
+		}
+	}
+	opts := sti.ServeOptions{Slack: 1000}
+
+	b.Run("standalone", func(b *testing.B) {
+		dirs := buildModelDirs(b, "sentiment")
+		fleet := buildClusterFleet(b, dirs)
+		sched := sti.NewScheduler(fleet, opts)
+		defer sched.Close()
+		ts := httptest.NewServer(newServer(fleet, sched))
+		defer ts.Close()
+		lat := make([]time.Duration, 0, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lat = append(lat, post(b, ts.URL))
+		}
+		b.StopTimer()
+		report(b, lat)
+		st := sched.Snapshot()
+		if st.Completed > 0 {
+			b.ReportMetric(float64(st.BytesRead)/float64(st.Completed), "flashB/req")
+		}
+	})
+
+	b.Run("cluster-2node", func(b *testing.B) {
+		dirs := buildModelDirs(b, "sentiment")
+		router, _ := buildCluster(b, []string{"alpha", "beta"}, dirs, opts)
+		lat := make([]time.Duration, 0, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lat = append(lat, post(b, router.URL))
+		}
+		b.StopTimer()
+		report(b, lat)
+	})
+
+	// Failover: the model's home drains after one warm request, so the
+	// surviving node serves everything through the peer cache level.
+	b.Run("cluster-failover-peercache", func(b *testing.B) {
+		dirs := buildModelDirs(b, "sentiment")
+		router, nodes := buildCluster(b, []string{"alpha", "beta"}, dirs, opts)
+		post(b, router.URL)
+		home := homeNodeOf(b, nodes, "sentiment")
+		home.sched.SetDraining(true)
+		waitForStates(b, router.URL, map[string]string{home.name: "draining"})
+		b.ResetTimer()
+		lat := make([]time.Duration, 0, b.N)
+		for i := 0; i < b.N; i++ {
+			lat = append(lat, post(b, router.URL))
+		}
+		b.StopTimer()
+		report(b, lat)
+		st := otherNode(nodes, home).sched.Snapshot()
+		if st.Completed > 0 {
+			b.ReportMetric(float64(st.BytesRead)/float64(st.Completed), "flashB/req")
+		}
+		var hits, flash uint64
+		for _, ms := range st.Models {
+			hits += ms.PeerHits
+			flash += ms.FlashReads
+		}
+		if hits+flash > 0 {
+			b.ReportMetric(float64(hits)/float64(hits+flash), "peer-hit-rate")
+		}
+	})
+}

@@ -57,6 +57,27 @@
 // and per replica step loop); /v1/stats reports the step-loop counters
 // under each model's "gen" object (gen_steps, gen_streams,
 // gen_avg_streams_per_step, gen_preempted, gen_kv_bytes, ...).
+//
+// -mode turns one binary into a multi-node cluster. A static peer list
+// (-peers "a=http://h1:8080,b=http://h2:8080") is shared by every
+// process; consistent hashing places each model on ReplicationFactor
+// nodes without coordination:
+//
+//	sti-serve -mode node -node a -peers "$PEERS" -model ... # on h1
+//	sti-serve -mode node -node b -peers "$PEERS" -model ... # on h2
+//	sti-serve -mode router -peers "$PEERS" -addr :9090
+//
+// The router terminates /v2/infer (SSE generate streams included) and
+// forwards each request to a node holding its model with a per-hop
+// deadline derived from the request SLO; shed or unreachable classify
+// retries once on a different holder. Nodes additionally serve
+// /cluster/*: a donor endpoint that lets a peer's shared cache fetch a
+// retained shard payload instead of reading flash (the cache's second
+// level), and the arrival-observation intake that keeps each model's
+// owning predictor trained on its full arrival stream. On
+// SIGINT/SIGTERM a node reports draining via /healthz for -draingrace
+// before closing its listener, so the router rebalances its models away
+// without shedding a single in-flight request.
 package main
 
 import (
@@ -184,7 +205,28 @@ func main() {
 	prefetch := flag.Bool("prefetch", false, "enable predictive shard prefetch: a sequence predictor trained on each model's shard-access order pulls predicted payloads into the shared cache ahead of the compute front (requires -sharedcache > 0)")
 	speculate := flag.Bool("speculate", false, "enable speculative tier warming and pre-emptive replica scale advice driven by each model's arrival-rate trend")
 	sharedCache := flag.Int64("sharedcache", 1<<20, "per-model shared shard-cache retention in bytes (single-flight dedup window + prefetch staging area; 0 keeps pure coalescing only)")
+	mode := flag.String("mode", "standalone", "serving mode: standalone (default), node (cluster member; needs -node and -peers), or router (cluster frontend; needs -peers, takes no -model)")
+	peersSpec := flag.String("peers", "", "static cluster membership: comma-separated name=url pairs, identical on every router and node")
+	nodeName := flag.String("node", "", "this process's name in -peers (node mode)")
+	drainGrace := flag.Duration("draingrace", time.Second, "node mode: how long to advertise draining via /healthz before closing the listener, so the router rebalances first")
+	routerTarget := flag.Duration("target", 200*time.Millisecond, "router mode: SLO assumed for requests without target_ms when deriving per-hop deadlines")
 	flag.Parse()
+
+	switch *mode {
+	case "router":
+		runRouter(*addr, *peersSpec, *routerTarget)
+		return
+	case "node":
+		if *peersSpec == "" || *nodeName == "" {
+			log.Fatal("sti-serve: -mode node requires -node and -peers")
+		}
+	case "standalone":
+		if *peersSpec != "" || *nodeName != "" {
+			log.Fatal("sti-serve: -peers/-node need -mode node or -mode router")
+		}
+	default:
+		log.Fatalf("sti-serve: unknown -mode %q (standalone, node, or router)", *mode)
+	}
 	if len(models) == 0 {
 		log.Fatal("sti-serve: at least one -model is required")
 	}
@@ -268,10 +310,33 @@ func main() {
 		MaxStreams: *maxStreams,
 	})
 
-	// Graceful shutdown: SIGINT/SIGTERM stops accepting connections,
-	// drains in-flight HTTP requests, then drains the scheduler's
-	// queues — nothing dies mid-pipeline.
-	srv := &http.Server{Addr: *addr, Handler: newServer(fleet, sched)}
+	// In node mode the ordinary serving surface gains the /cluster/*
+	// endpoints and every model's shared cache gains its peer level.
+	handler := http.Handler(newServer(fleet, sched))
+	var node *sti.ClusterNode
+	if *mode == "node" {
+		peers, err := sti.ParseClusterPeers(*peersSpec)
+		if err != nil {
+			log.Fatalf("sti-serve: -peers: %v", err)
+		}
+		node, err = sti.NewClusterNode(fleet, *nodeName, peers, sti.ClusterNodeOptions{})
+		if err != nil {
+			log.Fatalf("sti-serve: %v", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/cluster/", node.Handler())
+		mux.Handle("/", handler)
+		handler = mux
+		log.Printf("cluster node %q of %d peer(s); peer shard cache enabled", *nodeName, len(peers))
+	}
+
+	// Graceful shutdown: SIGINT/SIGTERM marks the scheduler draining
+	// (visible in /healthz and /v1/stats; in node mode the router's
+	// health poll pulls this node out of rotation within -draingrace),
+	// then stops accepting connections, drains in-flight HTTP requests,
+	// and finally drains the scheduler's queues — nothing dies
+	// mid-pipeline and no in-flight request is shed.
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
@@ -284,13 +349,55 @@ func main() {
 		log.Fatal(err)
 	case <-ctx.Done():
 		stop() // a second signal kills immediately
+		sched.SetDraining(true)
+		log.Printf("signal received; draining in-flight requests")
+		if *mode == "node" {
+			time.Sleep(*drainGrace) // let the router notice before the listener closes
+		}
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("sti-serve: http shutdown: %v", err)
+		}
+		if node != nil {
+			node.Close()
+		}
+		sched.Close() // serve or shed whatever is still queued
+		log.Printf("drained; exiting")
+	}
+}
+
+// runRouter is -mode router: no fleet, no models — just the cluster
+// frontend forwarding to the nodes in -peers.
+func runRouter(addr, peersSpec string, target time.Duration) {
+	peers, err := sti.ParseClusterPeers(peersSpec)
+	if err != nil {
+		log.Fatalf("sti-serve: -peers: %v", err)
+	}
+	rt, err := sti.NewClusterRouter(peers, sti.ClusterRouterOptions{DefaultTarget: target})
+	if err != nil {
+		log.Fatalf("sti-serve: %v", err)
+	}
+	srv := &http.Server{Addr: addr, Handler: rt}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("routing for %d node(s) on %s", len(peers), addr)
+
+	select {
+	case err := <-errc:
+		rt.Close()
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
 		log.Printf("signal received; draining in-flight requests")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("sti-serve: http shutdown: %v", err)
 		}
-		sched.Close() // serve or shed whatever is still queued
+		rt.Close()
 		log.Printf("drained; exiting")
 	}
 }

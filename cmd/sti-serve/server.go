@@ -542,11 +542,15 @@ func (s *server) handleBudget(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleHealthz reports liveness plus the draining flag a cluster
+// router polls: a draining node still answers (in-flight work is
+// finishing) but should receive no new traffic.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
-		OK     bool     `json:"ok"`
-		Models []string `json:"models"`
-	}{OK: true, Models: s.fleet.Names()})
+		OK       bool     `json:"ok"`
+		Draining bool     `json:"draining,omitempty"`
+		Models   []string `json:"models"`
+	}{OK: true, Draining: s.sched.Draining(), Models: s.fleet.Names()})
 }
 
 // statusClientClosedRequest is nginx's non-standard 499: the client

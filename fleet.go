@@ -216,6 +216,36 @@ func (f *Fleet) SetSharedCacheRetain(name string, bytes int64) error {
 	return nil
 }
 
+// SetPeerFetch installs (or, with nil, removes) the peer level on one
+// model's shared cache: a demand miss consults fn — wired by
+// internal/cluster to the peers holding the model — before touching
+// flash. The fetch runs inside the cache's single flight, outside
+// every fleet and cache lock.
+func (f *Fleet) SetPeerFetch(name string, fn store.PeerFetch) error {
+	f.mu.RLock()
+	e, ok := f.entries[name]
+	f.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("sti: fleet has no model %q", name)
+	}
+	e.shared.SetPeerFetch(fn)
+	return nil
+}
+
+// PeekShardPayload reports a shard payload retained in one model's
+// shared cache without any flash IO or retention churn — the donor
+// side of the cluster peer-cache level. ok is false when the model is
+// unknown or the payload is not currently retained.
+func (f *Fleet) PeekShardPayload(name string, layer, slice, bits int) ([]byte, bool) {
+	f.mu.RLock()
+	e, ok := f.entries[name]
+	f.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	return e.shared.Peek(layer, slice, bits)
+}
+
 // Replicas returns a model's live replica count.
 func (f *Fleet) Replicas(name string) (int, bool) {
 	f.mu.RLock()

@@ -33,6 +33,7 @@ var ctxflowTargets = map[string]bool{
 	"sti/internal/serve":    true,
 	"sti/internal/pipeline": true,
 	"sti/internal/replica":  true,
+	"sti/internal/cluster":  true,
 	"ctxflow":               true,
 }
 

@@ -1,0 +1,579 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RouterOptions tune the cluster frontend.
+type RouterOptions struct {
+	Ring RingOptions
+	// DefaultTarget is the SLO assumed for requests that carry no
+	// target_ms (default 200ms) — the router cannot know each model's
+	// configured default, only the node can.
+	DefaultTarget time.Duration
+	// Slack multiplies the target into the per-hop deadline, mirroring
+	// the scheduler's own admission window (default 4): a hop that
+	// cannot answer within Slack×target is past its SLO anyway.
+	Slack float64
+	// HopGrace pads every per-hop deadline for queueing and the wire
+	// (default 250ms).
+	HopGrace time.Duration
+	// HealthInterval paces the background health poll (default 500ms).
+	// A node reporting draining (or not answering) stops receiving
+	// traffic on the next tick and its models rebalance to the
+	// remaining holders.
+	HealthInterval time.Duration
+	// ProbeTimeout bounds one health probe, node stats fetch, or
+	// observation post (default 1s, floored at HealthInterval): a short
+	// poll interval quickens draining detection without shrinking the
+	// probe's own budget — a probe slower than its timeout reads as a
+	// down node.
+	ProbeTimeout time.Duration
+	// ObserveCapacity is the queue-capacity hint attached to forwarded
+	// arrival observations (default 64, the serving default).
+	ObserveCapacity int
+	// Client overrides the forwarding HTTP client (tests).
+	Client *http.Client
+}
+
+func (o RouterOptions) withDefaults() RouterOptions {
+	if o.DefaultTarget <= 0 {
+		o.DefaultTarget = 200 * time.Millisecond
+	}
+	if o.Slack <= 0 {
+		o.Slack = 4
+	}
+	if o.HopGrace <= 0 {
+		o.HopGrace = 250 * time.Millisecond
+	}
+	if o.HealthInterval <= 0 {
+		o.HealthInterval = 500 * time.Millisecond
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = time.Second
+	}
+	if o.ProbeTimeout < o.HealthInterval {
+		o.ProbeTimeout = o.HealthInterval
+	}
+	if o.ObserveCapacity <= 0 {
+		o.ObserveCapacity = 64
+	}
+	return o
+}
+
+// Node states as the router sees them.
+const (
+	nodeUp int32 = iota
+	nodeDraining
+	nodeDown
+)
+
+func stateName(s int32) string {
+	switch s {
+	case nodeDraining:
+		return "draining"
+	case nodeDown:
+		return "down"
+	default:
+		return "up"
+	}
+}
+
+// nodeRef is the router's live view of one member.
+type nodeRef struct {
+	name string
+	base string
+
+	state     atomic.Int32
+	inflight  atomic.Int64
+	forwarded atomic.Uint64
+	retries   atomic.Uint64
+	errs      atomic.Uint64
+}
+
+// maxForwardBody caps a buffered request body (the router must buffer
+// to retry): far above any real multi-input classify body, far below
+// a memory hazard.
+const maxForwardBody = 8 << 20
+
+// Router terminates the cluster's client surface and forwards each
+// request to a node holding its model. Classify requests — idempotent
+// — are retried once on a different holder when a node sheds (503) or
+// the connection fails; generate streams are never retried (tokens may
+// already have left). Every forward carries a per-hop deadline derived
+// from the request's own SLO, and SSE generate streams are relayed
+// event-by-event under the client's context, so a dropped client
+// cancels the upstream decode within one step.
+type Router struct {
+	opts   RouterOptions
+	ring   *Ring
+	client *http.Client
+	mux    *http.ServeMux
+
+	nodes map[string]*nodeRef
+	order []string // node names, sorted, for stable stats
+
+	modelsMu sync.Mutex
+	models   map[string]bool // models observed in traffic, for stats placement
+
+	observations chan ownerObservation
+	stop         chan struct{}
+	wg           sync.WaitGroup
+}
+
+// ownerObservation is one arrival to replay to a model's owning node.
+type ownerObservation struct {
+	base string
+	obs  observation
+}
+
+// NewRouter builds the frontend over a static peer list and starts its
+// health poll. Call Close to stop the background loops.
+func NewRouter(peers []Peer, opts RouterOptions) (*Router, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: router needs peers")
+	}
+	names := make([]string, len(peers))
+	nodes := make(map[string]*nodeRef, len(peers))
+	for i, p := range peers {
+		names[i] = p.Name
+		nodes[p.Name] = &nodeRef{name: p.Name, base: strings.TrimRight(p.URL, "/")}
+	}
+	ring, err := NewRing(names, opts.Ring)
+	if err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Transport: newTransport()}
+	}
+	sort.Strings(names)
+	rt := &Router{
+		opts:         opts,
+		ring:         ring,
+		client:       client,
+		mux:          http.NewServeMux(),
+		nodes:        nodes,
+		order:        names,
+		models:       make(map[string]bool),
+		observations: make(chan ownerObservation, 256),
+		stop:         make(chan struct{}),
+	}
+	rt.mux.HandleFunc("POST /v2/infer", func(w http.ResponseWriter, r *http.Request) {
+		rt.handleInfer(w, r, "/v2/infer")
+	})
+	rt.mux.HandleFunc("POST /v1/infer", func(w http.ResponseWriter, r *http.Request) {
+		rt.handleInfer(w, r, "/v1/infer")
+	})
+	rt.mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.wg.Add(2)
+	go rt.healthLoop()
+	go rt.observeLoop()
+	return rt, nil
+}
+
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.mux.ServeHTTP(w, r) }
+
+// Close stops the health poll and the observation forwarder.
+func (rt *Router) Close() {
+	close(rt.stop)
+	rt.wg.Wait()
+}
+
+// reqMeta is the slice of the request body the router needs to route:
+// everything else is forwarded opaquely, so node and router never skew
+// on wire-shape details.
+type reqMeta struct {
+	Model    string  `json:"model"`
+	Task     string  `json:"task"`
+	TargetMS float64 `json:"target_ms"`
+}
+
+// maxHopTargetMS caps the target used for deadline derivation (1h,
+// matching the node-side target_ms cap). Out-of-range values are
+// clamped, not rejected: the node owns request validation, and the
+// forward must reach it with a live context for its 400 to relay.
+const maxHopTargetMS = 3.6e6
+
+// hopWindow derives the per-hop deadline from the request SLO.
+func (rt *Router) hopWindow(meta reqMeta) time.Duration {
+	target := rt.opts.DefaultTarget
+	if ms := meta.TargetMS; ms > 0 {
+		if ms > maxHopTargetMS {
+			ms = maxHopTargetMS
+		}
+		target = time.Duration(ms * float64(time.Millisecond))
+	}
+	return time.Duration(rt.opts.Slack*float64(target)) + rt.opts.HopGrace
+}
+
+func (rt *Router) handleInfer(w http.ResponseWriter, r *http.Request, path string) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxForwardBody))
+	if err != nil {
+		httpError(w, http.StatusRequestEntityTooLarge, err)
+		return
+	}
+	var meta reqMeta
+	if err := json.Unmarshal(body, &meta); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if meta.Model == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("missing model"))
+		return
+	}
+	rt.noteModel(meta.Model)
+	// /v1/infer pins classify on the node; generate is only reachable
+	// (and only non-idempotent) via the v2 task field.
+	idempotent := path == "/v1/infer" || meta.Task == "" || meta.Task == "classify"
+
+	primary, rest := rt.ring.Pick(meta.Model, rt.loadOf)
+	if primary == "" {
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("no node available for model %q", meta.Model))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), rt.hopWindow(meta))
+	defer cancel()
+
+	served, retryable := rt.forward(ctx, w, rt.nodes[primary], path, body)
+	if served {
+		rt.observeForOwner(meta, primary)
+		return
+	}
+	if retryable && idempotent && len(rest) > 0 {
+		retryNode := rt.nodes[rest[0]]
+		retryNode.retries.Add(1)
+		if served, _ := rt.forward(ctx, w, retryNode, path, body); served {
+			rt.observeForOwner(meta, rest[0])
+			return
+		}
+	}
+	httpError(w, http.StatusServiceUnavailable, fmt.Errorf("model %q: no node could serve the request", meta.Model))
+}
+
+// loadOf is the ring's load signal: the router's in-flight count per
+// node (atomic read — Pick holds the ring lock while calling it).
+func (rt *Router) loadOf(node string) int {
+	if n := rt.nodes[node]; n != nil {
+		return int(n.inflight.Load())
+	}
+	return 0
+}
+
+// forward relays one request to one node. served=false means nothing
+// was written to the client; retryable distinguishes "another holder
+// may answer" (connection error, shed) from client errors the retry
+// would just repeat.
+func (rt *Router) forward(ctx context.Context, w http.ResponseWriter, node *nodeRef, path string, body []byte) (served, retryable bool) {
+	node.inflight.Add(1)
+	defer node.inflight.Add(-1)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, node.base+path, bytes.NewReader(body))
+	if err != nil {
+		return false, false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		// Connection-level failure: mark the node down now; the health
+		// poll brings it back when it answers again.
+		node.errs.Add(1)
+		if ctx.Err() == nil {
+			rt.setState(node, nodeDown)
+		}
+		return false, ctx.Err() == nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		// The node shed (queue full) or is closing: both answerable by
+		// a different holder.
+		node.errs.Add(1)
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck — drain for connection reuse
+		return false, true
+	}
+	node.forwarded.Add(1)
+	h := w.Header()
+	for _, k := range []string{"Content-Type", "Cache-Control"} {
+		if v := resp.Header.Get(k); v != "" {
+			h.Set(k, v)
+		}
+	}
+	if cl := resp.Header.Get("Content-Length"); cl != "" {
+		h.Set("Content-Length", cl)
+	}
+	w.WriteHeader(resp.StatusCode)
+	relayBody(w, resp.Body)
+	return true, false
+}
+
+// relayBody copies the upstream response to the client, flushing after
+// every read so SSE events leave the moment they arrive — the relay
+// adds buffering to no token. Client-side write errors just end the
+// relay; the deferred upstream Body.Close (and the request context)
+// tear down the node side.
+func relayBody(w http.ResponseWriter, body io.Reader) {
+	fl, _ := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (rt *Router) setState(node *nodeRef, state int32) {
+	node.state.Store(state)
+	rt.ring.SetAvailable(node.name, state == nodeUp)
+}
+
+func (rt *Router) noteModel(model string) {
+	rt.modelsMu.Lock()
+	rt.models[model] = true
+	rt.modelsMu.Unlock()
+}
+
+// observeForOwner replays an arrival to the model's owning node when
+// some other holder served it (retry, rebalance override): the owner's
+// predictor keeps seeing the model's full arrival stream. Bounded and
+// drop-on-full — observation is advisory, never worth back-pressure on
+// the serving path.
+func (rt *Router) observeForOwner(meta reqMeta, servedBy string) {
+	holders := rt.ring.Place(meta.Model)
+	if len(holders) == 0 || holders[0] == servedBy {
+		return
+	}
+	owner := rt.nodes[holders[0]]
+	if owner == nil {
+		return
+	}
+	target := meta.TargetMS
+	if target <= 0 {
+		target = float64(rt.opts.DefaultTarget.Milliseconds())
+	}
+	o := ownerObservation{base: owner.base, obs: observation{
+		Model:    meta.Model,
+		TargetMS: target,
+		Depth:    int(rt.nodes[servedBy].inflight.Load()),
+		Capacity: rt.opts.ObserveCapacity,
+	}}
+	select {
+	case rt.observations <- o:
+	default: // full: drop, observation is best-effort
+	}
+}
+
+// observeLoop drains forwarded arrivals off the serving path.
+func (rt *Router) observeLoop() {
+	defer rt.wg.Done()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case o := <-rt.observations:
+			body, err := json.Marshal(o.obs)
+			if err != nil {
+				continue
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), rt.opts.ProbeTimeout)
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, o.base+"/cluster/observe", bytes.NewReader(body))
+			if err == nil {
+				req.Header.Set("Content-Type", "application/json")
+				if resp, err := rt.client.Do(req); err == nil {
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck — drain for connection reuse
+					resp.Body.Close()
+				}
+			}
+			cancel()
+		}
+	}
+}
+
+// healthz is the node health wire shape the router polls.
+type healthz struct {
+	OK       bool `json:"ok"`
+	Draining bool `json:"draining"`
+}
+
+// healthLoop polls every node's /healthz: a node answering ok and not
+// draining is routable; anything else — draining, erroring,
+// unreachable — is taken out of rotation and its models rebalance to
+// the remaining holders until it recovers.
+func (rt *Router) healthLoop() {
+	defer rt.wg.Done()
+	t := time.NewTicker(rt.opts.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+			for _, name := range rt.order {
+				rt.probe(rt.nodes[name])
+			}
+		}
+	}
+}
+
+func (rt *Router) probe(node *nodeRef) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.opts.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, node.base+"/healthz", nil)
+	if err != nil {
+		return
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rt.setState(node, nodeDown)
+		return
+	}
+	defer resp.Body.Close()
+	var h healthz
+	switch {
+	case resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&h) != nil:
+		rt.setState(node, nodeDown)
+	case h.Draining:
+		rt.setState(node, nodeDraining)
+	case h.OK:
+		rt.setState(node, nodeUp)
+	default:
+		rt.setState(node, nodeDown)
+	}
+}
+
+// NodeStatus is the router's live view of one member, as reported in
+// cluster stats.
+type NodeStatus struct {
+	Name      string `json:"name"`
+	URL       string `json:"url"`
+	State     string `json:"state"`
+	InFlight  int64  `json:"in_flight"`
+	Forwarded uint64 `json:"forwarded"`
+	Retries   uint64 `json:"retries"`
+	Errors    uint64 `json:"errors"`
+}
+
+// RouterStats is the router's /v1/stats shape: the member table, the
+// current placement of every model seen in traffic, and each live
+// node's own stats snapshot inlined verbatim.
+type RouterStats struct {
+	Mode       string                     `json:"mode"`
+	Nodes      []NodeStatus               `json:"nodes"`
+	Placements map[string][]string        `json:"placements,omitempty"`
+	Rebalances uint64                     `json:"rebalances"`
+	NodeStats  map[string]json.RawMessage `json:"node_stats,omitempty"`
+}
+
+// Stats snapshots the router's member table and placements. Node
+// snapshots are fetched live within ctx; unreachable nodes are simply
+// absent from NodeStats.
+func (rt *Router) Stats(ctx context.Context) RouterStats {
+	st := RouterStats{Mode: "router", Rebalances: rt.ring.Rebalances()}
+	for _, name := range rt.order {
+		n := rt.nodes[name]
+		st.Nodes = append(st.Nodes, NodeStatus{
+			Name:      n.name,
+			URL:       n.base,
+			State:     stateName(n.state.Load()),
+			InFlight:  n.inflight.Load(),
+			Forwarded: n.forwarded.Load(),
+			Retries:   n.retries.Load(),
+			Errors:    n.errs.Load(),
+		})
+		if n.state.Load() == nodeUp {
+			if raw := rt.fetchStats(ctx, n); raw != nil {
+				if st.NodeStats == nil {
+					st.NodeStats = make(map[string]json.RawMessage)
+				}
+				st.NodeStats[name] = raw
+			}
+		}
+	}
+	rt.modelsMu.Lock()
+	models := make([]string, 0, len(rt.models))
+	for m := range rt.models {
+		models = append(models, m)
+	}
+	rt.modelsMu.Unlock()
+	for _, m := range models {
+		if st.Placements == nil {
+			st.Placements = make(map[string][]string)
+		}
+		st.Placements[m] = rt.ring.Place(m)
+	}
+	return st
+}
+
+func (rt *Router) fetchStats(ctx context.Context, node *nodeRef) json.RawMessage {
+	ctx, cancel := context.WithTimeout(ctx, rt.opts.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, node.base+"/v1/stats", nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck — drain for connection reuse
+		return nil
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxForwardBody))
+	if err != nil {
+		return nil
+	}
+	return raw
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, rt.Stats(r.Context()))
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	states := make(map[string]string, len(rt.order))
+	anyUp := false
+	for _, name := range rt.order {
+		s := rt.nodes[name].state.Load()
+		states[name] = stateName(s)
+		if s == nodeUp {
+			anyUp = true
+		}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		OK    bool              `json:"ok"`
+		Nodes map[string]string `json:"nodes"`
+	}{OK: anyUp, Nodes: states})
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck — nothing to do about a gone client
+}

@@ -110,6 +110,13 @@ func (e *Engine) observer() func(target time.Duration, layer int) {
 	return e.obs
 }
 
+// HasAccessObserver reports whether an access observer is currently
+// attached — the lifecycle hook fleets assert on when attaching taps
+// at EnablePrediction and detaching them at StopPrediction.
+func (e *Engine) HasAccessObserver() bool {
+	return e.observer() != nil
+}
+
 // CacheBytes returns the bytes currently held in the preload buffer.
 func (e *Engine) CacheBytes() int64 {
 	e.mu.Lock()

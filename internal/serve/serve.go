@@ -36,6 +36,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sti/internal/pipeline"
@@ -257,12 +258,26 @@ type Scheduler struct {
 	// stream leaves it for the backend's step loop.
 	genSlots chan struct{}
 
+	// draining flags graceful shutdown in progress: admission and
+	// execution continue unchanged (in-flight work must finish), but
+	// Snapshot and the HTTP health surface report it so a cluster
+	// router stops routing here before the listener closes.
+	draining atomic.Bool
+
 	mu     sync.Mutex
 	queues map[string]*modelQueue
 	closed bool
 	wg     sync.WaitGroup
 	stop   chan struct{} // closes the idle-pressure ticker; nil without an elastic backend
 }
+
+// SetDraining marks (or clears) the scheduler's graceful-shutdown
+// state. It changes no scheduling behavior — queued and in-flight work
+// still completes — it only flips what Draining and Snapshot report.
+func (s *Scheduler) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports whether graceful shutdown has begun.
+func (s *Scheduler) Draining() bool { return s.draining.Load() }
 
 // idlePressureInterval paces the background pressure ticker: without
 // it an elastic backend would only observe queue depth on traffic

@@ -74,6 +74,12 @@ type ModelStats struct {
 	PrefetchHits    uint64 `json:"prefetch_hits,omitempty"`
 	PrefetchWasted  uint64 `json:"prefetch_wasted,omitempty"`
 	PrefetchedBytes int64  `json:"prefetched_bytes,omitempty"`
+	// PeerHits counts demand misses a cluster peer's retained copy
+	// satisfied instead of local flash (PeerBytes the bytes so served);
+	// PeerServed counts retained payloads this node donated to peers.
+	PeerHits   uint64 `json:"peer_hits,omitempty"`
+	PeerBytes  int64  `json:"peer_bytes,omitempty"`
+	PeerServed uint64 `json:"peer_served,omitempty"`
 
 	// Predict snapshots the model's predictive subsystem (arrival-rate
 	// EWMAs, sequence-predictor accuracy, actuation counters). Nil when
@@ -93,28 +99,36 @@ type ModelStats struct {
 // Models: Shed counts admission-queue rejections only; deadline
 // expiries are under DeadlineMiss.
 type Stats struct {
-	Uptime          time.Duration `json:"uptime_ns"`
-	Throughput      float64       `json:"throughput_rps"` // completed requests/sec since start
-	Completed       uint64        `json:"completed"`
-	Failed          uint64        `json:"failed"`
-	Shed            uint64        `json:"shed"`
-	DeadlineMiss    uint64        `json:"deadline_miss"`
-	Batches         uint64        `json:"batches"`
-	AvgBatch        float64       `json:"avg_batch"`
-	BytesRead       int64         `json:"bytes_read"`
-	GeneratedTokens uint64        `json:"generated_tokens"`
-	PlanCacheHits   uint64        `json:"plan_cache_hits"`
-	PlanCacheMisses uint64        `json:"plan_cache_misses"`
-	Downgraded      uint64        `json:"downgraded"`
+	Uptime time.Duration `json:"uptime_ns"`
+	// Draining is true once graceful shutdown began: the scheduler
+	// still finishes in-flight and queued work, but a cluster router
+	// must stop sending new traffic here before the listener closes.
+	Draining        bool    `json:"draining,omitempty"`
+	Throughput      float64 `json:"throughput_rps"` // completed requests/sec since start
+	Completed       uint64  `json:"completed"`
+	Failed          uint64  `json:"failed"`
+	Shed            uint64  `json:"shed"`
+	DeadlineMiss    uint64  `json:"deadline_miss"`
+	Batches         uint64  `json:"batches"`
+	AvgBatch        float64 `json:"avg_batch"`
+	BytesRead       int64   `json:"bytes_read"`
+	GeneratedTokens uint64  `json:"generated_tokens"`
+	PlanCacheHits   uint64  `json:"plan_cache_hits"`
+	PlanCacheMisses uint64  `json:"plan_cache_misses"`
+	Downgraded      uint64  `json:"downgraded"`
 	// Replicas sums every model's live replica count;
 	// SingleflightHits sums the shard reads the shared payload caches
 	// absorbed across models.
 	Replicas         int    `json:"replicas,omitempty"`
 	SingleflightHits uint64 `json:"singleflight_hits"`
 	// PrefetchHits/PrefetchWasted sum the predictive prefetcher's
-	// outcomes across every model's shared cache.
+	// outcomes across every model's shared cache; PeerHits/PeerServed
+	// sum the cluster peer-cache level's traffic (misses peers served
+	// for this node, and payloads this node donated).
 	PrefetchHits   uint64 `json:"prefetch_hits,omitempty"`
 	PrefetchWasted uint64 `json:"prefetch_wasted,omitempty"`
+	PeerHits       uint64 `json:"peer_hits,omitempty"`
+	PeerServed     uint64 `json:"peer_served,omitempty"`
 	// GenSteps/GenStreams/GenKVBytes sum the continuous-batching step
 	// loops across models: batched decode forwards executed, streams
 	// decoding right now, and live paged KV bytes.
@@ -291,7 +305,7 @@ func (s *Scheduler) Snapshot() Stats {
 	}
 	s.mu.Unlock()
 
-	st := Stats{Uptime: time.Since(s.start)}
+	st := Stats{Uptime: time.Since(s.start), Draining: s.Draining()}
 	for _, q := range queues {
 		ms := q.stats.snapshot()
 		ms.QueueDepth = len(q.jobs)
@@ -308,6 +322,9 @@ func (s *Scheduler) Snapshot() Stats {
 				ms.PrefetchHits = cs.PrefetchHits
 				ms.PrefetchWasted = cs.PrefetchWasted
 				ms.PrefetchedBytes = cs.PrefetchedBytes
+				ms.PeerHits = cs.PeerHits
+				ms.PeerBytes = cs.PeerBytes
+				ms.PeerServed = cs.PeerServed
 			}
 		}
 		if s.predicts != nil {
@@ -327,6 +344,8 @@ func (s *Scheduler) Snapshot() Stats {
 		st.SingleflightHits += ms.SingleflightHits
 		st.PrefetchHits += ms.PrefetchHits
 		st.PrefetchWasted += ms.PrefetchWasted
+		st.PeerHits += ms.PeerHits
+		st.PeerServed += ms.PeerServed
 		st.Completed += ms.Completed
 		st.Failed += ms.Failed
 		st.Shed += ms.Shed

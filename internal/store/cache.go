@@ -63,11 +63,19 @@ type CacheStats struct {
 	PrefetchHits    uint64 `json:"prefetch_hits"`    // prefetched payloads demand later consumed
 	PrefetchWasted  uint64 `json:"prefetch_wasted"`  // prefetched payloads never demanded
 	PrefetchedBytes int64  `json:"prefetched_bytes"` // current second-class segment residency
+
+	PeerFetches     uint64 `json:"peer_fetches"`      // peer-level lookups attempted on demand misses
+	PeerHits        uint64 `json:"peer_hits"`         // demand misses a peer's retained copy satisfied
+	PeerBytes       int64  `json:"peer_bytes"`        // bytes served by peers instead of local flash
+	PeerServed      uint64 `json:"peer_served"`       // retained payloads this cache served to peers
+	PeerServedBytes int64  `json:"peer_served_bytes"` // bytes this cache served to peers
 }
 
 // Hits is the total number of reads the cache absorbed without
-// touching flash.
-func (s CacheStats) Hits() uint64 { return s.SingleflightHits + s.RetainedHits + s.PrefetchHits }
+// touching local flash.
+func (s CacheStats) Hits() uint64 {
+	return s.SingleflightHits + s.RetainedHits + s.PrefetchHits + s.PeerHits
+}
 
 // SharedCache is a read-through, content-addressed payload cache that
 // fronts one store for many concurrent readers — the replica pools of
@@ -83,6 +91,13 @@ func (s CacheStats) Hits() uint64 { return s.SingleflightHits + s.RetainedHits +
 //     near-concurrent readers — replicas whose layer streams are a few
 //     layers apart — still dedupe. retainBytes 0 disables retention,
 //     leaving pure single-flight semantics.
+//
+// An optional third mechanism (SetPeerFetch) turns the cache into the
+// first level of a cluster-wide two-level cache: a demand miss asks a
+// peer node holding the payload retained before touching flash. The
+// peer lookup rides inside the single flight and its result is
+// retained under the same byte budget, so the peer level inherits both
+// disciplines for free; Peek is the donor-side read peers use.
 //
 // A SharedCache is safe for concurrent use. Failed reads are never
 // cached: every waiter of a failed flight observes the error and the
@@ -101,6 +116,7 @@ type SharedCache struct {
 	src PayloadReader
 
 	mu        sync.Mutex
+	peer      PeerFetch // optional second level, consulted on demand miss before src
 	retain    int64
 	flights   map[payloadKey]*flight
 	cache     map[payloadKey]*list.Element
@@ -191,9 +207,47 @@ func (c *SharedCache) removeLocked(el *list.Element) {
 	c.stats.Evictions++
 }
 
+// PeerFetch is the optional second cache level: given a shard's
+// content address it returns the payload if some peer has it retained,
+// or ok=false when no peer can serve it (the caller then falls through
+// to flash). Implementations do network IO and are always invoked
+// outside the cache lock, within the single flight for the key — so a
+// peer is asked at most once per miss no matter how many readers pile
+// onto the shard.
+type PeerFetch func(layer, slice, bits int) (payload []byte, ok bool)
+
+// SetPeerFetch installs (or, with nil, removes) the peer level. Safe
+// to call concurrently with reads; in-progress flights keep whatever
+// fetcher they started with.
+func (c *SharedCache) SetPeerFetch(fn PeerFetch) {
+	c.mu.Lock()
+	c.peer = fn
+	c.mu.Unlock()
+}
+
+// Peek reports a retained payload without any IO or retention churn:
+// no flash fallthrough, no LRU reordering, no prefetch promotion. It
+// is the donor side of the peer level — a peer's miss must not
+// reshuffle this node's eviction order or trigger flash reads on the
+// peer's behalf.
+func (c *SharedCache) Peek(layer, slice, bits int) ([]byte, bool) {
+	k := payloadKey{Layer: layer, Slice: slice, Bits: bits}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.cache[k]
+	if !ok {
+		return nil, false
+	}
+	p := el.Value.(*cacheEntry).payload
+	c.stats.PeerServed++
+	c.stats.PeerServedBytes += int64(len(p))
+	return p, true
+}
+
 // ReadShardPayload serves one shard payload: from the retained LRU,
-// by joining an in-flight read of the same shard, or by reading the
-// backing store (becoming the flight others join).
+// by joining an in-flight read of the same shard, by asking a peer
+// that has it retained (when a peer level is installed), or by reading
+// the backing store (becoming the flight others join).
 func (c *SharedCache) ReadShardPayload(layer, slice, bits int) ([]byte, error) {
 	k := payloadKey{Layer: layer, Slice: slice, Bits: bits}
 	c.mu.Lock()
@@ -236,17 +290,42 @@ func (c *SharedCache) ReadShardPayload(layer, slice, bits int) ([]byte, error) {
 	}
 	f := &flight{done: make(chan struct{})}
 	c.flights[k] = f
+	peer := c.peer
 	c.mu.Unlock()
 
-	f.payload, f.err = c.src.ReadShardPayload(layer, slice, bits)
+	// Second level: within the flight (so a peer is asked once per miss,
+	// however many readers coalesced) and outside the lock (a slow or
+	// dead peer stalls only this shard's readers, never the cache). A
+	// peer answers purely from its own retained set — the miss falls
+	// through to local flash, never to a peer's flash.
+	fromPeer := false
+	if peer != nil {
+		if p, ok := peer(layer, slice, bits); ok && len(p) > 0 {
+			f.payload, fromPeer = p, true
+		}
+	}
+	if !fromPeer {
+		f.payload, f.err = c.src.ReadShardPayload(layer, slice, bits)
+	}
 	close(f.done)
 
 	c.mu.Lock()
 	delete(c.flights, k)
 	if f.err == nil {
-		c.stats.FlashReads++
-		c.stats.BytesRead += int64(len(f.payload))
+		if fromPeer {
+			c.stats.PeerHits++
+			c.stats.PeerBytes += int64(len(f.payload))
+		} else {
+			c.stats.FlashReads++
+			c.stats.BytesRead += int64(len(f.payload))
+		}
+		// Either way the payload was demanded: retain it in the demand
+		// segment under the same byte budget (peer-fetched bytes never
+		// overshoot it — exactly as subordinate as prefetch).
 		c.insertLocked(k, f.payload)
+	}
+	if peer != nil {
+		c.stats.PeerFetches++
 	}
 	c.mu.Unlock()
 	return f.payload, f.err

@@ -1,0 +1,169 @@
+package store
+
+import (
+	"bytes"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestSharedCachePeerLevelHitAvoidsFlash: a demand miss with a peer
+// level installed is served from the peer's retained set without
+// touching local flash, and the fetched payload is retained locally
+// like any demanded read.
+func TestSharedCachePeerLevelHitAvoidsFlash(t *testing.T) {
+	donorSrc := &countingReader{}
+	donor := NewSharedCache(donorSrc, 1<<20)
+	if _, err := donor.ReadShardPayload(1, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	localSrc := &countingReader{}
+	local := NewSharedCache(localSrc, 1<<20)
+	local.SetPeerFetch(func(layer, slice, bits int) ([]byte, bool) {
+		return donor.Peek(layer, slice, bits)
+	})
+
+	p, err := local.ReadShardPayload(1, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p, []byte{1, 2, 4}) {
+		t.Fatalf("payload %v", p)
+	}
+	if got := localSrc.reads.Load(); got != 0 {
+		t.Fatalf("local flash read %d times on a peer hit, want 0", got)
+	}
+	st := local.Stats()
+	if st.PeerFetches != 1 || st.PeerHits != 1 || st.PeerBytes != 3 || st.FlashReads != 0 {
+		t.Fatalf("local stats %+v: want 1 peer fetch = 1 hit, 3 bytes, 0 flash reads", st)
+	}
+	ds := donor.Stats()
+	if ds.PeerServed != 1 || ds.PeerServedBytes != 3 {
+		t.Fatalf("donor stats %+v: want 1 payload / 3 bytes served to peers", ds)
+	}
+
+	// The peer-fetched payload was demanded, so it is retained: the
+	// next read is a local retained hit, no second peer round-trip.
+	if _, err := local.ReadShardPayload(1, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	st = local.Stats()
+	if st.RetainedHits != 1 || st.PeerFetches != 1 {
+		t.Fatalf("stats %+v: want retained hit without a second peer fetch", st)
+	}
+
+	// A key the peer does not hold falls through to local flash.
+	if _, err := local.ReadShardPayload(9, 9, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := localSrc.reads.Load(); got != 1 {
+		t.Fatalf("local flash reads %d, want 1 after peer miss", got)
+	}
+	st = local.Stats()
+	if st.PeerFetches != 2 || st.PeerHits != 1 || st.FlashReads != 1 {
+		t.Fatalf("stats %+v: want attempted-but-missed peer fetch then flash", st)
+	}
+}
+
+// TestSharedCachePeerLevelSingleFlight: concurrent demand readers of
+// one shard coalesce onto a single peer lookup — the peer is asked
+// once per miss, not once per reader.
+func TestSharedCachePeerLevelSingleFlight(t *testing.T) {
+	local := NewSharedCache(&countingReader{}, 0) // retention off: every read is a miss
+	gate := make(chan struct{})
+	var fetches sync.Map
+	var nfetch int
+	var mu sync.Mutex
+	local.SetPeerFetch(func(layer, slice, bits int) ([]byte, bool) {
+		mu.Lock()
+		nfetch++
+		mu.Unlock()
+		fetches.Store([3]int{layer, slice, bits}, true)
+		<-gate
+		return []byte{7, 7, 7}, true
+	})
+
+	const callers = 6
+	var wg sync.WaitGroup
+	results := make([][]byte, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _ = local.ReadShardPayload(3, 0, 4)
+		}(i)
+	}
+	for local.Stats().Requests < callers {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+
+	mu.Lock()
+	got := nfetch
+	mu.Unlock()
+	if got != 1 {
+		t.Fatalf("peer asked %d times for %d concurrent readers, want 1", got, callers)
+	}
+	for i := range results {
+		if !bytes.Equal(results[i], []byte{7, 7, 7}) {
+			t.Fatalf("caller %d got %v", i, results[i])
+		}
+	}
+	st := local.Stats()
+	if st.PeerHits != 1 || st.SingleflightHits != callers-1 {
+		t.Fatalf("stats %+v: want 1 peer hit, %d coalesced readers", st, callers-1)
+	}
+}
+
+// TestSharedCachePeerLevelBudgetSubordinate: peer-fetched payloads are
+// retained under the same byte budget as everything else — a payload
+// larger than the budget is served but never retained past it.
+func TestSharedCachePeerLevelBudgetSubordinate(t *testing.T) {
+	big := make([]byte, 128)
+	local := NewSharedCache(&countingReader{}, 64)
+	local.SetPeerFetch(func(layer, slice, bits int) ([]byte, bool) { return big, true })
+
+	p, err := local.ReadShardPayload(0, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != len(big) {
+		t.Fatalf("payload %d bytes, want %d", len(p), len(big))
+	}
+	st := local.Stats()
+	if st.RetainedBytes != 0 {
+		t.Fatalf("retained %d bytes with a 64-byte budget: peer bytes overshot the budget", st.RetainedBytes)
+	}
+	if st.PeerHits != 1 {
+		t.Fatalf("stats %+v: oversized peer payload must still serve the read", st)
+	}
+}
+
+// TestSharedCachePeekIsInert: the donor-side Peek neither promotes
+// prefetched entries nor reorders the demand LRU nor falls through to
+// flash — a peer's traffic cannot reshape this node's cache.
+func TestSharedCachePeekIsInert(t *testing.T) {
+	src := &countingReader{}
+	c := NewSharedCache(src, 1<<20)
+	if kept, err := c.PrefetchShardPayload(5, 0, 4); err != nil || !kept {
+		t.Fatalf("prefetch kept=%v err=%v", kept, err)
+	}
+	reads := src.reads.Load()
+
+	p, ok := c.Peek(5, 0, 4)
+	if !ok || !bytes.Equal(p, []byte{5, 0, 4}) {
+		t.Fatalf("Peek = %v, %v", p, ok)
+	}
+	if src.reads.Load() != reads {
+		t.Fatal("Peek touched flash")
+	}
+	st := c.Stats()
+	if st.PrefetchHits != 0 || st.PrefetchedBytes == 0 {
+		t.Fatalf("stats %+v: Peek must not promote a prefetched entry", st)
+	}
+	if _, ok := c.Peek(8, 8, 8); ok {
+		t.Fatal("Peek invented a payload it does not retain")
+	}
+}
