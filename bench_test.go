@@ -201,6 +201,44 @@ func BenchmarkBatchedServe(b *testing.B) {
 		b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "req/s")
 		b.ReportMetric(float64(bytes)/float64(b.N*batch), "bytes/req")
 	})
+
+	// Traced variants of both modes: every request runs with a live
+	// span slab on its context and finishes into an exemplar ring, so
+	// the smoke compares req/s with observability on vs off (the
+	// tracing overhead budget is ≤ ~3%).
+	hub := sti.NewObsHub(4)
+	b.Run("sequential-traced", func(b *testing.B) {
+		var bytes int64
+		for i := 0; i < b.N; i++ {
+			for _, in := range inputs {
+				ctx, tr := hub.StartRequest(context.Background(), "")
+				resp, err := sys.Run(ctx, p, sti.Request{
+					Task: sti.TaskClassify, Tokens: in.Tokens, Mask: in.Mask,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				hub.FinishRequest(tr, "m", "", "")
+				bytes += resp.Stats.BytesRead
+			}
+		}
+		b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "req/s")
+		b.ReportMetric(float64(bytes)/float64(b.N*batch), "bytes/req")
+	})
+	b.Run("batched-traced", func(b *testing.B) {
+		var bytes int64
+		for i := 0; i < b.N; i++ {
+			ctx, tr := hub.StartRequest(context.Background(), "")
+			_, stats, err := sys.Engine.ExecuteBatch(ctx, p, inputs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			hub.FinishRequest(tr, "m", "", "")
+			bytes += stats.BytesRead
+		}
+		b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "req/s")
+		b.ReportMetric(float64(bytes)/float64(b.N*batch), "bytes/req")
+	})
 }
 
 // BenchmarkTieredServe drives a mixed-SLO workload through the full
@@ -382,86 +420,103 @@ func BenchmarkContinuousGenerate(b *testing.B) {
 	}
 	const newTokens = 12
 	for _, streams := range []int{1, 8, 64} {
-		b.Run(fmt.Sprintf("streams=%d", streams), func(b *testing.B) {
-			sys, err := sti.Load(dir, sti.Odroid(), 0)
-			if err != nil {
-				b.Fatal(err)
+		// traced=true runs the same workload with the observability hub
+		// live: fleet metrics registered, every request carrying a span
+		// slab, exemplar rings fed. The two modes bracket the tracing
+		// overhead budget (≤ ~3% tok/s).
+		for _, traced := range []bool{false, true} {
+			name := fmt.Sprintf("streams=%d", streams)
+			if traced {
+				name += "-traced"
 			}
-			// The grant must hold every stream's KV pages alongside the
-			// preload set, or high stream counts measure KV starvation
-			// instead of scheduling (§3.2: one budget arbitrates both).
-			fleet := sti.NewFleet(4 << 20)
-			if err := fleet.Add("m", sys, 100*time.Millisecond, 1); err != nil {
-				b.Fatal(err)
-			}
-			if err := fleet.SetReplicas("m", 1); err != nil {
-				b.Fatal(err)
-			}
-			if err := fleet.ConfigureReplicas("m", sti.ReplicaOptions{MaxStreams: streams}); err != nil {
-				b.Fatal(err)
-			}
-			if err := fleet.Replan(); err != nil {
-				b.Fatal(err)
-			}
-
-			var tokens int64
-			var mu sync.Mutex
-			var gaps []time.Duration
-			before, _ := fleet.SharedCacheStats("m")
-			stepsBefore, _ := fleet.GenerateStats("m")
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				var wg sync.WaitGroup
-				for s := 0; s < streams; s++ {
-					wg.Add(1)
-					go func(s int) {
-						defer wg.Done()
-						var last time.Time
-						var local []time.Duration
-						_, err := fleet.Serve(context.Background(), "m", sti.Request{
-							Task:         sti.TaskGenerate,
-							Tokens:       []int{1 + s%30, 9, 8},
-							MaxNewTokens: newTokens,
-							OnToken: func(step, token int) {
-								// Gaps between tokens only: the first
-								// token's wait is TTFT (admission +
-								// prefill), a different metric.
-								now := time.Now()
-								if step > 0 {
-									local = append(local, now.Sub(last))
-								}
-								last = now
-								atomic.AddInt64(&tokens, 1)
-							},
-						})
-						if err != nil {
-							b.Error(err)
-							return
-						}
-						mu.Lock()
-						gaps = append(gaps, local...)
-						mu.Unlock()
-					}(s)
+			b.Run(name, func(b *testing.B) {
+				sys, err := sti.Load(dir, sti.Odroid(), 0)
+				if err != nil {
+					b.Fatal(err)
 				}
-				wg.Wait()
-			}
-			b.StopTimer()
+				// The grant must hold every stream's KV pages alongside the
+				// preload set, or high stream counts measure KV starvation
+				// instead of scheduling (§3.2: one budget arbitrates both).
+				fleet := sti.NewFleet(4 << 20)
+				if err := fleet.Add("m", sys, 100*time.Millisecond, 1); err != nil {
+					b.Fatal(err)
+				}
+				if err := fleet.SetReplicas("m", 1); err != nil {
+					b.Fatal(err)
+				}
+				if err := fleet.ConfigureReplicas("m", sti.ReplicaOptions{MaxStreams: streams}); err != nil {
+					b.Fatal(err)
+				}
+				if err := fleet.Replan(); err != nil {
+					b.Fatal(err)
+				}
+				var hub *sti.ObsHub
+				if traced {
+					hub = sti.NewObsHub(4)
+					fleet.SetObservability(hub)
+				}
 
-			if tokens > 0 {
-				b.ReportMetric(float64(tokens)/b.Elapsed().Seconds(), "tok/s")
-			}
-			if len(gaps) > 0 {
-				sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
-				p99 := gaps[len(gaps)*99/100]
-				b.ReportMetric(float64(p99.Nanoseconds())/1e6, "p99_intertoken_ms")
-			}
-			after, _ := fleet.SharedCacheStats("m")
-			stepsAfter, _ := fleet.GenerateStats("m")
-			if steps := stepsAfter.Steps - stepsBefore.Steps; steps > 0 {
-				b.ReportMetric(float64(after.BytesRead-before.BytesRead)/float64(steps), "flashbytes/step")
-				b.ReportMetric(stepsAfter.AvgStreamsPerStep, "streams/step")
-			}
-		})
+				var tokens int64
+				var mu sync.Mutex
+				var gaps []time.Duration
+				before, _ := fleet.SharedCacheStats("m")
+				stepsBefore, _ := fleet.GenerateStats("m")
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var wg sync.WaitGroup
+					for s := 0; s < streams; s++ {
+						wg.Add(1)
+						go func(s int) {
+							defer wg.Done()
+							var last time.Time
+							var local []time.Duration
+							ctx, tr := hub.StartRequest(context.Background(), "")
+							_, err := fleet.Serve(ctx, "m", sti.Request{
+								Task:         sti.TaskGenerate,
+								Tokens:       []int{1 + s%30, 9, 8},
+								MaxNewTokens: newTokens,
+								OnToken: func(step, token int) {
+									// Gaps between tokens only: the first
+									// token's wait is TTFT (admission +
+									// prefill), a different metric.
+									now := time.Now()
+									if step > 0 {
+										local = append(local, now.Sub(last))
+									}
+									last = now
+									atomic.AddInt64(&tokens, 1)
+								},
+							})
+							hub.FinishRequest(tr, "m", "", "")
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							mu.Lock()
+							gaps = append(gaps, local...)
+							mu.Unlock()
+						}(s)
+					}
+					wg.Wait()
+				}
+				b.StopTimer()
+
+				if tokens > 0 {
+					b.ReportMetric(float64(tokens)/b.Elapsed().Seconds(), "tok/s")
+				}
+				if len(gaps) > 0 {
+					sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
+					p99 := gaps[len(gaps)*99/100]
+					b.ReportMetric(float64(p99.Nanoseconds())/1e6, "p99_intertoken_ms")
+				}
+				after, _ := fleet.SharedCacheStats("m")
+				stepsAfter, _ := fleet.GenerateStats("m")
+				if steps := stepsAfter.Steps - stepsBefore.Steps; steps > 0 {
+					b.ReportMetric(float64(after.BytesRead-before.BytesRead)/float64(steps), "flashbytes/step")
+					b.ReportMetric(stepsAfter.AvgStreamsPerStep, "streams/step")
+				}
+			})
+		}
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"sti"
+	"sti/internal/obs"
 )
 
 // clusterNode is one in-process cluster member: a real fleet +
@@ -25,6 +26,7 @@ type clusterNode struct {
 	fleet *sti.Fleet
 	sched *sti.Scheduler
 	node  *sti.ClusterNode
+	hub   *obs.Hub
 }
 
 // buildModelDirs preprocesses one store per model. Every node of a
@@ -88,7 +90,13 @@ func buildCluster(t testing.TB, nodeNames []string, dirs map[string]string, opts
 	for _, name := range nodeNames {
 		cn := nodes[name]
 		cn.fleet = buildClusterFleet(t, dirs)
-		cn.sched = sti.NewScheduler(cn.fleet, opts)
+		// Every member runs with full observability, like -mode node:
+		// traced requests, registered metrics, exemplar rings.
+		cn.hub = obs.NewHub(32)
+		cn.fleet.SetObservability(cn.hub)
+		nopts := opts
+		nopts.Obs = cn.hub
+		cn.sched = sti.NewScheduler(cn.fleet, nopts)
 		t.Cleanup(cn.sched.Close)
 		node, err := sti.NewClusterNode(cn.fleet, name, peers, sti.ClusterNodeOptions{})
 		if err != nil {
@@ -98,12 +106,12 @@ func buildCluster(t testing.TB, nodeNames []string, dirs map[string]string, opts
 		t.Cleanup(node.Close)
 		mux := http.NewServeMux()
 		mux.Handle("/cluster/", node.Handler())
-		mux.Handle("/", newServer(cn.fleet, cn.sched))
+		mux.Handle("/", newServer(cn.fleet, cn.sched, cn.hub))
 		cn.ts.Config.Handler = mux
 		cn.ts.Start()
 		t.Cleanup(cn.ts.Close)
 	}
-	rt, err := sti.NewClusterRouter(peers, sti.ClusterRouterOptions{HealthInterval: 20 * time.Millisecond})
+	rt, err := sti.NewClusterRouter(peers, sti.ClusterRouterOptions{HealthInterval: 20 * time.Millisecond, Obs: obs.NewHub(32)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +197,7 @@ func TestClusterMatchesStandalone(t *testing.T) {
 	sfleet := buildClusterFleet(t, dirs)
 	ssched := sti.NewScheduler(sfleet, opts)
 	t.Cleanup(ssched.Close)
-	standalone := httptest.NewServer(newServer(sfleet, ssched))
+	standalone := httptest.NewServer(newServer(sfleet, ssched, nil))
 	t.Cleanup(standalone.Close)
 
 	router, _ := buildCluster(t, []string{"alpha", "beta"}, dirs, opts)
@@ -306,7 +314,7 @@ func TestClusterPeerCacheServesSharedModel(t *testing.T) {
 	sfleet := buildClusterFleet(t, dirs)
 	ssched := sti.NewScheduler(sfleet, opts)
 	t.Cleanup(ssched.Close)
-	standalone := httptest.NewServer(newServer(sfleet, ssched))
+	standalone := httptest.NewServer(newServer(sfleet, ssched, nil))
 	t.Cleanup(standalone.Close)
 	for i := 0; i < rerouted+1; i++ {
 		if st, d := postJSON(t, standalone.URL+"/v2/infer", body); st != http.StatusOK {
@@ -488,7 +496,7 @@ func BenchmarkClusterServe(b *testing.B) {
 		fleet := buildClusterFleet(b, dirs)
 		sched := sti.NewScheduler(fleet, opts)
 		defer sched.Close()
-		ts := httptest.NewServer(newServer(fleet, sched))
+		ts := httptest.NewServer(newServer(fleet, sched, nil))
 		defer ts.Close()
 		lat := make([]time.Duration, 0, b.N)
 		b.ResetTimer()
@@ -544,4 +552,243 @@ func BenchmarkClusterServe(b *testing.B) {
 			b.ReportMetric(float64(hits)/float64(hits+flash), "peer-hit-rate")
 		}
 	})
+}
+
+// getJSON fetches a URL and decodes its JSON body into out.
+func getJSON(t testing.TB, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestClusterStitchedTrace pins the cross-node tracing contract: one
+// generate request through the router yields ONE merged timeline on
+// the router's /v1/debug/trace — the router's spans plus the serving
+// node's, grafted under the route.forward hop via the Traceparent
+// header — covering queue wait, materialize, at least one decode-step
+// bucket, and a shard-IO span tagged with its origin. A garbage
+// traceparent on a direct node request is ignored (fresh root trace),
+// never an error.
+func TestClusterStitchedTrace(t *testing.T) {
+	dirs := buildModelDirs(t, "sentiment")
+	rts, nodes := buildCluster(t, []string{"a", "b"}, dirs, sti.ServeOptions{Slack: 1000})
+
+	resp, err := http.Post(rts.URL+"/v2/infer", "application/json",
+		strings.NewReader(`{"model":"sentiment","task":"generate","tokens":[1,9,8],"max_new_tokens":6}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(bytes.Buffer)
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body.String(), "event: done") {
+		t.Fatalf("generate via router: status=%d body=%s", resp.StatusCode, body)
+	}
+
+	// The router offers its exemplar after the relay finishes — poll
+	// briefly for the ring to catch up with the response.
+	var listed []obs.Exemplar
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		listed = nil
+		if getJSON(t, rts.URL+"/v1/debug/trace?format=json", &listed) == http.StatusOK && len(listed) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("router never retained an exemplar for the generate request")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	routerEx := listed[0]
+	if routerEx.Model != "sentiment" || routerEx.TraceID == "" {
+		t.Fatalf("unexpected router exemplar: %+v", routerEx)
+	}
+
+	// Fetch the stitched timeline; the node half may also lag the
+	// response by an instant, so poll until the forward hop has a node
+	// request span grafted under it.
+	var stitched obs.Exemplar
+	stitchedOK := func() bool {
+		var ex obs.Exemplar
+		if getJSON(t, rts.URL+"/v1/debug/trace?format=json&trace="+routerEx.TraceID, &ex) != http.StatusOK {
+			return false
+		}
+		stitched = ex
+		fwd := -1
+		for i, s := range ex.Spans {
+			if s.Name == obs.SpanForward {
+				fwd = i
+			}
+		}
+		if fwd < 0 {
+			return false
+		}
+		for i, s := range ex.Spans {
+			if i > 0 && s.Name == obs.SpanRequest && int(s.Parent) == fwd {
+				return true
+			}
+		}
+		return false
+	}
+	for !stitchedOK() {
+		if time.Now().After(deadline) {
+			t.Fatalf("never saw a stitched router+node trace; last spans: %+v", stitched.Spans)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The merged span set covers every layer of the pipeline.
+	seen := map[string]bool{}
+	origins := map[string]bool{}
+	for _, s := range stitched.Spans {
+		seen[s.Name] = true
+		if s.Name == obs.SpanShardIO {
+			origins[s.Detail] = true
+		}
+	}
+	for _, want := range []string{obs.SpanRequest, obs.SpanForward, obs.SpanQueueWait,
+		obs.SpanMaterialize, obs.SpanDecodeStep, obs.SpanShardIO} {
+		if !seen[want] {
+			t.Errorf("stitched trace is missing a %q span (have %v)", want, seen)
+		}
+	}
+	valid := map[string]bool{obs.OriginFlash: true, obs.OriginCache: true, obs.OriginPeer: true, obs.OriginPrefetch: true}
+	if len(origins) == 0 {
+		t.Error("no shard-IO span carries an origin tag")
+	}
+	for o := range origins {
+		if !valid[o] {
+			t.Errorf("shard-IO span tagged with unknown origin %q", o)
+		}
+	}
+	// The forward hop names the member that actually served.
+	for _, s := range stitched.Spans {
+		if s.Name == obs.SpanForward {
+			if _, ok := nodes[s.Detail]; !ok {
+				t.Errorf("route.forward detail %q names no cluster member", s.Detail)
+			}
+		}
+	}
+
+	// Garbage traceparent straight at a node: ignored, fresh root.
+	req, err := http.NewRequest(http.MethodPost, nodes["a"].url+"/v2/infer",
+		strings.NewReader(`{"model":"sentiment","tokens":[1,2,3]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Traceparent", "zz-garbage-not-a-traceparent-at-all")
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("garbage traceparent => %d, want 200 (ignored, not an error)", dresp.StatusCode)
+	}
+	freshRoot := func() bool {
+		for _, m := range nodes["a"].hub.Models() {
+			for _, ex := range nodes["a"].hub.Ring(m).Snapshot() {
+				if ex.RemoteParent < 0 && ex.Err == "" {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for !freshRoot() {
+		if time.Now().After(deadline) {
+			t.Fatal("garbage-traceparent request never produced a fresh-root exemplar")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestClusterObservabilitySmoke drives traffic through a two-node
+// cluster, then scrapes every /metrics surface (router and both
+// members) through the exposition linter and checks the debug-trace
+// endpoints actually retained exemplars. This is the CI observability
+// smoke: a malformed metric line or a silently-empty exemplar ring
+// fails here, not in a dashboard.
+func TestClusterObservabilitySmoke(t *testing.T) {
+	dirs := buildModelDirs(t, "sentiment")
+	rts, nodes := buildCluster(t, []string{"a", "b"}, dirs, sti.ServeOptions{Slack: 1000})
+
+	for i := 0; i < 3; i++ {
+		st, body := postJSON(t, rts.URL+"/v2/infer",
+			map[string]any{"model": "sentiment", "task": "classify", "tokens": []int{1, 2, 3}})
+		if st != http.StatusOK {
+			t.Fatalf("classify %d: status %d body %s", i, st, body)
+		}
+	}
+
+	scrapes := []string{rts.URL + "/metrics"}
+	for _, cn := range nodes {
+		scrapes = append(scrapes, cn.url+"/metrics")
+	}
+	for _, u := range scrapes {
+		resp, err := http.Get(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw := new(bytes.Buffer)
+		_, err = raw.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", u, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Errorf("%s: content type %q", u, ct)
+		}
+		if err := obs.LintExposition(raw.Bytes()); err != nil {
+			t.Errorf("%s: exposition lint: %v", u, err)
+		}
+		if !strings.Contains(raw.String(), "sti_") {
+			t.Errorf("%s: no sti_ metrics in scrape", u)
+		}
+	}
+
+	// After traffic the router's trace surface must list exemplars,
+	// and the member that served must too. Both are offered after the
+	// response completes, so poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var listed []obs.Exemplar
+		if getJSON(t, rts.URL+"/v1/debug/trace?format=json", &listed) == http.StatusOK && len(listed) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("router /v1/debug/trace empty after traffic")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	nodeHasTrace := func() bool {
+		for _, cn := range nodes {
+			var listed []obs.Exemplar
+			if getJSON(t, cn.url+"/v1/debug/trace?format=json", &listed) == http.StatusOK && len(listed) > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	for !nodeHasTrace() {
+		if time.Now().After(deadline) {
+			t.Fatal("no member /v1/debug/trace retained an exemplar after traffic")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }

@@ -86,6 +86,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -94,6 +95,7 @@ import (
 	"time"
 
 	"sti"
+	"sti/internal/obs"
 )
 
 // concurrencyFor resolves the scheduler worker count against the
@@ -210,11 +212,21 @@ func main() {
 	nodeName := flag.String("node", "", "this process's name in -peers (node mode)")
 	drainGrace := flag.Duration("draingrace", time.Second, "node mode: how long to advertise draining via /healthz before closing the listener, so the router rebalances first")
 	routerTarget := flag.Duration("target", 200*time.Millisecond, "router mode: SLO assumed for requests without target_ms when deriving per-hop deadlines")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
+	traceRing := flag.Int("tracering", 8, "per-model exemplar traces retained for /v1/debug/trace (slowest plus all erroring)")
+	noTrace := flag.Bool("notrace", false, "disable per-request span capture (metrics and /metrics stay on)")
 	flag.Parse()
+
+	// The observability hub is the process root every layer registers
+	// into: /metrics exposition, runtime scrape, request tracing and
+	// the exemplar rings behind /v1/debug/trace.
+	hub := obs.NewHub(*traceRing)
+	hub.SetTracing(!*noTrace)
+	obs.RegisterRuntimeMetrics(hub.Registry())
 
 	switch *mode {
 	case "router":
-		runRouter(*addr, *peersSpec, *routerTarget)
+		runRouter(*addr, *peersSpec, *routerTarget, hub, *pprofOn)
 		return
 	case "node":
 		if *peersSpec == "" || *nodeName == "" {
@@ -304,15 +316,16 @@ func main() {
 		log.Printf("prediction disabled (enable with -prefetch and/or -speculate)")
 	}
 
+	fleet.SetObservability(hub)
 	sched := sti.NewScheduler(fleet, sti.ServeOptions{
 		QueueDepth: *queue, Workers: *workers, Slack: *slack,
 		MaxBatch: *maxBatch, BatchWindow: *batchWindow,
-		MaxStreams: *maxStreams,
+		MaxStreams: *maxStreams, Obs: hub,
 	})
 
 	// In node mode the ordinary serving surface gains the /cluster/*
 	// endpoints and every model's shared cache gains its peer level.
-	handler := http.Handler(newServer(fleet, sched))
+	handler := http.Handler(newServer(fleet, sched, hub))
 	var node *sti.ClusterNode
 	if *mode == "node" {
 		peers, err := sti.ParseClusterPeers(*peersSpec)
@@ -329,6 +342,7 @@ func main() {
 		handler = mux
 		log.Printf("cluster node %q of %d peer(s); peer shard cache enabled", *nodeName, len(peers))
 	}
+	handler = withPprof(handler, *pprofOn)
 
 	// Graceful shutdown: SIGINT/SIGTERM marks the scheduler draining
 	// (visible in /healthz and /v1/stats; in node mode the router's
@@ -367,18 +381,35 @@ func main() {
 	}
 }
 
+// withPprof optionally mounts the net/http/pprof endpoints in front of
+// the serving surface. Opt-in: profiling handlers expose heap and CPU
+// internals, so they are off unless -pprof asks for them.
+func withPprof(h http.Handler, enable bool) http.Handler {
+	if !enable {
+		return h
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", h)
+	return mux
+}
+
 // runRouter is -mode router: no fleet, no models — just the cluster
 // frontend forwarding to the nodes in -peers.
-func runRouter(addr, peersSpec string, target time.Duration) {
+func runRouter(addr, peersSpec string, target time.Duration, hub *obs.Hub, pprofOn bool) {
 	peers, err := sti.ParseClusterPeers(peersSpec)
 	if err != nil {
 		log.Fatalf("sti-serve: -peers: %v", err)
 	}
-	rt, err := sti.NewClusterRouter(peers, sti.ClusterRouterOptions{DefaultTarget: target})
+	rt, err := sti.NewClusterRouter(peers, sti.ClusterRouterOptions{DefaultTarget: target, Obs: hub})
 	if err != nil {
 		log.Fatalf("sti-serve: %v", err)
 	}
-	srv := &http.Server{Addr: addr, Handler: rt}
+	srv := &http.Server{Addr: addr, Handler: withPprof(rt, pprofOn)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)

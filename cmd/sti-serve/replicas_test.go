@@ -73,7 +73,7 @@ func buildReplicatedServer(t *testing.T, replicas int, opts sti.ServeOptions) (*
 	}
 	sched := sti.NewScheduler(fleet, opts)
 	t.Cleanup(sched.Close)
-	ts := httptest.NewServer(newServer(fleet, sched))
+	ts := httptest.NewServer(newServer(fleet, sched, nil))
 	t.Cleanup(ts.Close)
 	return ts, fleet
 }

@@ -5,11 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sti"
+	"sti/internal/obs"
 	"sti/internal/tokenizer"
 )
 
@@ -25,6 +28,7 @@ import (
 type server struct {
 	fleet  *sti.Fleet
 	sched  *sti.Scheduler
+	hub    *obs.Hub
 	models map[string]modelInfo
 	mux    *http.ServeMux
 }
@@ -37,10 +41,14 @@ type modelInfo struct {
 	maxSeq int
 }
 
-func newServer(fleet *sti.Fleet, sched *sti.Scheduler) *server {
+// newServer builds the HTTP frontend. hub is the process observability
+// root (nil disables /metrics, /v1/debug/trace and request tracing —
+// serving behavior is otherwise identical).
+func newServer(fleet *sti.Fleet, sched *sti.Scheduler, hub *obs.Hub) *server {
 	s := &server{
 		fleet:  fleet,
 		sched:  sched,
+		hub:    hub,
 		models: make(map[string]modelInfo),
 		mux:    http.NewServeMux(),
 	}
@@ -58,6 +66,8 @@ func newServer(fleet *sti.Fleet, sched *sti.Scheduler) *server {
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/budget", s.handleBudget)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/debug/trace", s.handleDebugTrace)
 	return s
 }
 
@@ -278,24 +288,39 @@ func (s *server) serveInfer(w http.ResponseWriter, r *http.Request, req inferReq
 			fmt.Errorf("target_ms %v outside [0, %v]", req.TargetMS, float64(maxTargetMS)))
 		return
 	}
-	switch req.Task {
-	case "", "classify":
-		s.serveClassify(w, r, req, info)
-	case "generate":
-		s.serveGenerate(w, r, req, info)
-	default:
+	if req.Task != "" && req.Task != "classify" && req.Task != "generate" {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown task %q (want classify or generate)", req.Task))
+		return
 	}
+
+	// The request is routable: open its trace. An inbound Traceparent
+	// header (the router hop) continues the upstream trace; anything
+	// else mints a fresh root. The trace rides the request context into
+	// the scheduler, fleet and pipeline, which record their own spans.
+	ctx, tr := s.hub.StartRequest(r.Context(), r.Header.Get(obs.TraceparentHeader))
+	if tr != nil {
+		tr.Model = req.Model
+		r = r.WithContext(ctx)
+	}
+	var errStr string
+	if req.Task == "generate" {
+		errStr = s.serveGenerate(w, r, req, info)
+	} else {
+		errStr = s.serveClassify(w, r, req, info)
+	}
+	s.hub.FinishRequest(tr, req.Model, "", errStr)
 }
 
-// serveClassify serves a single- or multi-input classify request.
-func (s *server) serveClassify(w http.ResponseWriter, r *http.Request, req inferRequest, info modelInfo) {
+// serveClassify serves a single- or multi-input classify request. The
+// returned string is the request's outcome for the trace exemplar ring
+// ("" on success).
+func (s *server) serveClassify(w http.ResponseWriter, r *http.Request, req inferRequest, info modelInfo) string {
 	// Single-input body: the original API shape.
 	if len(req.Inputs) == 0 {
 		tokens, mask, err := info.encode(req.inferInput)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err)
-			return
+			return err.Error()
 		}
 		res, err := s.sched.Submit(r.Context(), req.Model, sti.Request{
 			Task: sti.TaskClassify, Tokens: tokens, Mask: mask,
@@ -303,25 +328,27 @@ func (s *server) serveClassify(w http.ResponseWriter, r *http.Request, req infer
 		})
 		if err != nil {
 			httpError(w, statusFor(err), err)
-			return
+			return err.Error()
 		}
 		writeJSON(w, http.StatusOK, inferResponse{Model: req.Model, inferResult: resultFor(res, nil)})
-		return
+		return ""
 	}
 
 	// Multi-input body: every input is validated up front, then
 	// submitted concurrently so the scheduler's batch accumulator can
 	// drain them into one batched execution.
 	if len(req.Inputs) > maxInputsPerBody {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("%d inputs exceed the per-request limit %d", len(req.Inputs), maxInputsPerBody))
-		return
+		err := fmt.Errorf("%d inputs exceed the per-request limit %d", len(req.Inputs), maxInputsPerBody)
+		httpError(w, http.StatusBadRequest, err)
+		return err.Error()
 	}
 	encoded := make([]sti.Request, len(req.Inputs))
 	for i, in := range req.Inputs {
 		tokens, mask, err := info.encode(in)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("input %d: %w", i, err))
-			return
+			err = fmt.Errorf("input %d: %w", i, err)
+			httpError(w, http.StatusBadRequest, err)
+			return err.Error()
 		}
 		encoded[i] = sti.Request{
 			Task: sti.TaskClassify, Tokens: tokens, Mask: mask,
@@ -350,10 +377,13 @@ func (s *server) serveClassify(w http.ResponseWriter, r *http.Request, req infer
 			break
 		}
 	}
+	outcome := ""
 	if allFailed {
 		status = statusFor(errs[0])
+		outcome = errs[0].Error()
 	}
 	writeJSON(w, status, batchResponse{Model: req.Model, Results: results})
+	return outcome
 }
 
 // sseWriteTimeout bounds each SSE event write. Token events are
@@ -443,16 +473,18 @@ func (st *sseStream) finish(name string, v any, err error) {
 // token as an SSE "token" event followed by a final "done" (or
 // "error") event. Errors before the first token — admission control,
 // validation — are plain JSON with the proper status code, exactly
-// like classify.
-func (s *server) serveGenerate(w http.ResponseWriter, r *http.Request, req inferRequest, info modelInfo) {
+// like classify. The returned string is the request's outcome for the
+// trace exemplar ring ("" on success).
+func (s *server) serveGenerate(w http.ResponseWriter, r *http.Request, req inferRequest, info modelInfo) string {
 	if len(req.Inputs) > 0 {
-		httpError(w, http.StatusBadRequest, errors.New("generate takes a single prompt, not inputs"))
-		return
+		err := errors.New("generate takes a single prompt, not inputs")
+		httpError(w, http.StatusBadRequest, err)
+		return err.Error()
 	}
 	prompt, mask, err := info.encode(req.inferInput)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
-		return
+		return err.Error()
 	}
 	// The tokenizer pads classify inputs to MaxSeq; a generate prompt is
 	// only the valid prefix — padding would fill the decode window (and
@@ -469,17 +501,22 @@ func (s *server) serveGenerate(w http.ResponseWriter, r *http.Request, req infer
 	}
 
 	st := &sseStream{w: w}
+	// firstToken is the SSE delivery span's open edge: stamped once by
+	// the emitter goroutine on the first token event, read after the
+	// final event to record the whole delivery window.
+	var firstToken atomic.Int64
 	res, err := s.sched.Submit(r.Context(), req.Model, sti.Request{
 		Task: sti.TaskGenerate, Tokens: prompt,
 		MaxNewTokens: maxNew, Priority: req.Priority,
 		TargetLatency: req.targetLatency(),
 		OnToken: func(step, token int) {
+			firstToken.CompareAndSwap(0, time.Now().UnixNano())
 			st.event("token", tokenEvent{Step: step, Token: token})
 		},
 	})
 	if err != nil {
 		st.finish("", nil, err)
-		return
+		return err.Error()
 	}
 	out := generateResult{
 		Model:    req.Model,
@@ -499,10 +536,74 @@ func (s *server) serveGenerate(w http.ResponseWriter, r *http.Request, req infer
 		out.Downgraded = res.Tier.Downgraded
 	}
 	st.finish("done", out, nil)
+	if tr := obs.FromContext(r.Context()); tr != nil {
+		if first := firstToken.Load(); first != 0 {
+			// Delivery window: first streamed token through the final
+			// "done" event leaving the handler.
+			tr.Interval(tr.Root(), obs.SpanSSE, "", time.Unix(0, first), time.Now())
+		}
+	}
+	return ""
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.sched.Snapshot())
+}
+
+// handleMetrics serves the registry in Prometheus text exposition.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.hub == nil {
+		httpError(w, http.StatusNotFound, errors.New("observability disabled"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.hub.Registry().WritePrometheus(w)
+}
+
+// debugGanttWidth is the column budget of rendered trace timelines.
+const debugGanttWidth = 100
+
+// handleDebugTrace serves the exemplar rings: the N slowest (plus all
+// erroring) request timelines per model, rendered as ASCII Gantt
+// charts. ?trace=<id> selects one exemplar; ?format=json returns the
+// exemplar object(s) — the shape a cluster router stitches from.
+func (s *server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	if s.hub == nil {
+		httpError(w, http.StatusNotFound, errors.New("observability disabled"))
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if id := r.URL.Query().Get("trace"); id != "" {
+		ex, ok := s.hub.FindTrace(id)
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("trace %q not retained", id))
+			return
+		}
+		if format == "json" {
+			writeJSON(w, http.StatusOK, ex)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, ex.Gantt(debugGanttWidth)) //nolint:errcheck — nothing to do about a gone client
+		return
+	}
+	var exs []obs.Exemplar
+	for _, m := range s.hub.Models() {
+		exs = append(exs, s.hub.Ring(m).Snapshot()...)
+	}
+	if format == "json" {
+		writeJSON(w, http.StatusOK, exs)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if len(exs) == 0 {
+		fmt.Fprintln(w, "(no exemplars retained)")
+		return
+	}
+	for _, ex := range exs {
+		io.WriteString(w, ex.Gantt(debugGanttWidth)) //nolint:errcheck — nothing to do about a gone client
+		fmt.Fprintln(w)
+	}
 }
 
 // handleBudget replans the whole fleet under a new preload budget —

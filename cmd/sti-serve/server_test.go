@@ -45,7 +45,7 @@ func buildServer(t *testing.T, opts sti.ServeOptions) (*httptest.Server, *sti.Fl
 	fleet := buildFleet(t, 256<<10)
 	sched := sti.NewScheduler(fleet, opts)
 	t.Cleanup(sched.Close)
-	ts := httptest.NewServer(newServer(fleet, sched))
+	ts := httptest.NewServer(newServer(fleet, sched, nil))
 	t.Cleanup(ts.Close)
 	return ts, fleet
 }

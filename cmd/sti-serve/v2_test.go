@@ -238,7 +238,7 @@ func BenchmarkGenerateServe(b *testing.B) {
 	}
 	sched := sti.NewScheduler(fleet, sti.ServeOptions{Slack: 1000})
 	defer sched.Close()
-	srv := newServer(fleet, sched)
+	srv := newServer(fleet, sched, nil)
 
 	const maxNew = 8
 	prompt := []int{1, 17, 23}

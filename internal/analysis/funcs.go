@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // OpKind classifies a potentially blocking ("parking" or IO) operation.
@@ -21,6 +22,7 @@ const (
 	OpOnToken     // user token callback invocation
 	OpMaterialize // engine materialize (flash IO + warm)
 	OpReadShard   // shard payload read (flash IO)
+	OpObsRecord   // obs instrument/span record (see obsRecordNames)
 )
 
 func (k OpKind) String() string {
@@ -47,6 +49,8 @@ func (k OpKind) String() string {
 		return "Materialize call"
 	case OpReadShard:
 		return "ReadShardPayload call"
+	case OpObsRecord:
+		return "obs instrument record"
 	}
 	return "op"
 }
@@ -109,6 +113,35 @@ var ioFullNames = map[string]bool{
 	"(net/http.Flusher).Flush":          true,
 }
 
+// obsRecordNames are the record-side methods of internal/obs
+// instruments and traces. Recording is lock-free by construction
+// (atomic cells, fixed span slab), so doing it under a Fleet.mu or
+// Batcher.mu-class critical section is never necessary — and a record
+// under a lock is how instrumentation quietly grows a serialization
+// point. Matching is type-aware: only methods whose receiver lives in
+// the obs package count, so unrelated functions sharing these names
+// are untouched.
+var obsRecordNames = map[string]bool{
+	"Inc": true, "AddN": true, "SetTo": true, "AddDelta": true,
+	"Observe": true, "Begin": true, "EndSpan": true, "Interval": true,
+	"AdoptIntervals": true, "StepDone": true, "Offer": true,
+	"StartRequest": true, "FinishRequest": true,
+}
+
+// isObsRecordCall reports whether a call records an obs instrument or
+// span (receiver declared in the internal obs package).
+func isObsRecordCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !obsRecordNames[sel.Sel.Name] {
+		return false
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(fn.Pkg().Path(), "/internal/obs")
+}
+
 // classifyCall maps a call expression to an op kind, or returns false.
 func classifyCall(info *types.Info, call *ast.CallExpr) (OpKind, string, bool) {
 	// Selector-based repo-specific names work for interface methods,
@@ -139,6 +172,9 @@ func classifyCall(info *types.Info, call *ast.CallExpr) (OpKind, string, bool) {
 	}
 	if ioFullNames[full] {
 		return OpIO, "call to " + full, true
+	}
+	if isObsRecordCall(info, call) {
+		return OpObsRecord, "obs record via " + full, true
 	}
 	return 0, "", false
 }

@@ -47,6 +47,24 @@ var hotFuncNames = map[string]bool{
 	"observe":        true,
 	"seqLookup":      true,
 	"predictAhead":   true,
+	// Observability record/span paths: instruments fire on every
+	// request and every decode step, and span recording sits inside
+	// the same loops hotalloc guards. The whole point of the fixed
+	// Trace slab and atomic instrument cells is that recording never
+	// allocates — an allocation here is a regression, not a style nit.
+	"Inc":            true,
+	"AddN":           true,
+	"SetTo":          true,
+	"AddDelta":       true,
+	"Observe":        true,
+	"Begin":          true,
+	"EndSpan":        true,
+	"Interval":       true,
+	"AdoptIntervals": true,
+	"StepDone":       true,
+	"StartRequest":   true,
+	"FinishRequest":  true,
+	"recordAdmitted": true,
 }
 
 func runHotAlloc(pass *Pass) error {

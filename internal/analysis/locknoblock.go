@@ -31,10 +31,16 @@ var LockNoBlock = &Analyzer{
 }
 
 // lockBlockKinds are the op kinds locknoblock treats as blocking.
+// OpObsRecord is not blocking in the parking sense — instrument cells
+// are atomics and span slots are claimed lock-free — but recording
+// under a Fleet.mu/Batcher.mu-class critical section is the same
+// discipline violation: it widens the section for work that by design
+// needs no lock, so it is flagged alongside true blockers.
 var lockBlockKinds = map[OpKind]bool{
 	OpChanSend: true, OpChanRecv: true, OpChanRange: true,
 	OpSelect: true, OpSleep: true, OpWGWait: true,
 	OpIO: true, OpOnToken: true, OpMaterialize: true, OpReadShard: true,
+	OpObsRecord: true,
 }
 
 func runLockNoBlock(pass *Pass) error {

@@ -44,3 +44,30 @@ func ExecuteBatch(n int) int {
 	}
 	return total
 }
+
+// Observability record paths are hot by name: instruments fire per
+// request and spans per decode step, so their bodies get the same
+// allocation discipline as the decode loop itself.
+
+type hist struct{ buckets []uint64 }
+
+func (h *hist) Observe(v int64) {
+	tmp := make([]uint64, len(h.buckets)) // want "hot-path allocation in Observe: per-call make"
+	copy(tmp, h.buckets)
+}
+
+type tracer struct{ spans []int }
+
+func (t *tracer) FinishRequest(n int) {
+	for i := 0; i < n; i++ {
+		flush := func() int { return len(t.spans) } // want "closure allocation in loop"
+		_ = flush()
+	}
+}
+
+// Value reads are not record-path names: no discipline applied.
+func (h *hist) Quantile(q float64) []uint64 {
+	out := make([]uint64, len(h.buckets))
+	copy(out, h.buckets)
+	return out
+}

@@ -1,0 +1,76 @@
+// Package obs is a testdata double of the real internal/obs package:
+// its import path ends in /internal/obs, so locknoblock classifies
+// calls to its record methods as obs records. The invariant under
+// test: no instrument or span is recorded while a mutex is held —
+// recording is lock-free by construction, so a record inside a
+// critical section only widens it.
+package obs
+
+import "sync"
+
+type Counter struct{ v uint64 }
+
+func (c *Counter) Inc() { c.v++ }
+
+type Trace struct{ n int }
+
+func (t *Trace) Begin(parent int, name, detail string) int { t.n++; return t.n }
+
+func (t *Trace) EndSpan(id int) {}
+
+type batcher struct {
+	mu      sync.Mutex
+	pending int
+	admit   *Counter
+	tr      *Trace
+}
+
+func (b *batcher) badCounterUnderLock() {
+	b.mu.Lock()
+	b.admit.Inc() // want "obs record via .*Counter.*Inc while holding b.mu"
+	b.mu.Unlock()
+}
+
+func (b *batcher) badSpanUnderLock() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	id := b.tr.Begin(0, "batch.assemble", "") // want "obs record via .*Trace.*Begin while holding b.mu"
+	b.tr.EndSpan(id)                          // want "obs record via .*Trace.*EndSpan while holding b.mu"
+}
+
+func (b *batcher) note() { b.admit.Inc() }
+
+func (b *batcher) badTransitiveRecord() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.note() // want "call to .*note blocks"
+}
+
+// The fix pattern: snapshot under the lock, record after release.
+func (b *batcher) goodRecordAfterUnlock() {
+	b.mu.Lock()
+	n := b.pending
+	b.mu.Unlock()
+	if n > 0 {
+		b.admit.Inc()
+	}
+}
+
+type scraper struct {
+	mu sync.RWMutex
+	c  *Counter
+}
+
+// Read-side RWMutex regions are exempt by design (scrape-time
+// collector funcs run under the fleet's read lock).
+func (s *scraper) goodReadLocked() {
+	s.mu.RLock()
+	s.c.Inc()
+	s.mu.RUnlock()
+}
+
+func (b *batcher) allowedAnnotated() {
+	b.mu.Lock()
+	b.admit.Inc() //sti:lockok admission counter must move atomically with pending
+	b.mu.Unlock()
+}

@@ -38,3 +38,7 @@ func TestCopyLocks(t *testing.T) {
 func TestNilness(t *testing.T) {
 	analysistest.Run(t, analysis.Nilness, "nilness")
 }
+
+func TestLockNoBlockObsRecord(t *testing.T) {
+	analysistest.Run(t, analysis.LockNoBlock, "obsrecord/internal/obs")
+}

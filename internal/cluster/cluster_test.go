@@ -25,7 +25,8 @@ type fakeNode struct {
 
 	mu         sync.Mutex
 	draining   bool
-	shed       bool // answer 503 to classify/generate
+	shed       bool                        // answer 503 to classify/generate
+	statsFn    func(w http.ResponseWriter) // overrides the /v1/stats answer
 	observed   []observation
 	served     atomic.Int64
 	generating atomic.Int64
@@ -46,6 +47,13 @@ func newFakeNode(name string) *fakeNode {
 		json.NewEncoder(w).Encode(map[string]any{"ok": true, "draining": d})
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		fn := f.statsFn
+		f.mu.Unlock()
+		if fn != nil {
+			fn(w)
+			return
+		}
 		json.NewEncoder(w).Encode(map[string]any{"completed": f.served.Load()})
 	})
 	mux.HandleFunc("POST /cluster/observe", func(w http.ResponseWriter, r *http.Request) {
@@ -523,4 +531,71 @@ func TestRouterForwardsArrivalToOwner(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	t.Fatal("owner never received the forwarded arrival observation")
+}
+
+// setStats overrides the node's /v1/stats answer.
+func (f *fakeNode) setStats(fn func(w http.ResponseWriter)) {
+	f.mu.Lock()
+	f.statsFn = fn
+	f.mu.Unlock()
+}
+
+// TestRouterStatsDegradesBadNodeBodies pins the merged-stats contract:
+// a member whose /v1/stats answers non-200, or answers 200 with a
+// truncated/garbage body, must degrade to a per-member {"error": ...}
+// entry — never be inlined verbatim (which would corrupt the whole
+// merged JSON document) and never silently vanish.
+func TestRouterStatsDegradesBadNodeBodies(t *testing.T) {
+	rt, nodes := testCluster(t, 3, RouterOptions{})
+	nodes[1].setStats(func(w http.ResponseWriter) {
+		http.Error(w, "stats exploded", http.StatusInternalServerError)
+	})
+	nodes[2].setStats(func(w http.ResponseWriter) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"completed": 12, "models": [`) // truncated mid-array
+	})
+
+	st := rt.Stats(context.Background())
+
+	// The merged document must survive a full JSON round trip.
+	doc, err := json.Marshal(st)
+	if err != nil {
+		t.Fatalf("marshaling merged stats: %v", err)
+	}
+	if !json.Valid(doc) {
+		t.Fatalf("merged stats is not valid JSON: %s", doc)
+	}
+
+	for _, f := range nodes {
+		if _, ok := st.NodeStats[f.name]; !ok {
+			t.Fatalf("node %s missing from NodeStats: %v", f.name, st.NodeStats)
+		}
+	}
+	var healthy struct {
+		Completed int    `json:"completed"`
+		Error     string `json:"error"`
+	}
+	if err := json.Unmarshal(st.NodeStats[nodes[0].name], &healthy); err != nil {
+		t.Fatalf("healthy node entry: %v", err)
+	}
+	if healthy.Error != "" {
+		t.Fatalf("healthy node degraded to error %q", healthy.Error)
+	}
+	for _, tc := range []struct {
+		node string
+		want string
+	}{
+		{nodes[1].name, "status 500"},
+		{nodes[2].name, "not valid JSON"},
+	} {
+		var got struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(st.NodeStats[tc.node], &got); err != nil {
+			t.Fatalf("degraded entry for %s is not an object: %v (%s)", tc.node, err, st.NodeStats[tc.node])
+		}
+		if !strings.Contains(got.Error, tc.want) {
+			t.Fatalf("node %s error = %q, want mention of %q", tc.node, got.Error, tc.want)
+		}
+	}
 }

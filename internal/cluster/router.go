@@ -7,11 +7,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"sti/internal/obs"
 )
 
 // RouterOptions tune the cluster frontend.
@@ -44,6 +47,12 @@ type RouterOptions struct {
 	ObserveCapacity int
 	// Client overrides the forwarding HTTP client (tests).
 	Client *http.Client
+	// Obs is the router process's observability hub. When set, the
+	// router serves /metrics and /v1/debug/trace, traces every proxied
+	// request, and propagates trace context to the serving node via the
+	// Traceparent header so the node's half of the timeline stitches
+	// onto the router's. Nil disables all of it.
+	Obs *obs.Hub
 }
 
 func (o RouterOptions) withDefaults() RouterOptions {
@@ -119,6 +128,7 @@ type Router struct {
 	ring   *Ring
 	client *http.Client
 	mux    *http.ServeMux
+	hub    *obs.Hub
 
 	nodes map[string]*nodeRef
 	order []string // node names, sorted, for stable stats
@@ -178,6 +188,10 @@ func NewRouter(peers []Peer, opts RouterOptions) (*Router, error) {
 	})
 	rt.mux.HandleFunc("GET /v1/stats", rt.handleStats)
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.hub = opts.Obs
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	rt.mux.HandleFunc("GET /v1/debug/trace", rt.handleDebugTrace)
+	rt.registerMetrics()
 	rt.wg.Add(2)
 	go rt.healthLoop()
 	go rt.observeLoop()
@@ -239,16 +253,23 @@ func (rt *Router) handleInfer(w http.ResponseWriter, r *http.Request, path strin
 	// (and only non-idempotent) via the v2 task field.
 	idempotent := path == "/v1/infer" || meta.Task == "" || meta.Task == "classify"
 
+	rctx, tr := rt.hub.StartRequest(r.Context(), r.Header.Get(obs.TraceparentHeader))
+	if tr != nil {
+		tr.Model = meta.Model
+	}
+
 	primary, rest := rt.ring.Pick(meta.Model, rt.loadOf)
 	if primary == "" {
+		rt.hub.FinishRequest(tr, meta.Model, "", "no node available")
 		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("no node available for model %q", meta.Model))
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), rt.hopWindow(meta))
+	ctx, cancel := context.WithTimeout(rctx, rt.hopWindow(meta))
 	defer cancel()
 
 	served, retryable := rt.forward(ctx, w, rt.nodes[primary], path, body)
 	if served {
+		rt.hub.FinishRequest(tr, meta.Model, primary, "")
 		rt.observeForOwner(meta, primary)
 		return
 	}
@@ -256,10 +277,12 @@ func (rt *Router) handleInfer(w http.ResponseWriter, r *http.Request, path strin
 		retryNode := rt.nodes[rest[0]]
 		retryNode.retries.Add(1)
 		if served, _ := rt.forward(ctx, w, retryNode, path, body); served {
+			rt.hub.FinishRequest(tr, meta.Model, rest[0], "")
 			rt.observeForOwner(meta, rest[0])
 			return
 		}
 	}
+	rt.hub.FinishRequest(tr, meta.Model, "", "no node could serve")
 	httpError(w, http.StatusServiceUnavailable, fmt.Errorf("model %q: no node could serve the request", meta.Model))
 }
 
@@ -284,6 +307,14 @@ func (rt *Router) forward(ctx context.Context, w http.ResponseWriter, node *node
 		return false, false
 	}
 	req.Header.Set("Content-Type", "application/json")
+	tr := obs.FromContext(ctx)
+	hop := tr.Begin(tr.Root(), obs.SpanForward, node.name)
+	defer tr.EndSpan(hop)
+	if tr != nil {
+		// The hop span is the node trace's remote parent: the node's
+		// whole timeline stitches under this proxy interval.
+		req.Header.Set(obs.TraceparentHeader, obs.FormatTraceparent(tr, hop))
+	}
 	resp, err := rt.client.Do(req)
 	if err != nil {
 		// Connection-level failure: mark the node down now; the health
@@ -500,12 +531,10 @@ func (rt *Router) Stats(ctx context.Context) RouterStats {
 			Errors:    n.errs.Load(),
 		})
 		if n.state.Load() == nodeUp {
-			if raw := rt.fetchStats(ctx, n); raw != nil {
-				if st.NodeStats == nil {
-					st.NodeStats = make(map[string]json.RawMessage)
-				}
-				st.NodeStats[name] = raw
+			if st.NodeStats == nil {
+				st.NodeStats = make(map[string]json.RawMessage)
 			}
+			st.NodeStats[name] = rt.fetchStats(ctx, n)
 		}
 	}
 	rt.modelsMu.Lock()
@@ -523,25 +552,45 @@ func (rt *Router) Stats(ctx context.Context) RouterStats {
 	return st
 }
 
+// fetchStats snapshots one member's /v1/stats for inlining into the
+// merged router stats. A node body is embedded verbatim only when it
+// is complete, valid JSON — a non-200 answer, a read error, or a
+// truncated/garbage body degrades to a per-member {"error": ...}
+// object instead of corrupting the whole merged document.
 func (rt *Router) fetchStats(ctx context.Context, node *nodeRef) json.RawMessage {
 	ctx, cancel := context.WithTimeout(ctx, rt.opts.ProbeTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, node.base+"/v1/stats", nil)
 	if err != nil {
-		return nil
+		return statsError(err.Error())
 	}
 	resp, err := rt.client.Do(req)
 	if err != nil {
-		return nil
+		return statsError(err.Error())
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body) //nolint:errcheck — drain for connection reuse
-		return nil
+		return statsError(fmt.Sprintf("stats returned status %d", resp.StatusCode))
 	}
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxForwardBody))
 	if err != nil {
-		return nil
+		return statsError(fmt.Sprintf("reading stats body: %v", err))
+	}
+	if !json.Valid(raw) {
+		return statsError("stats body is not valid JSON (truncated?)")
+	}
+	return raw
+}
+
+// statsError renders a degraded per-member stats entry. Marshalling a
+// plain struct keeps arbitrary error text JSON-safe.
+func statsError(msg string) json.RawMessage {
+	raw, err := json.Marshal(struct {
+		Error string `json:"error"`
+	}{msg})
+	if err != nil {
+		return json.RawMessage(`{"error":"unrenderable stats error"}`)
 	}
 	return raw
 }
@@ -564,6 +613,157 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		OK    bool              `json:"ok"`
 		Nodes map[string]string `json:"nodes"`
 	}{OK: anyUp, Nodes: states})
+}
+
+// registerMetrics exposes the router's member table as scrape-time
+// collector functions: the atomics are authoritative, /metrics just
+// reads them.
+func (rt *Router) registerMetrics() {
+	reg := rt.hub.Registry()
+	if reg == nil {
+		return
+	}
+	reg.NewCounterFunc("sti_router_rebalances_total", "Placement rebalances performed by the ring.", nil,
+		func() float64 { return float64(rt.ring.Rebalances()) })
+	reg.NewGaugeFunc("sti_router_nodes", "Cluster members the router knows.", nil,
+		func() float64 { return float64(len(rt.order)) })
+	for _, name := range rt.order {
+		n := rt.nodes[name]
+		lbl := obs.Labels{"node": name}
+		reg.NewCounterFunc("sti_router_forwarded_total", "Requests forwarded to the member.", lbl,
+			func() float64 { return float64(n.forwarded.Load()) })
+		reg.NewCounterFunc("sti_router_retries_total", "Retries routed to the member.", lbl,
+			func() float64 { return float64(n.retries.Load()) })
+		reg.NewCounterFunc("sti_router_errors_total", "Forward errors observed at the member.", lbl,
+			func() float64 { return float64(n.errs.Load()) })
+		reg.NewGaugeFunc("sti_router_inflight", "Requests in flight at the member.", lbl,
+			func() float64 { return float64(n.inflight.Load()) })
+		reg.NewGaugeFunc("sti_router_node_up", "1 when the member is routable.", lbl,
+			func() float64 {
+				if n.state.Load() == nodeUp {
+					return 1
+				}
+				return 0
+			})
+	}
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if rt.hub == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("observability disabled"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	rt.hub.Registry().WritePrometheus(w)
+}
+
+// handleDebugTrace serves the router's exemplar ring. Without a
+// ?trace= selector it lists the retained router-side timelines; with
+// one it looks the exemplar up, fetches the serving node's half of the
+// same trace, and stitches both into the one merged timeline a cluster
+// request yields. ?format=json returns the exemplar object(s) instead
+// of the ASCII Gantt.
+func (rt *Router) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	if rt.hub == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("observability disabled"))
+		return
+	}
+	id := r.URL.Query().Get("trace")
+	format := r.URL.Query().Get("format")
+	if id == "" {
+		var exs []obs.Exemplar
+		for _, m := range rt.hub.Models() {
+			exs = append(exs, rt.hub.Ring(m).Snapshot()...)
+		}
+		if format == "json" {
+			writeJSON(w, http.StatusOK, exs)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if len(exs) == 0 {
+			fmt.Fprintln(w, "(no exemplars retained)")
+			return
+		}
+		for _, ex := range exs {
+			io.WriteString(w, ex.Gantt(ganttWidth)) //nolint:errcheck — nothing to do about a gone client
+			fmt.Fprintln(w)
+		}
+		return
+	}
+	ex, ok := rt.hub.FindTrace(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("trace %q not retained", id))
+		return
+	}
+	if down, ok := rt.fetchNodeTrace(r.Context(), id, ex.Node); ok {
+		ex.Spans = obs.StitchSpans(ex.Spans, down.RemoteParent, down.Spans)
+		ex.Dropped += down.Dropped
+		if down.Node != "" && ex.Node == "" {
+			ex.Node = down.Node
+		}
+	}
+	if format == "json" {
+		writeJSON(w, http.StatusOK, ex)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, ex.Gantt(ganttWidth)) //nolint:errcheck — nothing to do about a gone client
+}
+
+// ganttWidth is the column budget of rendered debug timelines.
+const ganttWidth = 100
+
+// fetchNodeTrace asks cluster members for their half of a trace. The
+// member that served the request (recorded on the exemplar) is asked
+// first; when unknown, every up node is tried. Best-effort: a node
+// that dropped or never retained the exemplar just yields no stitch.
+func (rt *Router) fetchNodeTrace(ctx context.Context, id, servedBy string) (obs.Exemplar, bool) {
+	order := rt.order
+	if n := rt.nodes[servedBy]; n != nil {
+		order = append([]string{servedBy}, order...)
+	}
+	seen := make(map[string]bool, len(order))
+	for _, name := range order {
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		n := rt.nodes[name]
+		if n == nil || n.state.Load() != nodeUp {
+			continue
+		}
+		if ex, ok := rt.fetchOneTrace(ctx, n, id); ok {
+			if ex.Node == "" {
+				ex.Node = name
+			}
+			return ex, true
+		}
+	}
+	return obs.Exemplar{}, false
+}
+
+func (rt *Router) fetchOneTrace(ctx context.Context, node *nodeRef, id string) (obs.Exemplar, bool) {
+	ctx, cancel := context.WithTimeout(ctx, rt.opts.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		node.base+"/v1/debug/trace?format=json&trace="+url.QueryEscape(id), nil)
+	if err != nil {
+		return obs.Exemplar{}, false
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return obs.Exemplar{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck — drain for connection reuse
+		return obs.Exemplar{}, false
+	}
+	var ex obs.Exemplar
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxForwardBody)).Decode(&ex); err != nil {
+		return obs.Exemplar{}, false
+	}
+	return ex, len(ex.Spans) > 0
 }
 
 func httpError(w http.ResponseWriter, status int, err error) {

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Log-linear bucketing: values are split into base-2 magnitude groups
+// (the log part), each subdivided into histSub linear sub-buckets —
+// the HDR-histogram shape. With histSub = 4 the relative error per
+// bucket is ≤ 25% across the full uint64 range, which is plenty for
+// latency work where the question is "which decade", and the whole
+// index computation is one bits.Len64 and a shift.
+const (
+	histSub     = 4 // linear sub-buckets per power of two
+	histSubBits = 2 // log2(histSub)
+	// 64 magnitude groups × histSub sub-buckets; indexes above the top
+	// clamp into the last bucket.
+	histBuckets = 64 * histSub
+)
+
+// Histogram is a lock-free log-linear histogram of non-negative
+// int64 observations (typically nanoseconds or bytes). Observe is a
+// bucket-index computation plus three atomic adds — no allocation,
+// safe from any goroutine.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64
+}
+
+func newHistogram() *Histogram { return &Histogram{} }
+
+// bucketIndex maps a value to its log-linear bucket.
+func bucketIndex(v uint64) int {
+	if v < histSub {
+		return int(v) // the first group is exact
+	}
+	msb := bits.Len64(v) - 1                                // magnitude group
+	sub := (v >> (uint(msb) - histSubBits)) & (histSub - 1) // top bits below the msb
+	idx := (msb-histSubBits+1)*histSub + int(sub)
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// bucketUpper returns the inclusive upper bound of a bucket.
+func bucketUpper(idx int) uint64 {
+	if idx < histSub {
+		return uint64(idx)
+	}
+	group := idx/histSub + histSubBits - 1
+	sub := uint64(idx%histSub) + 1
+	return (1 << uint(group)) + sub<<(uint(group)-histSubBits) - 1
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(uint64(v))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Quantile returns an estimate of the q-quantile (0 ≤ q ≤ 1) as the
+// upper bound of the bucket holding that rank.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			return int64(bucketUpper(i))
+		}
+	}
+	return int64(bucketUpper(histBuckets - 1))
+}
+
+// write renders the histogram as a Prometheus histogram family:
+// cumulative le buckets (only non-empty boundaries plus +Inf), sum
+// and count. labels is the pre-rendered {..} set or "".
+func (h *Histogram) write(w io.Writer, name, labels string) {
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketLabels(labels, fmt.Sprintf("%d", bucketUpper(i))), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketLabels(labels, "+Inf"), h.count.Load())
+	fmt.Fprintf(w, "%s_sum%s %d\n", name, labels, h.sum.Load())
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.count.Load())
+}
+
+// bucketLabels merges an le label into a pre-rendered label set.
+func bucketLabels(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}

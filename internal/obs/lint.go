@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// LintExposition validates Prometheus text exposition the way
+// `promtool check metrics` does, without the dependency: metric and
+// label name syntax, HELP/TYPE placement and uniqueness, parseable
+// sample values, no duplicate series, and histogram family
+// consistency (le labels present, cumulative buckets non-decreasing,
+// +Inf bucket equal to _count). CI runs it against the live /metrics
+// output of the two-node smoke.
+func LintExposition(data []byte) error {
+	var (
+		metricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*`)
+		labelName  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	)
+	typeOf := map[string]string{}
+	helpOf := map[string]bool{}
+	seen := map[string]bool{}
+	type histState struct {
+		lastCum  float64
+		infCount float64
+		hasInf   bool
+		count    float64
+		hasCount bool
+	}
+	hists := map[string]*histState{}
+
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name := strings.SplitN(rest, " ", 2)[0]
+			if metricName.FindString(name) != name {
+				return fmt.Errorf("line %d: invalid metric name %q in HELP", lineNo, name)
+			}
+			if helpOf[name] {
+				return fmt.Errorf("line %d: duplicate HELP for %q", lineNo, name)
+			}
+			helpOf[name] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				return fmt.Errorf("line %d: malformed TYPE line", lineNo)
+			}
+			name, kind := fields[0], fields[1]
+			if metricName.FindString(name) != name {
+				return fmt.Errorf("line %d: invalid metric name %q in TYPE", lineNo, name)
+			}
+			switch kind {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown TYPE %q for %q", lineNo, kind, name)
+			}
+			if _, dup := typeOf[name]; dup {
+				return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+			}
+			typeOf[name] = kind
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal
+		}
+
+		// Sample line: name[{labels}] value
+		name := metricName.FindString(line)
+		if name == "" {
+			return fmt.Errorf("line %d: sample does not start with a metric name: %q", lineNo, line)
+		}
+		rest := line[len(name):]
+		labels := ""
+		if strings.HasPrefix(rest, "{") {
+			end := strings.Index(rest, "}")
+			if end < 0 {
+				return fmt.Errorf("line %d: unterminated label set: %q", lineNo, line)
+			}
+			labels = rest[1:end]
+			rest = rest[end+1:]
+		}
+		valStr := strings.TrimSpace(rest)
+		if i := strings.IndexByte(valStr, ' '); i >= 0 {
+			valStr = valStr[:i] // optional timestamp
+		}
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil && valStr != "+Inf" && valStr != "-Inf" && valStr != "NaN" {
+			return fmt.Errorf("line %d: unparseable sample value %q", lineNo, valStr)
+		}
+		var le string
+		if labels != "" {
+			for _, pair := range splitLabels(labels) {
+				eq := strings.Index(pair, "=")
+				if eq < 0 {
+					return fmt.Errorf("line %d: malformed label %q", lineNo, pair)
+				}
+				k, v := pair[:eq], pair[eq+1:]
+				if !labelName.MatchString(k) {
+					return fmt.Errorf("line %d: invalid label name %q", lineNo, k)
+				}
+				if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+					return fmt.Errorf("line %d: unquoted label value in %q", lineNo, pair)
+				}
+				if k == "le" {
+					le = v[1 : len(v)-1]
+				}
+			}
+		}
+		series := name + "{" + labels + "}"
+		if seen[series] {
+			return fmt.Errorf("line %d: duplicate series %s", lineNo, series)
+		}
+		seen[series] = true
+
+		// Family bookkeeping: histogram children belong to the base
+		// family's TYPE declaration.
+		family := name
+		suffix := ""
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, sfx) && typeOf[strings.TrimSuffix(name, sfx)] == "histogram" {
+				family = strings.TrimSuffix(name, sfx)
+				suffix = sfx
+				break
+			}
+		}
+		if _, ok := typeOf[family]; !ok {
+			return fmt.Errorf("line %d: sample %q has no preceding TYPE", lineNo, name)
+		}
+		if typeOf[family] == "histogram" {
+			hkey := family + "|" + stripLabel(labels, "le")
+			st := hists[hkey]
+			if st == nil {
+				st = &histState{}
+				hists[hkey] = st
+			}
+			switch suffix {
+			case "_bucket":
+				if le == "" {
+					return fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+				}
+				if val < st.lastCum {
+					return fmt.Errorf("line %d: histogram %s buckets not cumulative", lineNo, family)
+				}
+				st.lastCum = val
+				if le == "+Inf" {
+					st.hasInf = true
+					st.infCount = val
+				}
+			case "_count":
+				st.count = val
+				st.hasCount = true
+			}
+		}
+		if typeOf[family] == "counter" && val < 0 {
+			return fmt.Errorf("line %d: counter %s has negative value", lineNo, family)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for key, st := range hists {
+		family := key[:strings.Index(key, "|")]
+		if !st.hasInf {
+			return fmt.Errorf("histogram %s: missing +Inf bucket", family)
+		}
+		if st.hasCount && st.infCount != st.count {
+			return fmt.Errorf("histogram %s: +Inf bucket %v != count %v", family, st.infCount, st.count)
+		}
+	}
+	return nil
+}
+
+// splitLabels splits k1="v1",k2="v2" on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// stripLabel removes one key from a rendered label list, so bucket
+// series of one histogram share a grouping key.
+func stripLabel(labels, key string) string {
+	parts := splitLabels(labels)
+	out := parts[:0]
+	for _, p := range parts {
+		if !strings.HasPrefix(p, key+"=") {
+			out = append(out, p)
+		}
+	}
+	return strings.Join(out, ",")
+}

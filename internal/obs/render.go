@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"sti/internal/trace"
+)
+
+// Gantt renders an exemplar's spans as the repo's ASCII schedule
+// chart — the same renderer that draws the paper's Figure 1/8
+// pipeline timelines, pointed at a live request. Spans sharing a name
+// share a row (shard.io reads stack on one line, each segment
+// labelled by its origin); rows order by first activity.
+func (ex Exemplar) Gantt(width int) string {
+	if len(ex.Spans) == 0 {
+		return "(no spans)\n"
+	}
+	type row struct {
+		name  string
+		first int64
+	}
+	rows := map[string]*row{}
+	order := []*row{}
+	for _, s := range ex.Spans {
+		r, ok := rows[s.Name]
+		if !ok {
+			r = &row{name: s.Name, first: s.Start}
+			rows[s.Name] = r
+			order = append(order, r)
+		}
+		if s.Start < r.first {
+			r.first = s.Start
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool { return order[i].first < order[j].first })
+	epoch := order[0].first
+	for _, r := range order {
+		if r.first < epoch {
+			epoch = r.first
+		}
+	}
+
+	var g trace.Gantt
+	for _, r := range order {
+		for _, s := range ex.Spans {
+			if s.Name != r.name {
+				continue
+			}
+			label := s.Detail
+			if label == "" {
+				label = s.Name
+			}
+			start, end := s.Start-epoch, s.End-epoch
+			if end < start {
+				end = start // clock skew across a stitched hop must not panic the renderer
+			}
+			g.Add(r.name, label, time.Duration(start), time.Duration(end))
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s model=%s", ex.TraceID, ex.Model)
+	if ex.Node != "" {
+		fmt.Fprintf(&b, " node=%s", ex.Node)
+	}
+	fmt.Fprintf(&b, " dur=%s", ex.Duration.Round(time.Microsecond))
+	if ex.Err != "" {
+		fmt.Fprintf(&b, " err=%q", ex.Err)
+	}
+	if ex.Dropped > 0 {
+		fmt.Fprintf(&b, " dropped=%d", ex.Dropped)
+	}
+	b.WriteByte('\n')
+	b.WriteString(g.Render(width))
+	return b.String()
+}
+
+// StitchSpans grafts a downstream process's spans onto an upstream
+// exemplar: every child span's parent index is offset past the
+// upstream spans, and the child's process-root span (parent -1) is
+// re-parented onto the upstream span named by the child's
+// RemoteParent — producing the one merged trace a cluster request
+// yields. Child spans whose remote parent is out of range hang off
+// the upstream root.
+func StitchSpans(up []Span, remoteParent SpanID, down []Span) []Span {
+	off := SpanID(len(up))
+	out := append(append([]Span(nil), up...), down...)
+	for i := range down {
+		s := &out[int(off)+i]
+		if s.Parent < 0 {
+			if remoteParent >= 0 && int(remoteParent) < len(up) {
+				s.Parent = remoteParent
+			} else {
+				s.Parent = 0
+			}
+		} else {
+			s.Parent += off
+		}
+	}
+	return out
+}

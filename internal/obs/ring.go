@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Exemplar is one captured request timeline: the trace's span copy
+// plus the request-level facts the debug surface lists.
+type Exemplar struct {
+	TraceID      string        `json:"trace_id"`
+	Model        string        `json:"model"`
+	Node         string        `json:"node,omitempty"` // router side: which member served it
+	Err          string        `json:"err,omitempty"`
+	Start        time.Time     `json:"start"`
+	Duration     time.Duration `json:"duration_ns"`
+	RemoteParent SpanID        `json:"remote_parent"`
+	Dropped      uint32        `json:"dropped_spans,omitempty"`
+	Spans        []Span        `json:"spans"`
+}
+
+// Ring keeps the N most interesting completed traces of one model:
+// every erroring request, and otherwise the slowest. Admission is
+// decided before the span slab is copied, so the per-request cost of
+// an uninteresting fast request is one mutex and a duration compare.
+type Ring struct {
+	mu      sync.Mutex
+	cap     int
+	entries []Exemplar
+}
+
+// NewRing returns a ring keeping up to capacity exemplars.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 8
+	}
+	return &Ring{cap: capacity}
+}
+
+// Offer decides whether the finished trace is exemplar-worthy and, if
+// so, copies its spans into the ring. fill builds the exemplar only
+// when admitted.
+func (r *Ring) Offer(dur time.Duration, isErr bool, fill func() Exemplar) bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.entries) < r.cap {
+		r.entries = append(r.entries, fill())
+		return true
+	}
+	// Full: evict the fastest non-error entry; errors only displace
+	// other errors once the ring is all errors.
+	victim := -1
+	for i := range r.entries {
+		if r.entries[i].Err != "" && !isErr {
+			continue
+		}
+		if victim == -1 || r.entries[i].Duration < r.entries[victim].Duration {
+			victim = i
+		}
+	}
+	if victim == -1 {
+		return false
+	}
+	if !isErr && dur <= r.entries[victim].Duration {
+		return false
+	}
+	r.entries[victim] = fill()
+	return true
+}
+
+// Snapshot returns the exemplars, slowest first (errors keep their
+// duration order within that).
+func (r *Ring) Snapshot() []Exemplar {
+	r.mu.Lock()
+	out := make([]Exemplar, len(r.entries))
+	copy(out, r.entries)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Duration > out[j].Duration })
+	return out
+}
+
+// Find returns the exemplar with the given trace id, if retained.
+func (r *Ring) Find(traceID string) (Exemplar, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.entries {
+		if r.entries[i].TraceID == traceID {
+			return r.entries[i], true
+		}
+	}
+	return Exemplar{}, false
+}
+
+// Len reports how many exemplars are retained.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}

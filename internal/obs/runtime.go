@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/metrics"
+)
+
+// RegisterRuntimeMetrics wires a runtime/metrics scrape into the
+// registry: GC activity, heap size, goroutine count and scheduling
+// latency, sampled at exposition time (a scrape costs one
+// metrics.Read, the record paths cost nothing). Metrics the running
+// toolchain does not publish are skipped.
+func RegisterRuntimeMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.NewGaugeFunc("go_goroutines", "Number of live goroutines.", nil,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+
+	readOne := func(name string) (metrics.Value, bool) {
+		s := []metrics.Sample{{Name: name}}
+		metrics.Read(s)
+		if s[0].Value.Kind() == metrics.KindBad {
+			return metrics.Value{}, false
+		}
+		return s[0].Value, true
+	}
+	if _, ok := readOne("/gc/cycles/total:gc-cycles"); ok {
+		r.NewCounterFunc("go_gc_cycles_total", "Completed GC cycles.", nil, func() float64 {
+			v, ok := readOne("/gc/cycles/total:gc-cycles")
+			if !ok {
+				return 0
+			}
+			return float64(v.Uint64())
+		})
+	}
+	if _, ok := readOne("/memory/classes/heap/objects:bytes"); ok {
+		r.NewGaugeFunc("go_heap_objects_bytes", "Bytes of live heap objects.", nil, func() float64 {
+			v, ok := readOne("/memory/classes/heap/objects:bytes")
+			if !ok {
+				return 0
+			}
+			return float64(v.Uint64())
+		})
+	}
+	// Distribution metrics expose their p50/p99 as gauges: the
+	// registry's own histograms are for instruments we record into,
+	// while these arrive pre-bucketed from the runtime.
+	for _, rm := range []struct{ src, name, help string }{
+		{"/sched/latencies:seconds", "go_sched_latency_seconds", "Goroutine scheduling latency (runtime histogram)."},
+		{"/gc/pauses:seconds", "go_gc_pause_seconds", "GC stop-the-world pause latency (runtime histogram)."},
+	} {
+		src := rm.src
+		if _, ok := readOne(src); !ok {
+			continue
+		}
+		for _, q := range []struct {
+			q    float64
+			qlbl string
+		}{{0.5, "0.5"}, {0.99, "0.99"}} {
+			q := q
+			r.NewGaugeFunc(rm.name, rm.help, Labels{"quantile": q.qlbl}, func() float64 {
+				v, ok := readOne(src)
+				if !ok || v.Kind() != metrics.KindFloat64Histogram {
+					return 0
+				}
+				return histQuantile(v.Float64Histogram(), q.q)
+			})
+		}
+	}
+}
+
+// histQuantile estimates a quantile of a runtime/metrics histogram.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.Counts {
+		seen += c
+		if seen >= rank {
+			// Bucket i spans [Buckets[i], Buckets[i+1]).
+			hi := h.Buckets[i+1]
+			if hi > 1e308 || hi != hi { // +Inf or NaN guard
+				return h.Buckets[i]
+			}
+			return hi
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

@@ -1,0 +1,77 @@
+package obs
+
+import "time"
+
+// Decode-step spans are log-bucketed by step index: one span per
+// bucket instead of one per token, so a thousand-step generation
+// costs seven spans, not a thousand. Labels are static strings to
+// keep the per-step path allocation-free.
+var stepBucketLabels = [...]string{"0", "1-3", "4-15", "16-63", "64-255", "256-1023", "1024+"}
+
+func stepBucket(step int) int {
+	switch {
+	case step <= 0:
+		return 0
+	case step < 4:
+		return 1
+	case step < 16:
+		return 2
+	case step < 64:
+		return 3
+	case step < 256:
+		return 4
+	case step < 1024:
+		return 5
+	default:
+		return 6
+	}
+}
+
+// StepBuckets accumulates consecutive decode steps of one stream into
+// log-bucketed SpanDecodeStep spans. It is owned by a single stream
+// (no internal locking); all methods are no-ops when the stream has
+// no trace.
+type StepBuckets struct {
+	tr     *Trace
+	parent SpanID
+	cur    int
+	start  time.Time
+	end    time.Time
+	open   bool
+}
+
+// NewStepBuckets binds a recorder to a stream's trace. A nil trace
+// yields a recorder whose methods do nothing.
+func NewStepBuckets(tr *Trace, parent SpanID) StepBuckets {
+	return StepBuckets{tr: tr, parent: parent}
+}
+
+// StepDone records that step (0-based) ran over [start, end]. When
+// the step crosses into a new bucket the finished bucket is flushed
+// as one span.
+func (sb *StepBuckets) StepDone(step int, start, end time.Time) {
+	if sb.tr == nil {
+		return
+	}
+	b := stepBucket(step)
+	if sb.open && b != sb.cur {
+		sb.tr.Interval(sb.parent, SpanDecodeStep, stepBucketLabels[sb.cur], sb.start, sb.end)
+		sb.open = false
+	}
+	if !sb.open {
+		sb.cur = b
+		sb.start = start
+		sb.open = true
+	}
+	sb.end = end
+}
+
+// Flush records the trailing partial bucket; call once when the
+// stream retires.
+func (sb *StepBuckets) Flush() {
+	if sb.tr == nil || !sb.open {
+		return
+	}
+	sb.tr.Interval(sb.parent, SpanDecodeStep, stepBucketLabels[sb.cur], sb.start, sb.end)
+	sb.open = false
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"sti/internal/model"
+	"sti/internal/obs"
 	"sti/internal/planner"
 )
 
@@ -161,6 +162,42 @@ type stream struct {
 	logits      []float32
 	decodeStart time.Time
 	admitSeq    uint64
+
+	// Tracing state. tr is the request's trace (nil when tracing is
+	// off); spans are recorded only on the loop goroutine outside
+	// b.mu — admission (which runs under the lock) just stashes
+	// timestamps here and recordAdmitted flushes them at the next step.
+	tr       *obs.Trace
+	steps    obs.StepBuckets // decode-step aggregation; zero value no-ops
+	parked   time.Time       // parked on a materializing plan
+	kvWait   time.Time       // first failed KV reserve of the current stint
+	matSpans []obs.Span      // materialize-stream spans owed to this rider
+	pend     bool            // admission span work waiting for recordAdmitted
+}
+
+// recordAdmitted flushes span work stashed at admission: the
+// materialize-wait interval, the adopted materialize-stream spans (for
+// the one rider that took the group's ExecStats), and the decode-step
+// recorder. It runs on the loop goroutine with no lock held.
+func (s *stream) recordAdmitted() {
+	if !s.pend {
+		return
+	}
+	s.pend = false
+	if s.tr == nil {
+		s.matSpans = nil
+		return
+	}
+	root := s.tr.Root()
+	if !s.parked.IsZero() {
+		s.tr.Interval(root, obs.SpanMatWait, "", s.parked, s.decodeStart)
+		s.parked = time.Time{}
+	}
+	if s.matSpans != nil {
+		s.tr.AdoptIntervals(root, s.matSpans)
+		s.matSpans = nil
+	}
+	s.steps = obs.NewStepBuckets(s.tr, root)
 }
 
 func (s *stream) finishTotal() {
@@ -213,6 +250,7 @@ type planGroup struct {
 	plan          *planner.Plan
 	sm            *model.Submodel
 	es            *ExecStats // one-time stream cost; first admitted rider takes it
+	matSpans      []obs.Span // the stream's trace spans; same rider adopts them
 	matErr        error
 	materializing bool
 	waiters       []*stream
@@ -327,6 +365,7 @@ func (b *Batcher) Submit(ctx context.Context, p *planner.Plan, req Request) (<-c
 		gen:  gen,
 		resp: &Response{Gen: gen, Stats: &gen.Stream, GeneratedTokens: seq},
 		seq:  seq,
+		tr:   obs.FromContext(ctx),
 	}
 	b.mu.Lock()
 	if b.closed {
@@ -565,7 +604,10 @@ func (b *Batcher) admitLocked() []delivery {
 			if !g.materializing {
 				g.matErr = nil
 				g.materializing = true
-				go b.materialize(g)
+				go b.materialize(g, s.tr != nil)
+			}
+			if s.parked.IsZero() {
+				s.parked = time.Now()
 			}
 			g.waiters = append(g.waiters, s)
 			continue
@@ -578,7 +620,12 @@ func (b *Batcher) admitLocked() []delivery {
 			s.gen.Stream = *g.es
 			s.resp.Stats = &s.gen.Stream
 			g.es = nil
+			s.matSpans = g.matSpans
+			g.matSpans = nil
 		}
+		// Span recording happens on the loop goroutine outside b.mu
+		// (recordAdmitted); admission only flags the stashed state.
+		s.pend = true
 		g.streams = append(g.streams, s)
 		b.active++
 		b.nAdmitted++
@@ -599,8 +646,26 @@ func (b *Batcher) admitLocked() []delivery {
 // (and retiring cancelled ones) through the whole IO/decompress pass.
 // On failure the waiters are failed with the error; on a batcher
 // already closed, with ErrBatcherClosed.
-func (b *Batcher) materialize(g *planGroup) {
-	sm, es, err := b.eng.Materialize(b.matCtx, g.plan)
+func (b *Batcher) materialize(g *planGroup, traced bool) {
+	// The materializer has no single request context (its cost is
+	// shared by every waiter), so when the triggering stream was traced
+	// it records into a detached trace whose spans — the materialize
+	// interval plus the shard stream's per-layer IO spans — are adopted
+	// by the rider that takes the group's ExecStats.
+	ctx := b.matCtx
+	var mtr *obs.Trace
+	if traced {
+		mtr = obs.NewTrace([16]byte{}, -1)
+		ctx = obs.WithTrace(ctx, mtr)
+	}
+	matStart := time.Now()
+	sm, es, err := b.eng.Materialize(ctx, g.plan)
+	var matSpans []obs.Span
+	if mtr != nil {
+		mtr.Interval(mtr.Root(), obs.SpanMaterialize, "", matStart, time.Now())
+		matSpans = mtr.Spans()
+		mtr.Release()
+	}
 	b.mu.Lock()
 	g.materializing = false
 	waiters := g.waiters
@@ -622,6 +687,7 @@ func (b *Batcher) materialize(g *planGroup) {
 	}
 	g.sm = sm
 	g.es = es
+	g.matSpans = matSpans
 	// Waiters keep their place at the head of the queue; the loop may
 	// be asleep with nothing else live, so wake it.
 	b.pending = append(waiters, b.pending...)
@@ -664,6 +730,9 @@ func (b *Batcher) stepOnce(desperate bool) (bool, []starvedStream) {
 		// ones that want to feed a token this step.
 		var cands []*stream
 		for _, s := range append([]*stream(nil), g.streams...) {
+			// Flush span state stashed at admission before anything can
+			// retire the stream — outside b.mu, on this goroutine only.
+			s.recordAdmitted()
 			// Mirrors DecodeGenerate's per-iteration ctx check: a
 			// cancelled stream retires with its partial Response and
 			// frees its KV blocks before the next forward.
@@ -740,19 +809,32 @@ func (b *Batcher) stepOnce(desperate bool) (bool, []starvedStream) {
 		clear(b.inStep)
 		inStep := b.inStep
 		for _, s := range cands {
-			if !s.dec.Reserve() && !b.preemptFor(s, inStep, desperate) {
-				// Starved. A stream holding nothing, with no KV
-				// anywhere to wait on, can never start — fail it;
-				// otherwise record the starvation and retry after the
-				// poll (the loop preempts same-class holders, then
-				// sheds, if this persists).
-				if s.dec.KVBytes() == 0 && b.alloc.LiveBytes() == 0 {
-					b.retire(g, s, nil, ErrKVBudget, false)
-					progress = true
-				} else {
-					starved = append(starved, starvedStream{g, s})
+			if !s.dec.Reserve() {
+				if s.kvWait.IsZero() {
+					s.kvWait = time.Now()
 				}
-				continue
+				preStart := time.Now()
+				if !b.preemptFor(s, inStep, desperate) {
+					// Starved. A stream holding nothing, with no KV
+					// anywhere to wait on, can never start — fail it;
+					// otherwise record the starvation and retry after the
+					// poll (the loop preempts same-class holders, then
+					// sheds, if this persists).
+					if s.dec.KVBytes() == 0 && b.alloc.LiveBytes() == 0 {
+						b.retire(g, s, nil, ErrKVBudget, false)
+						progress = true
+					} else {
+						starved = append(starved, starvedStream{g, s})
+					}
+					continue
+				}
+				s.tr.Interval(s.tr.Root(), obs.SpanKVPreempt, "", preStart, time.Now())
+			}
+			if !s.kvWait.IsZero() {
+				// The stream's KV grant arrived after at least one
+				// starved poll: record how long decode stalled on it.
+				s.tr.Interval(s.tr.Root(), obs.SpanKVReserve, "", s.kvWait, time.Now())
+				s.kvWait = time.Time{}
 			}
 			inStep[s] = true
 			parts = append(parts, s)
@@ -771,10 +853,12 @@ func (b *Batcher) stepOnce(desperate bool) (bool, []starvedStream) {
 			progress = true
 			continue
 		}
-		dur := time.Since(stepStart)
+		stepEnd := time.Now()
+		dur := stepEnd.Sub(stepStart)
 		for i, s := range parts {
 			s.logits = logits.Row(i)
 			s.gen.StepCompute = append(s.gen.StepCompute, dur)
+			s.steps.StepDone(len(s.gen.StepCompute)-1, stepStart, stepEnd)
 			s.consumed++
 		}
 		b.mu.Lock()
@@ -857,6 +941,7 @@ func callOnToken(fn func(step, token int), step, token int) (err error) {
 // delivers its terminal result exactly once (behind any undelivered
 // token events, via the stream's emitter).
 func (b *Batcher) retire(g *planGroup, s *stream, resp *Response, err error, cancelled bool) {
+	s.steps.Flush()
 	s.dec.Release()
 	for i, v := range g.streams {
 		if v == s {

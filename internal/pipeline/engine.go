@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"sti/internal/model"
+	"sti/internal/obs"
 	"sti/internal/planner"
 	"sti/internal/shard"
 	"sti/internal/store"
@@ -29,7 +30,11 @@ type Engine struct {
 	// src is where shard payloads are read from: the store itself by
 	// default, or a store.SharedCache when many replica engines of one
 	// model dedupe their flash reads through a single-flight cache.
-	src store.PayloadReader
+	// osrc is src's origin-tagged surface when it has one — the IO
+	// worker reads through it so shard-IO trace spans carry a
+	// flash/cache/peer/prefetch origin.
+	src  store.PayloadReader
+	osrc store.OriginReader
 
 	mu          sync.Mutex
 	cache       map[shard.Version][]byte
@@ -74,8 +79,9 @@ func NewReplicaEngine(st *store.Store, res *model.Weights, src store.PayloadRead
 	if src == nil {
 		src = st
 	}
+	osrc, _ := src.(store.OriginReader)
 	return &Engine{
-		Store: st, Resident: res, src: src,
+		Store: st, Resident: res, src: src, osrc: osrc,
 		cache: make(map[shard.Version][]byte), cacheBudget: cacheBudget,
 	}
 }
@@ -88,6 +94,7 @@ func (e *Engine) SetPayloadSource(src store.PayloadReader) {
 		src = e.Store
 	}
 	e.src = src
+	e.osrc, _ = src.(store.OriginReader)
 }
 
 // SetAccessObserver installs (or, with nil, removes) the engine's
@@ -457,7 +464,8 @@ func (e *Engine) streamLayers(ctx context.Context, p *planner.Plan, stats *ExecS
 // cancellation is checked at every layer boundary so flash IO stops
 // within one layer of ctx being cancelled.
 func (e *Engine) ioWorker(ctx context.Context, p *planner.Plan, out chan<- layerDelivery) {
-	obs := e.observer()
+	observe := e.observer()
+	tr := obs.FromContext(ctx)
 	for l := 0; l < p.Depth; l++ {
 		if e.ioHook != nil {
 			e.ioHook(l)
@@ -466,23 +474,34 @@ func (e *Engine) ioWorker(ctx context.Context, p *planner.Plan, out chan<- layer
 			out <- layerDelivery{layer: l, err: err}
 			return
 		}
-		if obs != nil {
+		if observe != nil {
 			// The access event fires as the layer's IO starts — the
 			// earliest point the (tier, layer) coordinate is certain —
 			// so a prefetcher trained on these events runs ahead of the
 			// compute front, not behind it.
-			obs(p.Target, l)
+			observe(p.Target, l)
 		}
 		d := layerDelivery{layer: l, payloads: make([][]byte, p.Width)}
+		origin := ""
 		ioStart := time.Now()
 		for j, s := range p.Slices[l] {
 			v := shard.Version{ID: shard.ID{Layer: l, Slice: s}, Bits: p.Bits[l][j]}
 			if payload := e.cached(v); payload != nil {
 				d.payloads[j] = payload
 				d.hits++
+				origin = worseOrigin(origin, store.OriginCache)
 				continue
 			}
-			payload, err := e.src.ReadShardPayload(l, s, v.Bits)
+			var payload []byte
+			var err error
+			if e.osrc != nil {
+				var o string
+				payload, o, err = e.osrc.ReadShardPayloadOrigin(l, s, v.Bits)
+				origin = worseOrigin(origin, o)
+			} else {
+				payload, err = e.src.ReadShardPayload(l, s, v.Bits)
+				origin = worseOrigin(origin, store.OriginFlash)
+			}
 			if err != nil {
 				d.err = fmt.Errorf("pipeline: layer %d shard %v: %w", l, v, err)
 				out <- d
@@ -492,8 +511,37 @@ func (e *Engine) ioWorker(ctx context.Context, p *planner.Plan, out chan<- layer
 			d.read += int64(len(payload))
 		}
 		d.ioTime = time.Since(ioStart)
+		if tr != nil && origin != "" {
+			// One span per layer, tagged with the most expensive origin
+			// any of its shards hit — per-shard spans would overflow the
+			// slab on wide plans without adding timeline signal.
+			tr.Interval(tr.Root(), obs.SpanShardIO, origin, ioStart, time.Now())
+		}
 		out <- d
 	}
+}
+
+// originRank orders shard-read origins by cost; a layer's span is
+// tagged with the most expensive origin among its shards.
+func originRank(o string) int {
+	switch o {
+	case store.OriginFlash:
+		return 4
+	case store.OriginPeer:
+		return 3
+	case store.OriginPrefetch:
+		return 2
+	case store.OriginCache:
+		return 1
+	}
+	return 0
+}
+
+func worseOrigin(a, b string) string {
+	if originRank(b) > originRank(a) {
+		return b
+	}
+	return a
 }
 
 // assemble decompresses a layer's payloads concurrently and builds the

@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sti/internal/obs"
 	"sti/internal/pipeline"
 	"sti/internal/planner"
 	"sti/internal/predict"
@@ -159,6 +160,12 @@ type Options struct {
 	// workers stay free for classify batching; at the cap the worker
 	// blocks, backpressuring through the admission queue. Default 64.
 	MaxStreams int
+	// Obs is the process's observability hub. When set, every model's
+	// serving counters and latency/queue-wait histograms register into
+	// its /metrics registry; per-request spans ride the request context
+	// regardless (they need only a trace on the context). Nil keeps the
+	// instruments private to Snapshot.
+	Obs *obs.Hub
 }
 
 func (o Options) withDefaults() Options {
@@ -221,6 +228,7 @@ type job struct {
 	window   time.Duration // Slack × the request's effective target
 	coarsest time.Duration // the model ladder's bottom rung (0.5×default)
 	demoted  bool          // downgraded over-deadline at dequeue
+	picked   bool          // queue-wait recorded (failed batches retry through execSingle)
 	enqueued time.Time
 	done     chan outcome
 }
@@ -468,7 +476,12 @@ func (s *Scheduler) queueLocked(model string) *modelQueue {
 	}
 	q := &modelQueue{
 		jobs:  make(chan *job, s.opts.QueueDepth),
-		stats: newModelStats(model, s.opts.Window),
+		stats: newModelStats(model, s.opts.Window, s.opts.Obs.Registry()),
+	}
+	if reg := s.opts.Obs.Registry(); reg != nil {
+		jobs := q.jobs
+		reg.NewGaugeFunc("sti_queue_depth", "Queued requests awaiting a worker.",
+			obs.Labels{"model": model}, func() float64 { return float64(len(jobs)) })
 	}
 	s.queues[model] = q
 	return q
@@ -507,7 +520,16 @@ func (s *Scheduler) worker(model string, q *modelQueue) {
 		}
 		batch := []*job{j}
 		if s.opts.MaxBatch > 1 {
+			asmStart := time.Now()
 			batch = append(batch, s.accumulate(q)...)
+			if len(batch) > 1 {
+				asmEnd := time.Now()
+				for _, b := range batch {
+					if tr := obs.FromContext(b.ctx); tr != nil {
+						tr.Interval(tr.Root(), obs.SpanAssemble, "", asmStart, asmEnd)
+					}
+				}
+			}
 		}
 		groups := make(map[batchKey][]*job)
 		var order []batchKey
@@ -655,6 +677,20 @@ func (s *Scheduler) runBatch(model string, q *modelQueue, batch []*job) {
 	s.executeBatch(model, q, live, now)
 }
 
+// notePickup records a job's queue wait — the stats histogram and the
+// trace span — exactly once, no matter how many retry hops the job
+// makes between the batched and single paths.
+func (s *Scheduler) notePickup(q *modelQueue, j *job, pickup time.Time) {
+	if j.picked {
+		return
+	}
+	j.picked = true
+	q.stats.queued(pickup.Sub(j.enqueued))
+	if tr := obs.FromContext(j.ctx); tr != nil {
+		tr.Interval(tr.Root(), obs.SpanQueueWait, "", j.enqueued, pickup)
+	}
+}
+
 // executeBatch serves one tier-consistent batch of admitted jobs.
 func (s *Scheduler) executeBatch(model string, q *modelQueue, live []*job, now time.Time) {
 	if len(live) == 1 {
@@ -662,7 +698,18 @@ func (s *Scheduler) executeBatch(model string, q *modelQueue, live []*job, now t
 		return
 	}
 
+	for _, j := range live {
+		s.notePickup(q, j, now)
+	}
+	execSpans := make([]obs.SpanID, len(live))
+	for i, j := range live {
+		tr := obs.FromContext(j.ctx)
+		execSpans[i] = tr.Begin(tr.Root(), obs.SpanExecute, "batch")
+	}
 	resps, stats, err := s.serveBatch(model, live)
+	for i, j := range live {
+		obs.FromContext(j.ctx).EndSpan(execSpans[i])
+	}
 	if err != nil {
 		// One poisoned request must fail alone, not take down its
 		// batchmates: retry each job unbatched.
@@ -709,11 +756,15 @@ func (s *Scheduler) runSingle(model string, q *modelQueue, j *job) {
 // for.
 func (s *Scheduler) execSingle(model string, q *modelQueue, j *job) {
 	pickup := time.Now()
+	s.notePickup(q, j, pickup)
 	ctx, cancel := j.ctx, context.CancelFunc(func() {})
 	if j.req.Task == pipeline.TaskGenerate {
 		ctx, cancel = context.WithDeadline(j.ctx, j.deadline)
 	}
+	tr := obs.FromContext(j.ctx)
+	ex := tr.Begin(tr.Root(), obs.SpanExecute, "")
 	resp, err := s.serveOne(ctx, model, j)
+	tr.EndSpan(ex)
 	cancel()
 
 	var bytes int64

@@ -450,7 +450,7 @@ func TestPercentile(t *testing.T) {
 }
 
 func TestLatencyWindowWraps(t *testing.T) {
-	m := newModelStats("m", 4)
+	m := newModelStats("m", 4, nil)
 	for i := 1; i <= 10; i++ {
 		m.completed(time.Duration(i) * time.Millisecond)
 	}

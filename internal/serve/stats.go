@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sti/internal/obs"
 	"sti/internal/pipeline"
 	"sti/internal/predict"
 )
@@ -140,20 +141,30 @@ type Stats struct {
 	Models       []ModelStats      `json:"models"`
 }
 
+// modelStats holds one model's serving instruments. The counters are
+// obs registry instruments — when the scheduler has an observability
+// hub they are exposed on /metrics under the model label, and
+// Snapshot reads the very same instruments to keep the /v1/stats JSON
+// shape (there is exactly one set of counters, not an ad-hoc copy).
 type modelStats struct {
 	model string
 
-	nCompleted   atomic.Uint64
-	nFailed      atomic.Uint64
-	nShed        atomic.Uint64
-	nDeadline    atomic.Uint64
-	nBatches     atomic.Uint64
-	nGenerated   atomic.Uint64
-	nCacheHit    atomic.Uint64
-	nCacheMiss   atomic.Uint64
-	nDowngraded  atomic.Uint64
+	nCompleted  *obs.Counter
+	nFailed     *obs.Counter
+	nShed       *obs.Counter
+	nDeadline   *obs.Counter
+	nBatches    *obs.Counter
+	nGenerated  *obs.Counter
+	nCacheHit   *obs.Counter
+	nCacheMiss  *obs.Counter
+	nDowngraded *obs.Counter
+	bytesRead   *obs.Counter
+	latency     *obs.Histogram // admission -> completion, ns
+	queueWait   *obs.Histogram // admission -> worker pickup, ns
+
+	// Max-trackers stay CAS loops: a registry instrument is a counter,
+	// gauge or histogram; a running max is none of those.
 	maxBatch     atomic.Int64
-	bytesRead    atomic.Int64
 	maxLatencyNS atomic.Int64
 
 	mu      sync.Mutex
@@ -163,16 +174,37 @@ type modelStats struct {
 	byTier  map[time.Duration]uint64 // served requests per tier target
 }
 
-func newModelStats(model string, window int) *modelStats {
-	return &modelStats{
+// newModelStats builds a model's instrument set. With a nil registry
+// the instruments still exist and record (unexposed) — every caller
+// path is identical whether or not /metrics is wired up.
+func newModelStats(model string, window int, reg *obs.Registry) *modelStats {
+	m := &modelStats{
 		model:  model,
 		window: make([]time.Duration, window),
 		byTier: make(map[time.Duration]uint64),
 	}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	lbl := obs.Labels{"model": model}
+	m.nCompleted = reg.NewCounter("sti_requests_completed_total", "Requests completed successfully.", lbl)
+	m.nFailed = reg.NewCounter("sti_requests_failed_total", "Requests failed at the backend.", lbl)
+	m.nShed = reg.NewCounter("sti_requests_shed_total", "Requests shed at admission (queue full).", lbl)
+	m.nDeadline = reg.NewCounter("sti_deadline_miss_total", "Requests expired before or during execution.", lbl)
+	m.nBatches = reg.NewCounter("sti_batches_total", "Backend executions (a batch of 1 is one execution).", lbl)
+	m.nGenerated = reg.NewCounter("sti_generated_tokens_total", "Tokens decoded by generate requests.", lbl)
+	m.nCacheHit = reg.NewCounter("sti_plan_cache_hits_total", "Served requests that rode a cached plan tier.", lbl)
+	m.nCacheMiss = reg.NewCounter("sti_plan_cache_misses_total", "Served requests that planned a new tier on demand.", lbl)
+	m.nDowngraded = reg.NewCounter("sti_downgraded_total", "Requests congestion demoted to a coarser tier.", lbl)
+	m.bytesRead = reg.NewCounter("sti_flash_bytes_read_total", "Flash bytes read by execution streams.", lbl)
+	m.latency = reg.NewHistogram("sti_request_latency_ns", "Request latency, admission to completion.", lbl)
+	m.queueWait = reg.NewHistogram("sti_queue_wait_ns", "Queue wait, admission to worker pickup.", lbl)
+	return m
 }
 
 func (m *modelStats) completed(total time.Duration) {
-	m.nCompleted.Add(1)
+	m.nCompleted.Inc()
+	m.latency.Observe(int64(total))
 	for {
 		old := m.maxLatencyNS.Load()
 		if int64(total) <= old || m.maxLatencyNS.CompareAndSwap(old, int64(total)) {
@@ -188,13 +220,18 @@ func (m *modelStats) completed(total time.Duration) {
 	m.mu.Unlock()
 }
 
-func (m *modelStats) failed() { m.nFailed.Add(1) }
+// queued records one request's admission -> pickup wait.
+func (m *modelStats) queued(wait time.Duration) { m.queueWait.Observe(int64(wait)) }
+
+func (m *modelStats) failed() { m.nFailed.Inc() }
 
 // executed records one backend execution: a batch of n requests served
 // by a single stream that read bytes from flash.
 func (m *modelStats) executed(n int, bytes int64) {
-	m.nBatches.Add(1)
-	m.bytesRead.Add(bytes)
+	m.nBatches.Inc()
+	if bytes > 0 {
+		m.bytesRead.AddN(uint64(bytes))
+	}
 	for {
 		old := m.maxBatch.Load()
 		if int64(n) <= old || m.maxBatch.CompareAndSwap(old, int64(n)) {
@@ -206,7 +243,7 @@ func (m *modelStats) executed(n int, bytes int64) {
 // generated records tokens decoded by one generate execution.
 func (m *modelStats) generated(n int) {
 	if n > 0 {
-		m.nGenerated.Add(uint64(n))
+		m.nGenerated.AddN(uint64(n))
 	}
 }
 
@@ -219,51 +256,62 @@ func (m *modelStats) servedTier(ti *pipeline.TierInfo) {
 		return
 	}
 	if ti.CacheHit {
-		m.nCacheHit.Add(1)
+		m.nCacheHit.Inc()
 	} else {
-		m.nCacheMiss.Add(1)
+		m.nCacheMiss.Inc()
 	}
 	if ti.Downgraded {
-		m.nDowngraded.Add(1)
+		m.nDowngraded.Inc()
 	}
 	m.mu.Lock()
 	m.byTier[ti.Target]++
 	m.mu.Unlock()
 }
 
-func (m *modelStats) shed()         { m.nShed.Add(1) }
-func (m *modelStats) deadlineMiss() { m.nDeadline.Add(1) }
+func (m *modelStats) shed()         { m.nShed.Inc() }
+func (m *modelStats) deadlineMiss() { m.nDeadline.Inc() }
 
 func (m *modelStats) snapshot() ModelStats {
+	// Copy the window and tier map under the lock; the percentile sort
+	// and every map/string conversion run on the copies after release,
+	// so a snapshot storm never serializes the completion path behind
+	// an O(n log n) sort.
 	m.mu.Lock()
 	n := m.next
 	if m.wrapped {
 		n = len(m.window)
 	}
 	lat := append([]time.Duration(nil), m.window[:n]...)
-	var byTier map[string]uint64
+	var tiers map[time.Duration]uint64
 	if len(m.byTier) > 0 {
-		byTier = make(map[string]uint64, len(m.byTier))
+		tiers = make(map[time.Duration]uint64, len(m.byTier))
 		for target, count := range m.byTier {
-			byTier[target.String()] = count
+			tiers[target] = count
 		}
 	}
 	m.mu.Unlock()
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var byTier map[string]uint64
+	if len(tiers) > 0 {
+		byTier = make(map[string]uint64, len(tiers))
+		for target, count := range tiers {
+			byTier[target.String()] = count
+		}
+	}
 	ms := ModelStats{
 		Model:           m.model,
-		Completed:       m.nCompleted.Load(),
-		Failed:          m.nFailed.Load(),
-		Shed:            m.nShed.Load(),
-		DeadlineMiss:    m.nDeadline.Load(),
-		Batches:         m.nBatches.Load(),
-		GeneratedTokens: m.nGenerated.Load(),
-		PlanCacheHits:   m.nCacheHit.Load(),
-		PlanCacheMisses: m.nCacheMiss.Load(),
-		Downgraded:      m.nDowngraded.Load(),
+		Completed:       m.nCompleted.Value(),
+		Failed:          m.nFailed.Value(),
+		Shed:            m.nShed.Value(),
+		DeadlineMiss:    m.nDeadline.Value(),
+		Batches:         m.nBatches.Value(),
+		GeneratedTokens: m.nGenerated.Value(),
+		PlanCacheHits:   m.nCacheHit.Value(),
+		PlanCacheMisses: m.nCacheMiss.Value(),
+		Downgraded:      m.nDowngraded.Value(),
 		ServedByTier:    byTier,
 		MaxBatch:        int(m.maxBatch.Load()),
-		BytesRead:       m.bytesRead.Load(),
+		BytesRead:       int64(m.bytesRead.Value()),
 		P50:             percentile(lat, 0.50),
 		P95:             percentile(lat, 0.95),
 		Max:             time.Duration(m.maxLatencyNS.Load()),

@@ -249,12 +249,23 @@ func (c *SharedCache) Peek(layer, slice, bits int) ([]byte, bool) {
 // that has it retained (when a peer level is installed), or by reading
 // the backing store (becoming the flight others join).
 func (c *SharedCache) ReadShardPayload(layer, slice, bits int) ([]byte, error) {
+	p, _, err := c.ReadShardPayloadOrigin(layer, slice, bits)
+	return p, err
+}
+
+// ReadShardPayloadOrigin is ReadShardPayload plus where the bytes came
+// from (OriginCache for retained or coalesced hits, OriginPrefetch for
+// a speculatively prefetched payload consumed by demand, OriginPeer,
+// OriginFlash) — the tag execution engines stamp on shard-IO trace
+// spans. Implements OriginReader.
+func (c *SharedCache) ReadShardPayloadOrigin(layer, slice, bits int) ([]byte, string, error) {
 	k := payloadKey{Layer: layer, Slice: slice, Bits: bits}
 	c.mu.Lock()
 	c.stats.Requests++
 	if el, ok := c.cache[k]; ok {
 		e := el.Value.(*cacheEntry)
 		p := e.payload
+		origin := OriginCache
 		if e.prefetched {
 			// A demanded prefetch graduates to the demand segment: the
 			// speculation paid off, so the payload is no longer
@@ -265,13 +276,14 @@ func (c *SharedCache) ReadShardPayload(layer, slice, bits int) ([]byte, error) {
 			c.prefBytes -= int64(len(p))
 			c.bytes += int64(len(p))
 			c.stats.PrefetchHits++
+			origin = OriginPrefetch
 		} else {
 			c.lru.MoveToBack(el)
 			c.stats.RetainedHits++
 		}
 		c.stats.BytesSaved += int64(len(p))
 		c.mu.Unlock()
-		return p, nil
+		return p, origin, nil
 	}
 	if f, ok := c.flights[k]; ok {
 		c.mu.Unlock()
@@ -280,13 +292,13 @@ func (c *SharedCache) ReadShardPayload(layer, slice, bits int) ([]byte, error) {
 			// A failed flight is not a dedup win: every waiter saw the
 			// error and nothing was read on their behalf, so counting
 			// it would overstate the hit rate under IO errors.
-			return nil, f.err
+			return nil, "", f.err
 		}
 		c.mu.Lock()
 		c.stats.SingleflightHits++
 		c.stats.BytesSaved += int64(len(f.payload))
 		c.mu.Unlock()
-		return f.payload, nil
+		return f.payload, OriginCache, nil
 	}
 	f := &flight{done: make(chan struct{})}
 	c.flights[k] = f
@@ -328,7 +340,11 @@ func (c *SharedCache) ReadShardPayload(layer, slice, bits int) ([]byte, error) {
 		c.stats.PeerFetches++
 	}
 	c.mu.Unlock()
-	return f.payload, f.err
+	origin := OriginFlash
+	if fromPeer {
+		origin = OriginPeer
+	}
+	return f.payload, origin, f.err
 }
 
 // insertLocked retains one completed payload in the demand segment,
